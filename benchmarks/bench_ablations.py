@@ -1,0 +1,271 @@
+"""Ablations of the design choices the paper argues for.
+
+Each bench isolates one decision from Sections III-IV and quantifies
+its cost or benefit on this simulator:
+
+* **outstanding-1 vs outstanding-8** — the prototype presents the RMC
+  as an HT I/O unit, capping each core at one outstanding remote
+  request; the paper's planned "RMC as a regular memory controller"
+  would allow eight. How much bandwidth does the I/O-unit shortcut
+  cost?
+* **no-translation-table prefix scheme** — the 14-bit prefix makes the
+  RMC table-free; a table-based RMC pays a lookup on every operation.
+* **write-back caching of remote ranges** — the prototype enables it
+  to claw back locality on cacheable patterns.
+* **topology** — mesh vs. torus vs. line average distance effects.
+* **swap page size** — sensitivity of the remote-swap baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.randbench import RandomAccessBenchmark
+from repro.apps.streams import stream_scan
+from repro.cluster.cluster import Cluster
+from repro.config import (
+    ClusterConfig,
+    CoreConfig,
+    NetworkConfig,
+    NodeConfig,
+    RMCConfig,
+    SwapConfig,
+)
+from repro.mem.backing import BackingStore
+from repro.model.fastsim import RemoteMemAccessor, SwapAccessor
+from repro.model.latency import LatencyModel
+from repro.swap.remoteswap import RemoteSwap
+from repro.sim.rng import stream as rng_stream
+from repro.units import PAGE_SIZE, mib
+
+
+def _line_cluster(n=3, **overrides) -> Cluster:
+    cfg = ClusterConfig(
+        network=NetworkConfig(topology="line", dims=(n, 1)), **overrides
+    )
+    return Cluster(cfg)
+
+
+@pytest.mark.paper_artifact("ablation")
+def test_outstanding_requests_1_vs_8(benchmark, show):
+    """One core, one memory server: how much does lifting the
+    single-outstanding-request limit buy? (Paper: the I/O-unit RMC
+    'will reduce overall performance' — and the future coherent-MC
+    integration removes the limit.)"""
+
+    def run(remote_outstanding: int) -> float:
+        core = CoreConfig(remote_outstanding=remote_outstanding)
+        cluster = _line_cluster(node=NodeConfig(core=core))
+        bench = RandomAccessBenchmark(cluster, seed=1, buffer_bytes=mib(8))
+        app = cluster.session(1)
+        app.borrow_remote(2, mib(16))
+        from repro.cluster.malloc import Placement
+
+        ptr = app.malloc(mib(8), Placement.REMOTE)
+        bench._touch_pages(app, ptr)
+        sim = cluster.sim
+        rng = rng_stream(1, "abl_outst", remote_outstanding)
+        offsets = rng.integers(0, mib(8) // 4096, size=400) * 4096
+
+        def issue_all():
+            procs = []
+            core0 = app.node.cores[0]
+            for off in offsets:
+                phys = app.aspace.translate(ptr + int(off)).phys_addr
+                procs.append(sim.process(core0.read(phys, 64)))
+            return procs
+
+        t0 = sim.now
+        procs = issue_all()
+        sim.run()
+        assert all(p.ok for p in procs)
+        return (sim.now - t0) / len(offsets)
+
+    def experiment():
+        return {"outstanding_1": run(1), "outstanding_8": run(8)}
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print(f"\nablation outstanding: {result}")
+    speedup = result["outstanding_1"] / result["outstanding_8"]
+    benchmark.extra_info["speedup_from_8_outstanding"] = speedup
+    assert speedup > 2.0  # the limit costs real bandwidth
+
+
+@pytest.mark.paper_artifact("ablation")
+def test_translation_table_vs_prefix_scheme(benchmark):
+    """The no-table design shaves the lookup off every RMC operation."""
+
+    def latency(use_table: bool) -> float:
+        cluster = _line_cluster(
+            rmc=RMCConfig(use_translation_table=use_table)
+        )
+        return LatencyModel.calibrate(cluster, samples=24).remote_1hop_ns
+
+    def experiment():
+        return {"prefix": latency(False), "table": latency(True)}
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print(f"\nablation translation table: {result}")
+    overhead = result["table"] - result["prefix"]
+    benchmark.extra_info["table_overhead_ns"] = overhead
+    # 4 RMC ops per remote read, each paying the lookup
+    assert overhead > 3 * RMCConfig().table_lookup_ns
+
+
+@pytest.mark.paper_artifact("ablation")
+def test_write_back_caching_of_remote_ranges(benchmark):
+    """Section IV-B: the prototype configures remote ranges write-back
+    cacheable. On a scan with reuse, caching pays; measure the factor."""
+    lat = LatencyModel.from_config(ClusterConfig())
+
+    def run(use_cache: bool) -> float:
+        acc = RemoteMemAccessor(lat, BackingStore(mib(8)), hops=1,
+                                use_cache=use_cache)
+        # two passes over 1 MiB: the second pass hits in a 2 MiB cache
+        r = stream_scan(acc, size_bytes=mib(1), passes=2)
+        return r.time_ns
+
+    def experiment():
+        return {"cached": run(True), "uncached": run(False)}
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print(f"\nablation write-back caching: {result}")
+    gain = result["uncached"] / result["cached"]
+    benchmark.extra_info["caching_speedup"] = gain
+    assert gain > 1.5
+
+
+@pytest.mark.paper_artifact("ablation")
+def test_htoe_vs_native_fabric(benchmark):
+    """Section IV-B outlook: HyperTransport over Ethernet lets the
+    cluster use standard switches (one uniform hop to every peer) at
+    the price of per-access latency. Quantify the trade."""
+    from repro.config import htoe_cluster
+    from repro.model.latency import LatencyModel
+
+    def experiment():
+        native = LatencyModel.calibrate(
+            Cluster(
+                ClusterConfig(
+                    network=NetworkConfig(topology="line", dims=(3, 1))
+                )
+            ),
+            samples=32,
+        )
+        htoe = LatencyModel.calibrate(
+            Cluster(htoe_cluster(nodes=3)), samples=32
+        )
+        return {
+            "native_1hop_ns": native.remote_1hop_ns,
+            "htoe_1hop_ns": htoe.remote_1hop_ns,
+            "htoe_penalty": htoe.remote_1hop_ns / native.remote_1hop_ns,
+            "htoe_vs_swap_fault": htoe.remote_1hop_ns / native.swap_fault_ns,
+        }
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print(f"\nablation HToE fabric: {result}")
+    benchmark.extra_info.update(result)
+    assert 1.5 < result["htoe_penalty"] < 6
+    assert result["htoe_vs_swap_fault"] < 0.1  # still beats paging easily
+
+
+@pytest.mark.paper_artifact("ablation")
+def test_topology_average_distance(benchmark):
+    """Mesh vs. torus vs. line: mean hop distance drives mean remote
+    latency (Fig. 6's slope applied cluster-wide)."""
+    import networkx as nx
+
+    from repro.noc.topology import Topology
+
+    def mean_distance(kind, dims):
+        topo = Topology.build(NetworkConfig(topology=kind, dims=dims))
+        return nx.average_shortest_path_length(topo.graph)
+
+    def experiment():
+        return {
+            "mesh_4x4": mean_distance("mesh", (4, 4)),
+            "torus_4x4": mean_distance("torus", (4, 4)),
+            "line_16": mean_distance("line", (16, 1)),
+        }
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print(f"\nablation topology mean hops: {result}")
+    benchmark.extra_info.update(result)
+    assert result["torus_4x4"] < result["mesh_4x4"] < result["line_16"]
+
+
+@pytest.mark.paper_artifact("ablation")
+def test_node_interleaving(benchmark):
+    """Per-socket contiguous BARs (Fig. 2(a)'s layout) vs. node
+    interleaving: striping spreads bank-conflicting parallel streams
+    across all four memory controllers."""
+    from repro.cluster.malloc import Placement
+
+    def run(interleave: int) -> float:
+        cluster = Cluster(
+            ClusterConfig(
+                network=NetworkConfig(topology="line", dims=(2, 1)),
+                node=NodeConfig(interleave_bytes=interleave),
+            )
+        )
+        sim = cluster.sim
+        app = cluster.session(1)
+        ptr = app.malloc(mib(8), Placement.LOCAL)
+        app.read(ptr, 64, cached=False)
+        for v in range(ptr, ptr + mib(8), 4096):
+            app.aspace.translate(v)
+        procs = []
+        t0 = sim.now
+        for core_idx in range(4):
+            core = cluster.node(1).cores[core_idx]
+            base = app.aspace.translate(ptr + core_idx * 4096).phys_addr
+            for i in range(32):
+                procs.append(sim.process(core.read(base + i * 65536, 64)))
+        sim.run()
+        assert all(p.ok for p in procs)
+        return sim.now - t0
+
+    def experiment():
+        return {"contiguous_ns": run(0), "interleaved_4k_ns": run(4096)}
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print(f"\nablation node interleaving: {result}")
+    gain = result["contiguous_ns"] / result["interleaved_4k_ns"]
+    benchmark.extra_info["interleave_speedup"] = gain
+    assert gain > 1.4
+
+
+@pytest.mark.paper_artifact("ablation")
+def test_swap_page_size_sensitivity(benchmark):
+    """Bigger pages amortize the per-fault overhead on streaming
+    patterns but waste transfer on random ones."""
+    lat = LatencyModel.from_config(ClusterConfig())
+
+    def run(page_bytes: int, random_pattern: bool) -> float:
+        cfg = SwapConfig(page_bytes=page_bytes)
+        swap = RemoteSwap(cfg, resident_pages=max(8, mib(1) // page_bytes))
+        acc = SwapAccessor(lat, BackingStore(mib(64)), swap, use_cache=False)
+        rng = rng_stream(3, "abl_page", page_bytes, int(random_pattern))
+        if random_pattern:
+            addrs = rng.integers(0, mib(32) // PAGE_SIZE, size=1500) * PAGE_SIZE
+        else:
+            addrs = [i * 64 for i in range(0, 1500)]
+        for a in addrs:
+            acc.read(int(a), 8)
+        return acc.time_ns
+
+    def experiment():
+        return {
+            "seq_4k": run(4096, False),
+            "seq_64k": run(65536, False),
+            "rand_4k": run(4096, True),
+            "rand_64k": run(65536, True),
+        }
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print(f"\nablation swap page size: {result}")
+    benchmark.extra_info.update(result)
+    assert result["seq_64k"] < result["seq_4k"]      # streaming amortizes
+    assert result["rand_64k"] > result["rand_4k"]    # random pays transfer

@@ -1,0 +1,180 @@
+"""Extension benches — the title claim and the related-work survey.
+
+* **extA** quantifies "getting rid of coherency overhead": the same
+  single-node application, with memory pooled from a growing set of
+  nodes, under no inter-node coherence (this paper), snoopy
+  aggregation, and directory aggregation.
+* **extB** executes the Section II survey: every memory-expansion
+  approach on one locality-poor workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+@pytest.mark.paper_artifact("extA")
+def test_extA_coherency_overhead_scaling(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("extA", accesses=30_000),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    non = result.column("noncoherent_ns")
+    snoopy = result.column("snoopy_ns")
+    share = result.column("snoopy_coherence_share")
+    benchmark.extra_info["snoopy_penalty_at_16_nodes"] = snoopy[-1] / non[-1]
+    benchmark.extra_info["snoopy_coherence_share_16"] = share[-1]
+    # the coherency tax grows with the cluster; ours doesn't have one
+    assert snoopy[-1] / non[-1] > snoopy[0] / non[0]
+    assert snoopy[-1] / non[-1] > 1.5
+    assert share == sorted(share)
+
+
+@pytest.mark.paper_artifact("extC")
+def test_extC_parallel_readonly_phase(benchmark, show):
+    """Section IV-B's usage discipline, measured: single writer, cache
+    flush, then a read-only phase that parallelizes across cores —
+    speeding up until the client RMC binds, exactly like Fig. 7."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("extC", items=600),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    speedups = {r["readers"]: r["read_speedup"] for r in result.rows}
+    benchmark.extra_info["read_speedups"] = speedups
+    assert speedups[2] > 1.7          # two readers nearly double
+    assert speedups[4] < 3.0          # four are RMC-bound (Fig. 7)
+    assert speedups[4] >= speedups[2] * 0.95
+
+
+@pytest.mark.paper_artifact("footnote3")
+def test_hash_index_advantage(benchmark):
+    """Footnote 3 of Section V-B, measured: the paper handicaps itself
+    by using b-trees; an in-memory hash index widens remote memory's
+    lead over remote swap even further."""
+    import numpy as np
+
+    from repro.apps.btree import BTree
+    from repro.apps.hashindex import HashIndex
+    from repro.config import ClusterConfig
+    from repro.mem.backing import BackingStore
+    from repro.model.fastsim import RemoteMemAccessor, SwapAccessor
+    from repro.model.latency import LatencyModel
+    from repro.swap.remoteswap import RemoteSwap
+
+    cfg = ClusterConfig()
+    lat = LatencyModel.from_config(cfg)
+    n, queries_n = 120_000, 1_500
+
+    def experiment():
+        keys = np.arange(1, n + 1, dtype=np.uint64)
+        rng = np.random.default_rng(7)
+        queries = rng.integers(1, n + 1, size=queries_n, dtype=np.uint64)
+
+        hacc = RemoteMemAccessor(lat, BackingStore(1 << 27))
+        hidx = HashIndex(hacc, capacity=n)
+        hidx.bulk_insert(keys, keys)
+        for q in queries:
+            hidx.lookup(int(q))
+        hash_remote = hacc.time_ns / queries_n
+
+        bacc = RemoteMemAccessor(lat, BackingStore(1 << 27))
+        tree = BTree(bacc, children=168)
+        tree.bulk_load(keys)
+        for q in queries:
+            tree.search(int(q))
+        btree_remote = bacc.time_ns / queries_n
+
+        sacc = SwapAccessor(lat, BackingStore(1 << 27),
+                            RemoteSwap(cfg.swap, resident_pages=512))
+        stree = BTree(sacc, children=168)
+        stree.bulk_load(keys)
+        for q in queries:
+            stree.search(int(q))
+        btree_swap = sacc.time_ns / queries_n
+
+        return {
+            "hash_on_remote_ns": hash_remote,
+            "btree_on_remote_ns": btree_remote,
+            "btree_on_swap_ns": btree_swap,
+        }
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print(f"\nfootnote 3: {result}")
+    benchmark.extra_info.update(result)
+    # hash beats b-tree on remote memory; the full gap to swap widens
+    assert result["hash_on_remote_ns"] < 0.6 * result["btree_on_remote_ns"]
+    assert result["btree_on_swap_ns"] > 4 * result["btree_on_remote_ns"]
+
+
+@pytest.mark.paper_artifact("extE")
+def test_extE_scalability(benchmark, show):
+    """The abstract's scalability claim: disjoint borrower/donor pairs
+    share no coherency state and (here) no fabric links, so aggregate
+    remote bandwidth scales linearly with active pairs."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("extE", accesses_per_client=600),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    eff = result.column("scaling_efficiency")
+    benchmark.extra_info["efficiency_at_8_pairs"] = eff[-1]
+    assert eff[-1] > 0.9    # near-linear at 8 concurrent pairs
+    assert max(result.column("max_link_util")) < 0.5
+
+
+@pytest.mark.paper_artifact("extD")
+def test_extD_database_query_study(benchmark, show):
+    """Section VI's short-term objective, executed: a fully-indexed
+    in-memory table, 'the execution time for different queries' under
+    each memory system."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("extD"),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    by = {r["memory_system"]: r for r in result.rows}
+    local = by["local DRAM"]
+    remote = by["remote memory (this paper)"]
+    swap = by["remote swap"]
+    benchmark.extra_info["point_remote_vs_local"] = (
+        remote["point_us"] / local["point_us"]
+    )
+    benchmark.extra_info["point_swap_vs_remote"] = (
+        swap["point_us"] / remote["point_us"]
+    )
+    # point queries: the prototype sits between local and swap, and
+    # swap's fault-per-probe pattern is an order of magnitude worse
+    assert local["point_us"] < remote["point_us"] < swap["point_us"]
+    assert swap["point_us"] > 10 * remote["point_us"]
+    # sequential scans amortize: swap lands within 2x of the prototype
+    assert swap["scan_ms"] < 2 * remote["scan_ms"]
+    # updates behave like point queries
+    assert swap["update_us"] > 10 * remote["update_us"]
+
+
+@pytest.mark.paper_artifact("extB")
+def test_extB_related_work_comparison(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("extB", accesses=20_000),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    times = {r["approach"]: r["ns_per_access"] for r in result.rows}
+    ours = times["remote memory (this paper)"]
+    benchmark.extra_info["vs_os_server"] = times["OS memory server"] / ours
+    benchmark.extra_info["vs_remote_swap"] = times["remote swap"] / ours
+    benchmark.extra_info["vs_disk"] = times["disk swap"] / ours
+    # the paper's ranking on locality-poor workloads
+    assert ours < times["OS memory server"] < times["remote swap"]
+    assert times["remote swap"] < times["flash swap"] < times["disk swap"]
+    # and the Violin critique: the OS on the access path costs ~3 us
+    assert times["OS memory server"] > 3 * ours

@@ -1,0 +1,30 @@
+"""Fig. 6 — random-access execution time vs. client-server distance.
+
+Paper shape to reproduce: per-access time grows roughly linearly with
+hop count (each hop adds a switch+link traversal to both the request
+and the response path of the closed load loop).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+@pytest.mark.paper_artifact("fig06")
+def test_fig06_distance_sweep(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig06", accesses=800, distances=(1, 2, 3, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    times = result.column("ns_per_access")
+    hops = result.column("hops")
+    benchmark.extra_info["ns_per_access_by_hops"] = dict(zip(hops, times))
+    benchmark.extra_info["per_hop_increment_ns"] = (
+        (times[-1] - times[0]) / (hops[-1] - hops[0])
+    )
+    # the monotone-growth shape is the artifact
+    assert times == sorted(times)

@@ -1,0 +1,41 @@
+"""Fig. 7 — thread sweep, server replication, and the hop-distance
+inversion on a saturated client RMC.
+
+Paper shapes to reproduce:
+
+* 2 threads halve the time of 1 thread;
+* 4 threads do NOT halve it again (client-RMC saturation);
+* 4 servers perform like 1 server (the server is not the bottleneck);
+* at 4 threads, moving the servers 2-3 hops away does not hurt — and
+  may slightly help — because the lower request rate relieves the
+  congested client RMC.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+@pytest.mark.paper_artifact("fig07")
+def test_fig07_thread_and_server_sweep(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig07", accesses=1600),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    by = {(r["group"], r["threads"], r["hops"]): r["elapsed_ms"]
+          for r in result.rows}
+    one_t = by[("1 server", 1, 1)]
+    two_t = by[("1 server", 2, 1)]
+    four_t = by[("1 server", 4, 1)]
+    benchmark.extra_info["speedup_2t"] = one_t / two_t
+    benchmark.extra_info["speedup_4t"] = one_t / four_t
+    benchmark.extra_info["hop_inversion"] = (
+        by[("4 servers", 4, 1)] - by[("4 servers", 4, 3)]
+    )
+    assert one_t / two_t > 1.7          # 2t ~ halves
+    assert two_t / four_t < 1.4         # 4t saturates
+    assert by[("4 servers", 4, 3)] <= by[("4 servers", 4, 1)] * 1.05

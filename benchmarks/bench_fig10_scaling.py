@@ -1,0 +1,40 @@
+"""Fig. 10 — b-tree search scalability: remote memory vs. remote swap.
+
+Paper shapes to reproduce: remote-memory search time grows gently (a
+staircase stepping at each added tree level — Equation 2), while remote
+swap diverges once the tree outgrows the local frames (Equation 1 with
+page locality collapsing — "the page trashing syndrome").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+@pytest.mark.paper_artifact("fig10")
+def test_fig10_key_scaling(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig10",
+            key_counts=(25_000, 50_000, 100_000, 200_000, 400_000, 800_000,
+                        1_600_000),
+            searches=1_500,
+            resident_pages=2_048,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    remote = result.column("remote_us_per_search")
+    swap = result.column("swap_us_per_search")
+    ratio = result.column("swap_over_remote")
+    benchmark.extra_info["remote_us_range"] = (remote[0], remote[-1])
+    benchmark.extra_info["swap_us_range"] = (swap[0], swap[-1])
+    benchmark.extra_info["final_swap_over_remote"] = ratio[-1]
+
+    assert remote == sorted(remote)
+    assert remote[-1] < remote[0] * 8        # gentle (log-ish) growth
+    assert ratio[-1] > 3 * ratio[0]          # swap diverges
+    assert ratio[-1] > 8                     # deep in the thrashing regime

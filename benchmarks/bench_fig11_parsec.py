@@ -1,0 +1,44 @@
+"""Fig. 11 — PARSEC-like workloads under local memory, the remote-memory
+prototype, and remote swap.
+
+Paper shapes to reproduce:
+
+* blackscholes / raytrace: work fine on the prototype; remote swap
+  costs around 2x;
+* canneal: remote swap "worsens exponentially to prohibitive levels",
+  while the prototype remains feasible (noticeably slower than local);
+* streamcluster: fits in local memory, so remote swap equals local and
+  only the prototype pays for remoteness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import run_experiment
+from repro.units import mib
+
+
+@pytest.mark.paper_artifact("fig11")
+def test_fig11_parsec_suite(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig11", local_memory_bytes=mib(32),
+                               scale=0.75),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    by = {r["benchmark"]: r for r in result.rows}
+    benchmark.extra_info["swap_over_local"] = {
+        k: v["swap_over_local"] for k, v in by.items()
+    }
+    benchmark.extra_info["remote_over_local"] = {
+        k: v["remote_over_local"] for k, v in by.items()
+    }
+
+    assert 1.3 < by["blackscholes"]["swap_over_local"] < 3.5
+    assert by["raytrace"]["swap_over_local"] < 8
+    assert by["canneal"]["swap_over_local"] > 20
+    assert by["canneal"]["remote_over_local"] < 8
+    assert by["streamcluster"]["swap_over_local"] < 1.5
+    assert by["streamcluster"]["remote_over_local"] > 1.2

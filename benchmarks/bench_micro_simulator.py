@@ -1,0 +1,145 @@
+"""Micro-benchmarks of the simulator substrate itself.
+
+Unlike the figure benches (single-shot regenerations), these use
+pytest-benchmark's statistical timing to track the *simulator's* own
+performance: engine event throughput, store hand-offs, end-to-end
+packet rate, fast-tier access rate and b-tree search rate. Regressions
+here make every experiment slower, so they are worth pinning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, NetworkConfig
+from repro.mem.backing import BackingStore
+from repro.model.fastsim import RemoteMemAccessor
+from repro.model.latency import LatencyModel
+from repro.sim.engine import Simulator
+from repro.sim.resources import Store
+from repro.units import mib
+
+
+def test_engine_timeout_throughput(benchmark):
+    """Raw event-loop rate: schedule and fire chained timeouts."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker(n):
+            for _ in range(n):
+                yield sim.timeout(1.0)
+
+        sim.process(ticker(5_000))
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result == 5_000.0
+
+
+def test_store_handoff_throughput(benchmark):
+    """Producer/consumer rendezvous rate through a Store."""
+
+    def run():
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer():
+            for i in range(2_000):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(2_000):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        return len(got)
+
+    assert benchmark(run) == 2_000
+
+
+def test_packet_tier_remote_read_rate(benchmark):
+    """End-to-end uncached remote reads per wall-second (packet tier)."""
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.malloc import Placement
+
+    cluster = Cluster(
+        ClusterConfig(network=NetworkConfig(topology="line", dims=(2, 1)))
+    )
+    app = cluster.session(1)
+    app.borrow_remote(2, mib(8))
+    ptr = app.malloc(mib(4), Placement.REMOTE)
+    app.read(ptr, 64, cached=False)  # warm
+
+    counter = {"i": 0}
+
+    def run():
+        counter["i"] += 1
+        app.read(ptr + (counter["i"] % 512) * 4096, 64, cached=False)
+
+    benchmark(run)
+
+
+def test_fast_tier_access_rate(benchmark):
+    """Trace-driven accessor ops per wall-second (fast tier)."""
+    lat = LatencyModel.from_config(ClusterConfig())
+    acc = RemoteMemAccessor(lat, BackingStore(mib(64)))
+    rng = np.random.default_rng(0)
+    addrs = rng.integers(0, mib(32) // 4096, size=4_096) * 4096
+    counter = {"i": 0}
+
+    def run():
+        counter["i"] = (counter["i"] + 1) % len(addrs)
+        acc.read(int(addrs[counter["i"]]), 8)
+
+    benchmark(run)
+
+
+def test_btree_search_rate(benchmark):
+    """Timed b-tree searches per wall-second (the Fig. 9/10 inner loop)."""
+    from repro.apps.btree import BTree
+
+    lat = LatencyModel.from_config(ClusterConfig())
+    acc = RemoteMemAccessor(lat, BackingStore(1 << 28))
+    tree = BTree(acc, children=168)
+    keys = np.arange(1, 200_001, dtype=np.uint64)
+    tree.bulk_load(keys)
+    rng = np.random.default_rng(1)
+    queries = rng.integers(1, 200_001, size=4_096, dtype=np.uint64)
+    counter = {"i": 0}
+
+    def run():
+        counter["i"] = (counter["i"] + 1) % len(queries)
+        tree.search(int(queries[counter["i"]]))
+
+    benchmark(run)
+
+
+def test_coherence_domain_op_rate(benchmark):
+    """MESI directory ops per wall-second."""
+    from repro.config import CacheConfig
+    from repro.mem.cache import Cache
+    from repro.mem.coherence import CoherenceDomain
+
+    caches = [Cache(CacheConfig(), name=f"c{i}") for i in range(16)]
+    domain = CoherenceDomain(caches)
+    rng = np.random.default_rng(2)
+    ops = rng.integers(0, 2, size=4_096)
+    lines = rng.integers(0, 10_000, size=4_096)
+    cores = rng.integers(0, 16, size=4_096)
+    counter = {"i": 0}
+
+    def run():
+        i = counter["i"] = (counter["i"] + 1) % 4_096
+        if ops[i]:
+            domain.write(int(cores[i]), int(lines[i]))
+        else:
+            domain.read(int(cores[i]), int(lines[i]))
+
+    benchmark(run)

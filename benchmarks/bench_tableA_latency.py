@@ -1,0 +1,40 @@
+"""Table A — latency characterization (Section V-A prose).
+
+Regenerates the latency budget the paper narrates: local DRAM line
+reads, remote line reads at 1 and 2 hops, the per-hop increment, and
+the swap-baseline fault costs — with the analytic composition checked
+against packet-level measurement (the contract behind the fast tier).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+@pytest.mark.paper_artifact("tableA")
+def test_tableA_latency_characterization(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tableA", samples=64),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    rows = {r["metric"]: r for r in result.rows}
+    local = rows["local DRAM line read"]
+    remote = rows["remote line read, 1 hop"]
+    benchmark.extra_info["local_ns"] = local["measured_ns"]
+    benchmark.extra_info["remote_1hop_ns"] = remote["measured_ns"]
+    benchmark.extra_info["remote_vs_local"] = (
+        remote["measured_ns"] / local["measured_ns"]
+    )
+
+    # analytic and measured agree — the two-tier contract
+    for r in result.rows:
+        assert r["ratio"] == pytest.approx(1.0, rel=0.12)
+    # the paper's regime: remote ~ several x local, far below swap
+    assert 3 < remote["measured_ns"] / local["measured_ns"] < 20
+    assert rows["remote-swap page fault"]["analytic_ns"] > (
+        10 * remote["measured_ns"]
+    )

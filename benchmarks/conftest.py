@@ -1,0 +1,35 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` file regenerates one evaluation artifact of the paper
+(figure or table) through the :mod:`repro.harness` drivers, prints the
+resulting rows in the paper's terms, and records headline numbers in
+``benchmark.extra_info`` so ``--benchmark-json`` output carries them.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(`-s` to see the regenerated tables.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): which paper figure/table a bench regenerates"
+    )
+
+
+@pytest.fixture
+def show():
+    """Print an ExperimentResult table (visible with -s)."""
+
+    def _show(result):
+        print()
+        print(result.format())
+        return result
+
+    return _show

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The Section VI database study: query times under each memory system.
+
+The paper closes with: "we aim to stress our prototype with a real full
+implementation, store indexes or the entire database in memory, and
+then study the execution time for different queries." This example does
+that with the bundled mini in-memory database — a row heap plus a hash
+index (point queries) and a B-tree (ordered access) — under local
+memory, the remote-memory prototype, and remote swap.
+
+Run:  python examples/database_queries.py
+"""
+
+from repro.apps.database import MiniDB
+from repro.config import ClusterConfig
+from repro.mem.backing import BackingStore
+from repro.model.fastsim import (
+    LocalMemAccessor,
+    RemoteMemAccessor,
+    SwapAccessor,
+)
+from repro.model.latency import LatencyModel
+from repro.swap.remoteswap import RemoteSwap
+from repro.sim.rng import stream
+from repro.units import fmt_time, mib
+
+NUM_ROWS = 30_000
+ROW_BYTES = 128
+LOCAL_FRAMES = 512  # 2 MiB of local memory in the swap scenario
+
+
+def run_queries(name: str, accessor) -> None:
+    db = MiniDB(accessor, num_rows=NUM_ROWS, row_bytes=ROW_BYTES)
+    rng = stream(11, "queries", name)
+    keys = rng.integers(1, NUM_ROWS + 1, size=800)
+    update_keys = rng.integers(1, NUM_ROWS + 1, size=200)  # cold rows
+
+    for k in keys[:200]:  # steady state
+        db.point_select(int(k))
+
+    t0 = accessor.time_ns
+    for k in keys[200:]:
+        db.point_select(int(k))
+    point = (accessor.time_ns - t0) / 600
+
+    t0 = accessor.time_ns
+    for k in keys[:50]:
+        db.range_select(int(k), int(k) + 128)
+    rng_q = (accessor.time_ns - t0) / 50
+
+    t0 = accessor.time_ns
+    for k in update_keys:
+        db.update(int(k), b"updated-payload!")
+    upd = (accessor.time_ns - t0) / 200
+
+    t0 = accessor.time_ns
+    db.full_scan()
+    scan = accessor.time_ns - t0
+
+    print(
+        f"  {name:<14} point {fmt_time(point):>10}   "
+        f"range(128) {fmt_time(rng_q):>10}   "
+        f"update {fmt_time(upd):>10}   "
+        f"full scan {fmt_time(scan):>10}"
+    )
+
+
+def main() -> None:
+    cfg = ClusterConfig()
+    latency = LatencyModel.from_config(cfg)
+    table_mib = NUM_ROWS * ROW_BYTES >> 20
+    print(
+        f"table: {NUM_ROWS:,} rows x {ROW_BYTES} B (~{table_mib} MiB) + "
+        f"hash index + B-tree; swap scenario keeps "
+        f"{LOCAL_FRAMES * 4 // 1024} MiB locally\n"
+    )
+    capacity = mib(64)
+    run_queries("local RAM", LocalMemAccessor(latency, BackingStore(capacity)))
+    run_queries(
+        "remote memory",
+        RemoteMemAccessor(latency, BackingStore(capacity), hops=1),
+    )
+    run_queries(
+        "remote swap",
+        SwapAccessor(
+            latency,
+            BackingStore(capacity),
+            RemoteSwap(cfg.swap, resident_pages=LOCAL_FRAMES),
+        ),
+    )
+    print(
+        "\n  -> point queries and updates (random, index-driven) are where"
+        "\n     the hardware access path earns its keep; scans amortize"
+        "\n     everywhere. This is the study Section VI asks for."
+    )
+
+
+if __name__ == "__main__":
+    main()

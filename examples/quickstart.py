@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: borrow remote memory and use it with plain loads/stores.
+
+Builds a 4-node cluster, grows node 1's memory region with memory
+donated by node 2 (the Fig. 4 reservation protocol runs over the
+simulated HyperTransport fabric), and then accesses that memory through
+an ordinary pointer — no software on the access path, exactly the
+paper's pitch.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, ClusterConfig, Placement
+from repro.units import fmt_size, fmt_time, mib
+
+
+def main() -> None:
+    # a 4-node line: node 1 <-> node 2 <-> node 3 <-> node 4
+    cluster = Cluster(ClusterConfig().with_nodes(4))
+    print(f"built {cluster!r}")
+
+    # a process on node 1
+    app = cluster.session(1)
+
+    # ask node 2 for 64 MiB: the OS-level exchange of Fig. 4
+    lease = app.borrow_remote(donor=2, size=mib(64))
+    print(
+        f"node 1 borrowed {fmt_size(lease.size)} from node {lease.donor_node}; "
+        f"prefixed start {lease.prefixed_start:#x} "
+        f"(top 14 bits = node {cluster.amap.node_of(lease.prefixed_start)})"
+    )
+    region = cluster.regions.region_of(1)
+    print(
+        f"node 1's memory region now spans {fmt_size(region.total_bytes)} "
+        f"({fmt_size(region.remote_bytes)} of it remote)"
+    )
+
+    # the interposed malloc returns a plain pointer into remote memory
+    ptr = app.malloc(mib(16), Placement.REMOTE)
+    print(f"malloc(16 MiB) -> virtual address {ptr:#x}")
+
+    # ordinary stores and loads; the RMC forwards them in hardware
+    app.write_u64(ptr, 42)
+    value = app.read_u64(ptr)
+    print(f"wrote 42, read back {value}")
+    assert value == 42
+
+    # latency on this fabric: local vs. remote uncached line reads
+    lptr = app.malloc(mib(1), Placement.LOCAL)
+    app.read(lptr, 64, cached=False)  # warm translations
+    app.read(ptr, 64, cached=False)
+
+    t0 = cluster.sim.now
+    app.read(lptr + 64, 64, cached=False)
+    local_ns = cluster.sim.now - t0
+    t0 = cluster.sim.now
+    app.read(ptr + 64, 64, cached=False)
+    remote_ns = cluster.sim.now - t0
+    print(
+        f"uncached 64B read: local {fmt_time(local_ns)}, "
+        f"remote (1 hop) {fmt_time(remote_ns)} "
+        f"({remote_ns / local_ns:.1f}x local — far below a "
+        f"~{fmt_time(cluster.config.swap.remote_page_ns())} swap fault)"
+    )
+
+    # the donor's processors and caches never noticed any of this:
+    donor = cluster.node(2)
+    touched = sum(c.stats.accesses for c in donor.caches)
+    print(
+        f"donor node 2: caches touched {touched} times, coherence probes "
+        f"{donor.coherence.stats.probes_sent} — the coherency domain did "
+        "not grow"
+    )
+
+
+if __name__ == "__main__":
+    main()

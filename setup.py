@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All package metadata lives in ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (where PEP 660 editable
+installs are unavailable) can still run ``pip install -e .`` via the
+legacy setuptools develop path.
+"""
+
+from setuptools import setup
+
+setup()

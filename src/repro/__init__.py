@@ -1,0 +1,61 @@
+"""repro — a non-coherent distributed shared-memory cluster simulator.
+
+A faithful, functional + timed reproduction of the system described in
+
+    H. Montaner, F. Silla, H. Fröning, J. Duato,
+    "Getting Rid of Coherency Overhead for Memory-Hungry Applications",
+    IEEE CLUSTER 2010.
+
+Quick start::
+
+    from repro import Cluster, ClusterConfig, Placement
+    from repro.units import mib
+
+    cluster = Cluster(ClusterConfig().with_nodes(4))
+    app = cluster.session(1)                 # a process on node 1
+    app.borrow_remote(donor=2, size=mib(64)) # grow node 1's region
+    ptr = app.malloc(mib(16), Placement.REMOTE)
+    app.write_u64(ptr, 42)                   # plain store -> remote DRAM
+    assert app.read_u64(ptr) == 42
+
+See :mod:`repro.harness` for the reproduction of every figure in the
+paper's evaluation section.
+"""
+
+from repro.config import (
+    CacheConfig,
+    ClusterConfig,
+    CoreConfig,
+    DRAMConfig,
+    LinkConfig,
+    NetworkConfig,
+    NodeConfig,
+    RMCConfig,
+    SwapConfig,
+    paper_prototype,
+    htoe_cluster,
+)
+from repro.cluster import Cluster, Session
+from repro.cluster.malloc import Placement
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "Session",
+    "Placement",
+    "ClusterConfig",
+    "NodeConfig",
+    "NetworkConfig",
+    "LinkConfig",
+    "DRAMConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "RMCConfig",
+    "SwapConfig",
+    "paper_prototype",
+    "htoe_cluster",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Coherent-aggregation baseline — the designs the paper argues against.
+
+Section I-II: products like the 3Leaf Aqua chip, ScaleMP and Numascale
+aggregate processors *and* memory across a cluster into one coherent
+shared-memory machine by running an inter-node coherency protocol on
+top of each board's intra-node protocol. "The scalability and
+performance of these proposals are limited in practice": every cache
+in the cluster joins one coherency domain, so misses pay cluster-wide
+probe traffic even when the application's threads never leave one
+board.
+
+This package models that alternative so the paper's *title claim* can
+be quantified: a node borrowing memory under coherent aggregation pays
+coherency overhead that grows with the number of participating nodes,
+whereas the paper's non-coherent regions pay none.
+"""
+
+from repro.aggregation.coherent import (
+    AggregationProtocol,
+    CoherentAggregationModel,
+    CoherentDSMAccessor,
+)
+
+__all__ = [
+    "AggregationProtocol",
+    "CoherentAggregationModel",
+    "CoherentDSMAccessor",
+]

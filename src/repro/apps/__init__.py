@@ -1,0 +1,44 @@
+"""Workloads.
+
+Everything the paper's evaluation runs, written once against the
+:class:`~repro.model.fastsim.Accessor` interface so each workload can
+execute on local memory, on the proposed remote-memory architecture,
+or on a swap baseline:
+
+* :mod:`repro.apps.randbench` — the random-access microbenchmark of
+  Figs. 6-8 (packet-level, multi-threaded);
+* :mod:`repro.apps.btree`   — the database-style ordered index of
+  Figs. 9-10 (functional B-tree laid out in simulated pages);
+* :mod:`repro.apps.parsec`  — synthetic analogues of the four PARSEC
+  benchmarks of Fig. 11, matched by footprint and access pattern;
+* :mod:`repro.apps.streams` — sequential-bandwidth kernel (sanity
+  baseline and ablation support).
+"""
+
+from repro.apps.access import SessionAccessor, TraceRecorder
+from repro.apps.btree import BTree
+from repro.apps.hashindex import HashIndex
+from repro.apps.randbench import RandomAccessBenchmark, RandResult
+from repro.apps.parsec import (
+    ParsecResult,
+    blackscholes,
+    canneal,
+    raytrace,
+    streamcluster,
+)
+from repro.apps.streams import stream_scan
+
+__all__ = [
+    "SessionAccessor",
+    "TraceRecorder",
+    "BTree",
+    "HashIndex",
+    "RandomAccessBenchmark",
+    "RandResult",
+    "blackscholes",
+    "canneal",
+    "raytrace",
+    "streamcluster",
+    "ParsecResult",
+    "stream_scan",
+]

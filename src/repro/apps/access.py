@@ -1,0 +1,171 @@
+"""Accessor adapters and tracing.
+
+* :class:`SessionAccessor` runs a workload written against the fast
+  tier's :class:`~repro.model.fastsim.Accessor` interface on the
+  **packet-level** tier instead (synchronously, one access at a time).
+  Used to cross-validate the two tiers on small workloads.
+* :class:`TraceRecorder` wraps any accessor and records the access
+  stream for offline analysis (locality studies, ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SessionAccessor", "TraceRecorder", "TraceEntry"]
+
+
+class SessionAccessor:
+    """Adapter: fast-tier workload -> packet-level Session.
+
+    Addresses the workload uses are offsets into one big allocation
+    made at construction; reads/writes run through a real simulated
+    core, so ``time_ns`` is packet-level simulated time.
+    """
+
+    def __init__(
+        self,
+        session,
+        capacity: int,
+        placement=None,
+        core: int = 0,
+        cached: bool = True,
+    ) -> None:
+        from repro.cluster.malloc import Placement
+
+        self.session = session
+        self.core = core
+        self.cached = cached
+        self.capacity = capacity
+        self.base = session.malloc(
+            capacity, placement if placement is not None else Placement.AUTO
+        )
+        self._t0 = session.sim.now
+        self.accesses = 0
+
+    @property
+    def time_ns(self) -> float:
+        return self.session.sim.now - self._t0
+
+    def reset_clock(self) -> None:
+        self._t0 = self.session.sim.now
+        self.accesses = 0
+
+    def compute(self, ns: float) -> None:
+        """Charge non-memory work as simulated time."""
+        self.session.sim.run_process(_sleep(self.session.sim, ns))
+
+    # -- data path ---------------------------------------------------------
+    def read(self, addr: int, size: int) -> bytes:
+        self.accesses += 1
+        return self.session.read(self.base + addr, size, self.core, self.cached)
+
+    def write(self, addr: int, data: bytes) -> None:
+        self.accesses += 1
+        self.session.write(self.base + addr, data, self.core, self.cached)
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, int(value).to_bytes(8, "little", signed=False))
+
+    def read_array(self, addr: int, count: int, dtype) -> np.ndarray:
+        dt = np.dtype(dtype)
+        raw = self.read(addr, count * dt.itemsize)
+        return np.frombuffer(raw, dtype=dt).copy()
+
+    def write_array(self, addr: int, values: np.ndarray) -> None:
+        self.write(addr, np.ascontiguousarray(values).tobytes())
+
+    def bulk_write(self, addr: int, data: bytes) -> None:
+        """Untimed population: write straight into functional memory.
+
+        Translations are page-granular, so the write is split at every
+        page boundary (frames may live on different donors).
+        """
+        page = self.session.aspace.page_bytes
+        node = self.session.node
+        pos = 0
+        vaddr = self.base + addr
+        while pos < len(data):
+            t = self.session.aspace.translate(vaddr + pos)
+            boundary = (t.phys_addr // page + 1) * page
+            take = min(len(data) - pos, boundary - t.phys_addr)
+            prefixed = (
+                t.phys_addr
+                if node.amap.node_of(t.phys_addr)
+                else node.amap.encode(node.node_id, t.phys_addr)
+            )
+            self.session.cluster.fn_write(prefixed, data[pos : pos + take])
+            pos += take
+
+
+def _sleep(sim, ns: float):
+    yield sim.timeout(ns)
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    addr: int
+    size: int
+    is_write: bool
+
+
+class TraceRecorder:
+    """Record every access flowing through an accessor."""
+
+    def __init__(self, inner, max_entries: Optional[int] = None) -> None:
+        self.inner = inner
+        self.trace: list[TraceEntry] = []
+        self.max_entries = max_entries
+
+    @property
+    def time_ns(self) -> float:
+        return self.inner.time_ns
+
+    @property
+    def accesses(self) -> int:
+        return self.inner.accesses
+
+    def _record(self, addr: int, size: int, is_write: bool) -> None:
+        if self.max_entries is None or len(self.trace) < self.max_entries:
+            self.trace.append(TraceEntry(addr, size, is_write))
+
+    def read(self, addr: int, size: int) -> bytes:
+        self._record(addr, size, False)
+        return self.inner.read(addr, size)
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._record(addr, len(data), True)
+        self.inner.write(addr, data)
+
+    def read_u64(self, addr: int) -> int:
+        self._record(addr, 8, False)
+        return self.inner.read_u64(addr)
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self._record(addr, 8, True)
+        self.inner.write_u64(addr, value)
+
+    def read_array(self, addr: int, count: int, dtype) -> np.ndarray:
+        dt = np.dtype(dtype)
+        self._record(addr, count * dt.itemsize, False)
+        return self.inner.read_array(addr, count, dtype)
+
+    def write_array(self, addr: int, values: np.ndarray) -> None:
+        self._record(addr, values.nbytes, True)
+        self.inner.write_array(addr, values)
+
+    def bulk_write(self, addr: int, data: bytes) -> None:
+        self.inner.bulk_write(addr, data)
+
+    def compute(self, ns: float) -> None:
+        self.inner.compute(ns)
+
+    def unique_pages(self, page_bytes: int = 4096) -> int:
+        """Distinct pages touched — the locality figure of Section V-B."""
+        return len({e.addr // page_bytes for e in self.trace})

@@ -1,0 +1,59 @@
+"""Sequential streaming kernel.
+
+A STREAM-style scan used as a bandwidth sanity check and by the
+ablation benches (e.g. quantifying what write-back caching of remote
+ranges buys on a sequential pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import PAGE_SIZE
+
+__all__ = ["StreamResult", "stream_scan"]
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    bytes_moved: int
+    time_ns: float
+
+    @property
+    def bandwidth_Bpns(self) -> float:
+        """Achieved bandwidth in bytes/ns (== GB/s)."""
+        return self.bytes_moved / self.time_ns if self.time_ns else 0.0
+
+
+def stream_scan(
+    accessor,
+    *,
+    size_bytes: int,
+    passes: int = 1,
+    write_fraction: float = 0.0,
+    chunk_bytes: int = PAGE_SIZE,
+) -> StreamResult:
+    """Scan ``size_bytes`` sequentially, *passes* times.
+
+    ``write_fraction`` of the chunks are written instead of read
+    (deterministically interleaved), exercising the write-back path.
+    """
+    if size_bytes < chunk_bytes:
+        raise ConfigError("stream smaller than one chunk")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigError(f"write_fraction must be in [0, 1]: {write_fraction}")
+    t0 = accessor.time_ns
+    chunks = size_bytes // chunk_bytes
+    write_every = int(1 / write_fraction) if write_fraction > 0 else 0
+    moved = 0
+    payload = bytes(chunk_bytes)
+    for _ in range(passes):
+        for c in range(chunks):
+            addr = c * chunk_bytes
+            if write_every and (c % write_every) == 0:
+                accessor.write(addr, payload)
+            else:
+                accessor.read(addr, chunk_bytes)
+            moved += chunk_bytes
+    return StreamResult(bytes_moved=moved, time_ns=accessor.time_ns - t0)

@@ -1,0 +1,35 @@
+"""Cluster assembly: nodes, cores, the OS-lite, memory regions, the
+remote reservation protocol, the malloc-interposition layer and the
+user-facing session API.
+
+This package glues the substrates (:mod:`repro.sim`, :mod:`repro.ht`,
+:mod:`repro.noc`, :mod:`repro.mem`, :mod:`repro.rmc`) into the system
+of Fig. 1: one coherency domain per node, each domain's *memory region*
+dynamically extendable with memory borrowed from other nodes.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.core import Core
+from repro.cluster.node import Node
+from repro.cluster.oslite import OSLite
+from repro.cluster.regions import MemoryRegion, RegionManager, Segment
+from repro.cluster.reservation import Reservation, ReservationClient
+from repro.cluster.malloc import Placement, RegionAllocator
+from repro.cluster.api import Session
+from repro.cluster.discipline import RemoteAccessDiscipline
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "Core",
+    "OSLite",
+    "MemoryRegion",
+    "RegionManager",
+    "Segment",
+    "Reservation",
+    "ReservationClient",
+    "RegionAllocator",
+    "Placement",
+    "Session",
+    "RemoteAccessDiscipline",
+]

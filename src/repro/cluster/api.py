@@ -1,0 +1,230 @@
+"""Process-level user API.
+
+A :class:`Session` is what an application "running on" one node sees:
+a virtual address space, an interposed allocator, and load/store
+operations issued through real cores. It is the public surface the
+examples and the packet-level benchmarks program against.
+
+Every access method exists in two forms:
+
+* ``g_*`` generators, composable inside simulation processes (the
+  multi-threaded benchmarks spawn one process per thread);
+* plain methods that run the generator to completion synchronously —
+  convenient for single-threaded scripts and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.cluster.malloc import Placement, RegionAllocator
+from repro.cluster.reservation import Reservation
+from repro.errors import ConfigError
+from repro.mem.paging import AddressSpace
+from repro.units import PAGE_SIZE
+
+__all__ = ["Session"]
+
+#: Extra latency charged for a TLB miss (page-table walk through the
+#: cache hierarchy; constant, as the walk hits local memory).
+TLB_WALK_NS: float = 60.0
+
+
+class Session:
+    """An application bound to one node of the cluster."""
+
+    def __init__(self, cluster, node_id: int, page_bytes: int = PAGE_SIZE) -> None:
+        self.cluster = cluster
+        self.node = cluster.node(node_id)
+        self.node_id = node_id
+        self.sim = cluster.sim
+        self.aspace = AddressSpace(
+            page_bytes=page_bytes, name=f"proc@n{node_id}"
+        )
+        self.allocator = RegionAllocator(
+            self.node.os, self.aspace, cluster.amap
+        )
+        #: optional Section IV-B discipline checker (attach_discipline)
+        self.discipline = None
+
+    # -- memory management ------------------------------------------------
+    def borrow_remote(self, donor: int, size: int) -> Reservation:
+        """Grow this node's region and make the lease allocatable."""
+        reservation = self.cluster.borrow(self.node_id, donor, size)
+        self.allocator.add_reservation(reservation)
+        return reservation
+
+    def malloc(self, size: int, placement: Placement = Placement.AUTO) -> int:
+        """Interposed malloc; returns a virtual address."""
+        return self.allocator.malloc(size, placement)
+
+    def free(self, vaddr: int) -> None:
+        self.allocator.free(vaddr)
+
+    # -- optional runtime checking ---------------------------------------
+    def attach_discipline(self, strict: bool = True):
+        """Monitor cached remote accesses for Section IV-B violations.
+
+        Returns the attached
+        :class:`~repro.cluster.discipline.RemoteAccessDiscipline`; in
+        strict mode any stale-data hazard (e.g. two cores writing a
+        remote line without an intervening flush) raises immediately —
+        the simulation analogue of running under a race detector.
+        """
+        from repro.cluster.discipline import RemoteAccessDiscipline
+
+        self.discipline = RemoteAccessDiscipline(
+            amap=self.cluster.amap,
+            local_node=self.node_id,
+            strict=strict,
+            line_bytes=self.node.config.cache.line_bytes,
+        )
+        return self.discipline
+
+    def _check(self, core: int, paddr: int, size: int, is_write: bool,
+               cached: bool) -> None:
+        if self.discipline is not None and cached:
+            self.discipline.on_access(core, paddr, size, is_write)
+
+    # -- generator access (for use inside simulation processes) ------------
+    def g_read(
+        self,
+        vaddr: int,
+        size: int,
+        core: int = 0,
+        cached: bool = True,
+    ) -> Generator:
+        """Load *size* bytes at virtual *vaddr* via core *core*."""
+        c = self._core(core)
+        chunks: list[bytes] = []
+        for part_vaddr, part_size in self._split(vaddr, size):
+            trans = self.aspace.translate(part_vaddr)
+            if not trans.tlb_hit:
+                yield self.sim.timeout(TLB_WALK_NS)
+            self._check(core, trans.phys_addr, part_size, False, cached)
+            if cached:
+                data = yield from c.cached_read(trans.phys_addr, part_size)
+            else:
+                data = yield from c.read(trans.phys_addr, part_size)
+            chunks.append(data)
+        return b"".join(chunks)
+
+    def g_write(
+        self,
+        vaddr: int,
+        data: bytes,
+        core: int = 0,
+        cached: bool = True,
+    ) -> Generator:
+        """Store *data* at virtual *vaddr* via core *core*."""
+        c = self._core(core)
+        offset = 0
+        for part_vaddr, part_size in self._split(vaddr, len(data)):
+            trans = self.aspace.translate(part_vaddr)
+            if not trans.tlb_hit:
+                yield self.sim.timeout(TLB_WALK_NS)
+            part = data[offset : offset + part_size]
+            self._check(core, trans.phys_addr, len(part), True, cached)
+            if cached:
+                yield from c.cached_write(trans.phys_addr, part)
+            else:
+                yield from c.write(trans.phys_addr, part)
+            offset += part_size
+        return None
+
+    def g_coherent_read(self, vaddr: int, size: int, core: int = 0) -> Generator:
+        """Load shared intra-node data through the MESI domain.
+
+        Only valid for locally-backed allocations: the prototype keeps
+        no coherence for the RMC-mapped range, so a remote address here
+        raises (Section IV-B's restriction, enforced)."""
+        c = self._core(core)
+        chunks: list[bytes] = []
+        for part_vaddr, part_size in self._split(vaddr, size):
+            trans = self.aspace.translate(part_vaddr)
+            if not trans.tlb_hit:
+                yield self.sim.timeout(TLB_WALK_NS)
+            data = yield from c.coherent_read(trans.phys_addr, part_size)
+            chunks.append(data)
+        return b"".join(chunks)
+
+    def g_coherent_write(self, vaddr: int, data: bytes, core: int = 0) -> Generator:
+        """Store shared intra-node data through the MESI domain."""
+        c = self._core(core)
+        offset = 0
+        for part_vaddr, part_size in self._split(vaddr, len(data)):
+            trans = self.aspace.translate(part_vaddr)
+            if not trans.tlb_hit:
+                yield self.sim.timeout(TLB_WALK_NS)
+            yield from c.coherent_write(
+                trans.phys_addr, data[offset : offset + part_size]
+            )
+            offset += part_size
+        return None
+
+    def coherent_read(self, vaddr: int, size: int, core: int = 0) -> bytes:
+        return self.sim.run_process(self.g_coherent_read(vaddr, size, core))
+
+    def coherent_write(self, vaddr: int, data: bytes, core: int = 0) -> None:
+        self.sim.run_process(self.g_coherent_write(vaddr, data, core))
+
+    def g_flush(self, core: int = 0) -> Generator:
+        """Flush the core's cache (before a parallel read-only phase)."""
+        yield from self._core(core).flush_cache()
+        if self.discipline is not None:
+            self.discipline.on_flush(core)
+        return None
+
+    # -- synchronous convenience --------------------------------------------
+    def read(self, vaddr: int, size: int, core: int = 0, cached: bool = True) -> bytes:
+        return self.sim.run_process(self.g_read(vaddr, size, core, cached))
+
+    def write(
+        self, vaddr: int, data: bytes, core: int = 0, cached: bool = True
+    ) -> None:
+        self.sim.run_process(self.g_write(vaddr, data, core, cached))
+
+    def read_u64(self, vaddr: int, core: int = 0, cached: bool = True) -> int:
+        return int.from_bytes(self.read(vaddr, 8, core, cached), "little")
+
+    def write_u64(
+        self, vaddr: int, value: int, core: int = 0, cached: bool = True
+    ) -> None:
+        self.write(
+            vaddr, int(value).to_bytes(8, "little", signed=False), core, cached
+        )
+
+    def write_array(self, vaddr: int, values: np.ndarray, core: int = 0) -> None:
+        self.write(vaddr, np.ascontiguousarray(values).tobytes(), core)
+
+    def read_array(
+        self, vaddr: int, count: int, dtype, core: int = 0
+    ) -> np.ndarray:
+        dt = np.dtype(dtype)
+        raw = self.read(vaddr, count * dt.itemsize, core)
+        return np.frombuffer(raw, dtype=dt).copy()
+
+    # -- internals ----------------------------------------------------------
+    def _core(self, idx: int):
+        try:
+            return self.node.cores[idx]
+        except IndexError:
+            raise ConfigError(
+                f"node {self.node_id} has no core {idx} "
+                f"(0..{len(self.node.cores) - 1})"
+            ) from None
+
+    def _split(self, vaddr: int, size: int):
+        """Split an access at page boundaries (translations differ)."""
+        page = self.aspace.page_bytes
+        out = []
+        pos = vaddr
+        end = vaddr + size
+        while pos < end:
+            boundary = (pos // page + 1) * page
+            take = min(end, boundary) - pos
+            out.append((pos, take))
+            pos += take
+        return out

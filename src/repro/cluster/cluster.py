@@ -1,0 +1,158 @@
+"""Top-level cluster assembly and orchestration.
+
+``Cluster(config)`` builds the whole prototype: the fabric, one
+:class:`~repro.cluster.node.Node` per fabric position, the region
+manager with every node's home segment, and the zero-time functional
+memory view that cached accesses use for data.
+
+The class also provides the *control-plane verbs* experiments call:
+
+* :meth:`borrow` — run the reservation protocol so one node's region
+  grows with memory from a donor,
+* :meth:`session` — open a process-level view (allocator + address
+  space + access helpers) on one node,
+* :meth:`fn_read` / :meth:`fn_write` — functional cluster-wide memory
+  access by prefixed physical address.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Optional
+
+from repro.cluster.node import Node
+from repro.cluster.regions import RegionManager
+from repro.cluster.reservation import Reservation
+from repro.config import ClusterConfig
+from repro.errors import AddressError, ConfigError
+from repro.ht.packet import TagAllocator
+from repro.mem.addressmap import DEFAULT_NODE_SHIFT, AddressMap
+from repro.noc.network import Network
+from repro.sim.engine import Simulator
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """The assembled 16-node (by default) prototype."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        cfg = self.config
+
+        shift = max(
+            DEFAULT_NODE_SHIFT,
+            math.ceil(math.log2(cfg.node.total_memory_bytes)),
+        )
+        self.amap = AddressMap(node_shift=shift)
+        if cfg.num_nodes > self.amap.max_nodes:
+            raise ConfigError(
+                f"{cfg.num_nodes} nodes exceed the {self.amap.max_nodes} "
+                "addressable by the 14-bit prefix"
+            )
+
+        self.sim = Simulator()
+        self.network = Network(self.sim, cfg.network)
+        self.tags = TagAllocator()
+        self.nodes: dict[int, Node] = {
+            n: Node(
+                self.sim,
+                cfg.node,
+                cfg.rmc,
+                self.amap,
+                node_id=n,
+                network=self.network,
+                tags=self.tags,
+                functional_mem=self,
+            )
+            for n in range(1, cfg.num_nodes + 1)
+        }
+
+        self.regions = RegionManager(self.amap, cfg.num_nodes)
+        for n in range(1, cfg.num_nodes + 1):
+            self.regions.add_home_segment(
+                n, 0, cfg.node.private_memory_bytes
+            )
+
+    # -- basic queries ------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise ConfigError(f"no node {node_id} in this cluster") from None
+
+    def hops(self, a: int, b: int) -> int:
+        return self.network.hops(a, b)
+
+    # -- functional cluster-wide memory (FunctionalMemory protocol) -------
+    def _resolve(self, paddr: int) -> tuple[Node, int]:
+        owner = self.amap.node_of(paddr)
+        if owner == 0:
+            raise AddressError(
+                "functional access needs a prefixed address; local "
+                "addresses are ambiguous at cluster scope"
+            )
+        return self.node(owner), self.amap.strip_node(paddr)
+
+    def fn_read(self, paddr: int, size: int) -> bytes:
+        """Zero-time read by prefixed physical address."""
+        node, local = self._resolve(paddr)
+        return node.backing.read(local, size)
+
+    def fn_write(self, paddr: int, data: bytes) -> None:
+        """Zero-time write by prefixed physical address."""
+        node, local = self._resolve(paddr)
+        node.backing.write(local, data)
+
+    # -- control plane ---------------------------------------------------------
+    def borrow(self, borrower: int, donor: int, size: int) -> Reservation:
+        """Grow *borrower*'s region with *size* bytes from *donor*.
+
+        Runs the full Fig. 4 exchange on the simulated fabric and
+        registers the new segment with the region manager. Blocks the
+        caller (drains the event heap) — reservation is control-plane
+        work, not on any measured path.
+        """
+        reservation = self.sim.run_process(self.borrow_process(borrower, donor, size))
+        return reservation
+
+    def borrow_process(
+        self, borrower: int, donor: int, size: int
+    ) -> Generator:
+        """Process form of :meth:`borrow`, composable inside experiments."""
+        node = self.node(borrower)
+        reservation = yield from node.reservations.reserve(donor, size)
+        self.regions.add_remote_segment(
+            borrower, donor, reservation.prefixed_start, reservation.size
+        )
+        self.regions.check_invariants()
+        return reservation
+
+    def give_back(self, borrower: int, reservation: Reservation) -> None:
+        """Shrink a region: release the lease and drop the segment."""
+        node = self.node(borrower)
+        region = self.regions.region_of(borrower)
+        segment = next(
+            s
+            for s in region.segments
+            if s.start == reservation.prefixed_start
+        )
+        self.sim.run_process(node.reservations.release(reservation))
+        self.regions.remove_segment(borrower, segment)
+        self.regions.check_invariants()
+
+    def session(self, node_id: int) -> "Session":
+        """Open a process-level view on *node_id*."""
+        from repro.cluster.api import Session
+
+        return Session(self, node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Cluster {self.num_nodes} nodes, "
+            f"{self.config.shared_pool_bytes >> 30} GiB shared pool>"
+        )

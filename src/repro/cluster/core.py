@@ -1,0 +1,292 @@
+"""The core's memory-issue model.
+
+A core turns physical-address load/store operations into HT packets
+routed over the on-board crossbar. The two structural limits the paper
+calls out (Section IV-B) live here:
+
+* up to ``local_outstanding`` (8) concurrent requests to local,
+  coherent memory;
+* only ``remote_outstanding`` (1) concurrent request to the RMC-mapped
+  range, because the prototype presents the RMC as an HT *I/O unit* —
+  "a new remote memory request cannot be issued before the previous
+  one has been completed".
+
+A client-RMC NACK (buffer full) is retried here after the configured
+back-off, like the hardware retry of a posted HT transaction.
+
+Functional/timing split for cached accesses: the simulator keeps data
+authoritative in the backing stores, so a *cached* write updates the
+backing store functionally (zero time) while the *timing* follows the
+write-back cache model — write hits cost ``hit_ns`` and dirty lines pay
+a memory write only upon eviction, issued as a ``timing_only`` packet
+that moves no data. Remote ranges are cacheable in the prototype, but
+coherence is not maintained for I/O memory; the workloads honor the
+prototype's discipline (single writer, or parallel read-only phases
+after an explicit flush).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Protocol
+
+from repro.config import CoreConfig, RMCConfig
+from repro.errors import ProtocolError
+from repro.ht.crossbar import Crossbar
+from repro.ht.packet import (
+    Packet,
+    PacketType,
+    TagAllocator,
+    make_read_req,
+    make_write_req,
+)
+from repro.mem.addressmap import AddressMap
+from repro.mem.cache import Cache
+from repro.mem.coherence import CoherenceDomain
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource, Store
+from repro.sim.stats import Counter, Tally
+
+__all__ = ["Core", "FunctionalMemory"]
+
+
+class FunctionalMemory(Protocol):
+    """Zero-time data access across the whole cluster address map.
+
+    Provided by :class:`repro.cluster.cluster.Cluster`; resolves the
+    node prefix and reads/writes the owner's backing store directly.
+    Used only for the data side of cached accesses — timing always
+    comes from the packet path.
+    """
+
+    def fn_read(self, paddr: int, size: int) -> bytes: ...
+    def fn_write(self, paddr: int, data: bytes) -> None: ...
+
+
+class Core:
+    """One CPU core bound to a node's crossbar."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: CoreConfig,
+        rmc_config: RMCConfig,
+        amap: AddressMap,
+        node_id: int,
+        core_id: int,
+        crossbar: Crossbar,
+        tags: TagAllocator,
+        cache: Optional[Cache] = None,
+        functional_mem: Optional[FunctionalMemory] = None,
+        coherence: Optional["CoherenceDomain"] = None,
+        coherence_idx: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.rmc_config = rmc_config
+        self.amap = amap
+        self.node_id = node_id
+        self.core_id = core_id
+        self.crossbar = crossbar
+        self.tags = tags
+        self.cache = cache
+        self.functional_mem = functional_mem
+        self.coherence = coherence
+        self.coherence_idx = coherence_idx
+        self.name = f"n{node_id}c{core_id}"
+        self._local_slots = Resource(
+            sim, config.local_outstanding, name=f"{self.name}.lslots"
+        )
+        self._remote_slots = Resource(
+            sim, config.remote_outstanding, name=f"{self.name}.rslots"
+        )
+        self.loads = Counter(f"{self.name}.loads")
+        self.stores = Counter(f"{self.name}.stores")
+        self.nack_retries = Counter(f"{self.name}.nack_retries")
+        self.load_latency_ns = Tally(f"{self.name}.load_latency")
+
+    # -- raw (uncached) operations ---------------------------------------
+    def read(self, paddr: int, size: int) -> Generator:
+        """Load *size* bytes at physical *paddr*; returns the data."""
+        self.loads.add()
+        t0 = self.sim.now
+        request = make_read_req(
+            self.node_id, self.node_id, paddr, size, self.tags.next()
+        )
+        response = yield from self._issue(request)
+        self.load_latency_ns.observe(self.sim.now - t0)
+        return response.payload
+
+    def write(self, paddr: int, data: bytes) -> Generator:
+        """Store *data* at physical *paddr*; returns once acked."""
+        self.stores.add()
+        request = make_write_req(
+            self.node_id, self.node_id, paddr, data, self.tags.next()
+        )
+        yield from self._issue(request)
+        return None
+
+    # -- cached operations -----------------------------------------------
+    def cached_read(self, paddr: int, size: int) -> Generator:
+        """Load through this core's write-back cache.
+
+        Misses fetch whole lines; dirty evictions write back (timing
+        only) before the demand fetch. The returned bytes are always
+        the authoritative backing-store contents.
+        """
+        if self.cache is None or self.functional_mem is None:
+            return (yield from self.read(paddr, size))
+        self.loads.add()
+        yield from self._touch_lines(paddr, size, is_write=False)
+        return self.functional_mem.fn_read(self._prefixed(paddr), size)
+
+    def cached_write(self, paddr: int, data: bytes) -> Generator:
+        """Store through the write-back cache (data lands functionally)."""
+        if self.cache is None or self.functional_mem is None:
+            return (yield from self.write(paddr, data))
+        self.stores.add()
+        yield from self._touch_lines(paddr, len(data), is_write=True)
+        self.functional_mem.fn_write(self._prefixed(paddr), data)
+        return None
+
+    # -- coherent operations (intra-node shared memory) --------------------
+    def coherent_read(self, paddr: int, size: int) -> Generator:
+        """Load through the node's MESI domain — valid for shared,
+        intra-node data only.
+
+        Remote (prefixed) addresses are rejected: the prototype does
+        not maintain coherence for I/O memory (Section IV-B), which is
+        exactly why multi-writer phases must stay on local memory.
+        """
+        self._require_coherent(paddr)
+        self.loads.add()
+        yield from self._coherent_lines(paddr, size, is_write=False)
+        return self.functional_mem.fn_read(self._prefixed(paddr), size)
+
+    def coherent_write(self, paddr: int, data: bytes) -> Generator:
+        """Store through the node's MESI domain (intra-node only)."""
+        self._require_coherent(paddr)
+        self.stores.add()
+        yield from self._coherent_lines(paddr, len(data), is_write=True)
+        self.functional_mem.fn_write(self._prefixed(paddr), data)
+        return None
+
+    def _require_coherent(self, paddr: int) -> None:
+        if self.coherence is None or self.functional_mem is None:
+            raise ProtocolError(
+                f"{self.name}: core is not attached to a coherence domain"
+            )
+        if self.amap.node_of(paddr) != 0:
+            raise ProtocolError(
+                f"{self.name}: coherent access to remote address "
+                f"{paddr:#x} — coherency is not maintained for the "
+                "RMC-mapped range (Section IV-B)"
+            )
+
+    def _coherent_lines(self, paddr: int, size: int, is_write: bool) -> Generator:
+        assert self.cache is not None and self.coherence is not None
+        cfg = self.config
+        line_bytes = self.cache.config.line_bytes
+        first = paddr // line_bytes
+        last = (paddr + size - 1) // line_bytes
+        domain = self.coherence
+        for line in range(first, last + 1):
+            interventions = domain.stats.interventions
+            if is_write:
+                hit = domain.write(self.coherence_idx, line)
+            else:
+                hit = domain.read(self.coherence_idx, line)
+            if hit:
+                yield self.sim.timeout(self.cache.config.hit_ns)
+                continue
+            # miss: the snoop broadcast window always applies; data
+            # comes cache-to-cache if a peer held it Modified,
+            # otherwise from local DRAM
+            yield self.sim.timeout(cfg.snoop_ns)
+            if domain.stats.interventions > interventions:
+                yield self.sim.timeout(cfg.cache2cache_ns)
+            else:
+                yield from self._timing_read(line * line_bytes, line_bytes)
+
+    def _timing_read(self, paddr: int, size: int) -> Generator:
+        """A read that charges full packet timing; data is discarded
+        (the functional copy is fetched separately)."""
+        request = make_read_req(
+            self.node_id, self.node_id, paddr, size, self.tags.next()
+        )
+        yield from self._issue(request)
+
+    def flush_cache(self) -> Generator:
+        """Write back every dirty line (prototype: done before parallel
+        read-only phases, Section IV-B). Data is already authoritative
+        in the backing store, so flushes are timing-only writes."""
+        if self.cache is None:
+            return None
+        line_bytes = self.cache.config.line_bytes
+        for line in self.cache.flush():
+            yield from self._timing_write(line * line_bytes, line_bytes)
+        return None
+
+    # -- internals ----------------------------------------------------------
+    def _prefixed(self, paddr: int) -> int:
+        """Qualify a local (prefix-0) address with this node's id for
+        the cluster-wide functional memory view."""
+        if self.amap.node_of(paddr) != 0:
+            return paddr
+        return self.amap.encode(self.node_id, paddr)
+
+    def _touch_lines(self, paddr: int, size: int, is_write: bool) -> Generator:
+        assert self.cache is not None
+        line_bytes = self.cache.config.line_bytes
+        first = paddr // line_bytes
+        last = (paddr + size - 1) // line_bytes
+        for line in range(first, last + 1):
+            result = self.cache.access(line, is_write)
+            if result.hit:
+                yield self.sim.timeout(self.cache.config.hit_ns)
+                continue
+            if result.writeback and result.evicted is not None:
+                yield from self._timing_write(
+                    result.evicted * line_bytes, line_bytes
+                )
+            # demand fetch of the whole line (timed; data discarded —
+            # the functional copy is read separately)
+            yield from self.read(line * line_bytes, line_bytes)
+
+    def _timing_write(self, paddr: int, size: int) -> Generator:
+        """A write that charges full packet timing but moves no data."""
+        request = make_write_req(
+            self.node_id, self.node_id, paddr, bytes(size), self.tags.next()
+        )
+        request.meta["timing_only"] = True
+        yield from self._issue(request)
+
+    def _slots_for(self, paddr: int) -> Resource:
+        if self.amap.is_remote(paddr, self.node_id):
+            return self._remote_slots
+        return self._local_slots
+
+    def _issue(self, request: Packet) -> Generator:
+        """Send one request and wait for its response, honoring the
+        outstanding-request limit and retrying on client-RMC NACKs."""
+        slots = self._slots_for(request.addr)
+        grant = slots.request()
+        yield grant
+        try:
+            reply_to: Store = Store(self.sim, name=f"{self.name}.reply")
+            request.meta["reply_to"] = reply_to
+            request.issue_ns = self.sim.now
+            while True:
+                yield self.crossbar.send(request)
+                response: Packet = yield reply_to.get()
+                if response.ptype is not PacketType.NACK:
+                    break
+                self.nack_retries.add()
+                yield self.sim.timeout(self.rmc_config.retry_backoff_ns)
+            if response.tag != request.tag:
+                raise ProtocolError(
+                    f"{self.name}: response tag {response.tag} != "
+                    f"request tag {request.tag}"
+                )
+        finally:
+            slots.release(grant)
+        return response

@@ -1,0 +1,115 @@
+"""Runtime checker for the prototype's remote-caching discipline.
+
+Section IV-B: remote ranges are configured write-back cacheable, but
+"as coherency is not maintained in I/O memory, we are restricted to use
+only serial applications and bind the process to a single core. Note
+that when there is a read-only phase in the application, we can
+successfully parallelize it ... (once the cache contents corresponding
+to the write phase have been flushed)."
+
+That restriction is a *usage contract*, invisible to the hardware — if
+an application breaks it, it silently reads stale data. This monitor
+makes the contract checkable in simulation: attach it to a node and it
+observes every cached remote access and every flush, raising
+:class:`~repro.errors.CoherenceError` the moment two cores' cached
+views of a remote line could diverge:
+
+* a core reads a remote line another core has written since the last
+  flush of the writer's cache;
+* a second core writes a remote line while another core's dirty or
+  cached copy is still live.
+
+Used by tests and available to applications as a debugging aid (the
+analogue of running a real program under a race detector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CoherenceError
+from repro.mem.addressmap import AddressMap
+
+__all__ = ["DisciplineViolation", "RemoteAccessDiscipline"]
+
+
+@dataclass(frozen=True)
+class DisciplineViolation:
+    """A record of one (potential) stale-data hazard."""
+
+    line: int
+    writer_core: int
+    offender_core: int
+    kind: str  # "read-after-write" | "write-after-write" | "write-after-read"
+
+
+@dataclass
+class RemoteAccessDiscipline:
+    """Tracks per-line writer/reader sets between cache flushes."""
+
+    amap: AddressMap
+    local_node: int
+    #: raise on violation (True) or just record (False)
+    strict: bool = True
+    line_bytes: int = 64
+    #: line -> core that holds unflushed written state
+    _dirty_writer: dict[int, int] = field(default_factory=dict)
+    #: line -> set of cores that may hold a cached (clean) copy
+    _readers: dict[int, set[int]] = field(default_factory=dict)
+    violations: list[DisciplineViolation] = field(default_factory=list)
+
+    # -- event feed ----------------------------------------------------------
+    def on_access(self, core: int, paddr: int, size: int, is_write: bool) -> None:
+        """Feed one *cached* access to remote memory."""
+        if not self.amap.is_remote(paddr, self.local_node):
+            return
+        first = paddr // self.line_bytes
+        last = (paddr + max(1, size) - 1) // self.line_bytes
+        for line in range(first, last + 1):
+            if is_write:
+                self._on_write(core, line)
+            else:
+                self._on_read(core, line)
+
+    def on_flush(self, core: int) -> None:
+        """A core flushed its cache: its dirty state became visible and
+        its cached copies are gone."""
+        for line in [l for l, w in self._dirty_writer.items() if w == core]:
+            del self._dirty_writer[line]
+        for readers in self._readers.values():
+            readers.discard(core)
+
+    # -- internals ----------------------------------------------------------
+    def _on_read(self, core: int, line: int) -> None:
+        writer = self._dirty_writer.get(line)
+        if writer is not None and writer != core:
+            self._violate(line, writer, core, "read-after-write")
+        self._readers.setdefault(line, set()).add(core)
+
+    def _on_write(self, core: int, line: int) -> None:
+        writer = self._dirty_writer.get(line)
+        if writer is not None and writer != core:
+            self._violate(line, writer, core, "write-after-write")
+        stale_readers = self._readers.get(line, set()) - {core}
+        if stale_readers:
+            self._violate(
+                line, core, min(stale_readers), "write-after-read"
+            )
+        self._dirty_writer[line] = core
+
+    def _violate(self, line: int, writer: int, offender: int, kind: str) -> None:
+        violation = DisciplineViolation(
+            line=line, writer_core=writer, offender_core=offender, kind=kind
+        )
+        self.violations.append(violation)
+        if self.strict:
+            raise CoherenceError(
+                f"remote-caching discipline violated: {kind} on line "
+                f"{line:#x} (writer core {writer}, offender core "
+                f"{offender}) — remote memory is not coherent; flush "
+                "between write and shared-read phases (Section IV-B)"
+            )
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations

@@ -1,0 +1,340 @@
+"""Per-node operating-system model ("OS-lite").
+
+The paper lists the OS work its full system needs (Section III):
+hot-pluggable memory, cluster-wide knowledge of free memory, and the
+reservation service that pins donated ranges. This module implements
+those pieces at the level the evaluation requires:
+
+* a physical **frame allocator** over the node's private memory,
+* a **donation pool** — the slice of local memory set aside for the
+  cluster shared pool (8 of 16 GB in the prototype), handed out as
+  *contiguous, pinned* ranges to remote borrowers,
+* the **reservation daemon**, a simulation process answering
+  RESERVE/RELEASE control messages arriving through the RMC, stamping
+  the node prefix onto granted start addresses (Fig. 4),
+* the invariant the paper's correctness argument rests on: donated
+  ranges are never handed to local processes and never swapped.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.config import NodeConfig
+from repro.errors import AllocationError, ReservationError
+from repro.ht.packet import Packet
+from repro.mem.addressmap import AddressMap
+from repro.rmc.rmc import RMC
+from repro.sim.engine import Simulator
+from repro.units import PAGE_SIZE
+
+__all__ = ["FreeList", "OSLite", "Grant"]
+
+#: OS-side handling time for one reservation-protocol message. The
+#: paper stresses this path is not time-critical — only loads/stores
+#: are — so a generous software cost is faithful.
+RESERVATION_SERVICE_NS: float = 15_000.0
+
+
+class FreeList:
+    """First-fit contiguous range allocator over ``[base, base+size)``.
+
+    Keeps free extents sorted by address and coalesces on release —
+    enough machinery for both the private frame pool and the donation
+    pool (the paper reserves *contiguous* physical zones, Fig. 4).
+    """
+
+    def __init__(self, base: int, size: int, align: int = PAGE_SIZE) -> None:
+        if size <= 0:
+            raise AllocationError(f"empty free list (size={size})")
+        if align <= 0 or align & (align - 1):
+            raise AllocationError(f"alignment must be a power of two: {align}")
+        if base % align or size % align:
+            raise AllocationError(
+                f"base {base:#x} / size {size:#x} not aligned to {align:#x}"
+            )
+        self.base = base
+        self.size = size
+        self.align = align
+        #: sorted list of (start, length) free extents
+        self._free: list[tuple[int, int]] = [(base, size)]
+        self.allocated_bytes = 0
+
+    def alloc(self, size: int) -> int:
+        """Allocate a contiguous aligned range; returns its start."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive: {size}")
+        size = -(-size // self.align) * self.align  # round up
+        for i, (start, length) in enumerate(self._free):
+            if length >= size:
+                if length == size:
+                    del self._free[i]
+                else:
+                    self._free[i] = (start + size, length - size)
+                self.allocated_bytes += size
+                return start
+        raise AllocationError(
+            f"cannot allocate {size:#x} contiguous bytes "
+            f"(free={self.free_bytes:#x}, largest={self.largest_extent:#x})"
+        )
+
+    def free(self, start: int, size: int) -> None:
+        """Return a range; coalesces with adjacent free extents."""
+        size = -(-size // self.align) * self.align
+        if start < self.base or start + size > self.base + self.size:
+            raise AllocationError(
+                f"free of [{start:#x}, {start + size:#x}) outside pool"
+            )
+        for fstart, flen in self._free:
+            if start < fstart + flen and fstart < start + size:
+                raise AllocationError(
+                    f"double free overlapping [{fstart:#x}, {fstart + flen:#x})"
+                )
+        insort(self._free, (start, size))
+        self.allocated_bytes -= size
+        # coalesce
+        merged: list[tuple[int, int]] = []
+        for extent in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == extent[0]:
+                merged[-1] = (merged[-1][0], merged[-1][1] + extent[1])
+            else:
+                merged.append(extent)
+        self._free = merged
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(length for _, length in self._free)
+
+    @property
+    def largest_extent(self) -> int:
+        return max((length for _, length in self._free), default=0)
+
+
+@dataclass(frozen=True)
+class Grant:
+    """A donated range pinned for a remote borrower."""
+
+    borrower_node: int
+    #: local (unprefixed) start address on the donor
+    local_start: int
+    size: int
+    #: the same start address with the donor's prefix stamped on
+    prefixed_start: int
+
+
+class OSLite:
+    """One node's OS: memory accounting + reservation daemon."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: NodeConfig,
+        amap: AddressMap,
+        node_id: int,
+        rmc: RMC,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.amap = amap
+        self.node_id = node_id
+        self.rmc = rmc
+        private = config.private_memory_bytes
+        total = config.total_memory_bytes
+        #: frames for local processes ("the OS boots with 8 GB")
+        self.private_pool = FreeList(0, private)
+        #: the donated slice joining the cluster shared pool
+        self.donation_pool = FreeList(private, total - private)
+        #: active grants keyed by local start address
+        self.grants: dict[int, Grant] = {}
+        #: hot-removed donation ranges now serving local allocations
+        self._reclaimed: dict[int, FreeList] = {}
+        #: req_tag -> event; completed when the matching ack arrives
+        self._pending_acks: dict[int, "object"] = {}
+        self._daemon = sim.process(self._reservation_daemon(),
+                                   name=f"os{node_id}.resd")
+
+    # -- local allocation ---------------------------------------------------
+    def alloc_local(self, size: int) -> int:
+        """Allocate private local memory; returns a local phys address.
+
+        Serves from the boot-time private pool first, then from any
+        hot-removed ranges. Never touches the donation pool itself:
+        donated memory "will never be accessed by processes being
+        executed in the remote node" unless explicitly hot-removed.
+        """
+        try:
+            return self.private_pool.alloc(size)
+        except AllocationError:
+            for pool in self._reclaimed.values():
+                try:
+                    return pool.alloc(size)
+                except AllocationError:
+                    continue
+            raise
+
+    def free_local(self, start: int, size: int) -> None:
+        if start < self.private_pool.size:
+            self.private_pool.free(start, size)
+            return
+        for pool in self._reclaimed.values():
+            if pool.base <= start < pool.base + pool.size:
+                pool.free(start, size)
+                return
+        raise AllocationError(
+            f"node {self.node_id}: free of {start:#x} outside every "
+            "local pool"
+        )
+
+    @property
+    def local_free_bytes(self) -> int:
+        return self.private_pool.free_bytes
+
+    @property
+    def donated_free_bytes(self) -> int:
+        return self.donation_pool.free_bytes
+
+    # -- memory hot-plug (Section III's kernel modification) ---------------
+    def hot_remove_donation(self, size: int) -> int:
+        """Reclaim *size* bytes from the donation pool into private use.
+
+        Models the hot-remove/hot-add kernel support the paper lists as
+        a system requirement: when local pressure grows, un-donated
+        memory can be pulled back for local processes. Only memory not
+        currently granted to a borrower can move (grants are pinned).
+        Returns the local start address of the reclaimed range, which
+        :meth:`alloc_local` can now serve from.
+        """
+        try:
+            start = self.donation_pool.alloc(size)
+        except AllocationError as exc:
+            raise ReservationError(
+                f"node {self.node_id} cannot hot-remove {size:#x} bytes: "
+                f"{exc}"
+            ) from exc
+        self._reclaimed[start] = FreeList(start, size)
+        return start
+
+    def hot_add_donation(self, start: int) -> None:
+        """Return a fully-idle hot-removed range to the donation pool."""
+        pool = self._reclaimed.get(start)
+        if pool is None:
+            raise ReservationError(
+                f"node {self.node_id}: no hot-removed range at {start:#x}"
+            )
+        if pool.allocated_bytes:
+            raise ReservationError(
+                f"node {self.node_id}: range at {start:#x} still has "
+                f"{pool.allocated_bytes:#x} bytes in local use"
+            )
+        del self._reclaimed[start]
+        self.donation_pool.free(start, pool.size)
+
+    @property
+    def hot_removed_bytes(self) -> int:
+        return sum(p.size for p in self._reclaimed.values())
+
+    # -- donor side of the reservation protocol ----------------------------
+    def grant_reservation(self, borrower_node: int, size: int) -> Grant:
+        """Pin a contiguous donated range for *borrower_node* (Fig. 4).
+
+        The returned grant carries the prefixed start address the
+        borrower will write into its page table.
+        """
+        if borrower_node == self.node_id:
+            raise ReservationError(
+                f"node {self.node_id} asked itself for memory — loopback "
+                "reservations are forbidden (the overlapped segment)"
+            )
+        try:
+            start = self.donation_pool.alloc(size)
+        except AllocationError as exc:
+            raise ReservationError(
+                f"node {self.node_id} cannot donate {size:#x} bytes: {exc}"
+            ) from exc
+        grant = Grant(
+            borrower_node=borrower_node,
+            local_start=start,
+            size=size,
+            prefixed_start=self.amap.encode(self.node_id, start),
+        )
+        self.grants[start] = grant
+        return grant
+
+    def release_reservation(self, local_start: int) -> None:
+        try:
+            grant = self.grants.pop(local_start)
+        except KeyError:
+            raise ReservationError(
+                f"node {self.node_id}: no grant at {local_start:#x}"
+            ) from None
+        self.donation_pool.free(grant.local_start, grant.size)
+
+    # -- requester-side ack plumbing ---------------------------------------
+    def expect_ack(self, req_tag: int):
+        """Register interest in the ack for an outgoing request tag.
+
+        Returns an event whose value will be the ack packet. Used by
+        :class:`repro.cluster.reservation.ReservationClient`.
+        """
+        if req_tag in self._pending_acks:
+            raise ReservationError(f"duplicate pending ack tag {req_tag}")
+        evt = self.sim.event()
+        self._pending_acks[req_tag] = evt
+        return evt
+
+    # -- the daemon --------------------------------------------------------
+    def _reservation_daemon(self) -> Generator:
+        """Route control messages: donor requests are serviced here;
+        acks complete the local requester's pending operation."""
+        while True:
+            msg: Packet = yield self.rmc.ctrl_in.get()
+            yield self.sim.timeout(RESERVATION_SERVICE_NS)
+            kind = msg.meta.get("kind")
+            if kind == "reserve":
+                yield from self._handle_reserve(msg)
+            elif kind == "release":
+                yield from self._handle_release(msg)
+            elif kind in ("reserve_ack", "release_ack"):
+                try:
+                    evt = self._pending_acks.pop(msg.meta["req_tag"])
+                except KeyError:
+                    raise ReservationError(
+                        f"node {self.node_id}: unexpected ack "
+                        f"{msg.meta!r}"
+                    ) from None
+                evt.succeed(msg)
+            else:
+                raise ReservationError(
+                    f"node {self.node_id}: unknown control message "
+                    f"{msg.meta!r}"
+                )
+
+    def _handle_reserve(self, msg: Packet) -> Generator:
+        size = msg.meta["size"]
+        try:
+            grant = self.grant_reservation(msg.src, size)
+            yield self.rmc.send_ctrl(
+                msg.src,
+                kind="reserve_ack",
+                req_tag=msg.tag,
+                ok=True,
+                prefixed_start=grant.prefixed_start,
+                size=grant.size,
+            )
+        except ReservationError as exc:
+            yield self.rmc.send_ctrl(
+                msg.src,
+                kind="reserve_ack",
+                req_tag=msg.tag,
+                ok=False,
+                error=str(exc),
+            )
+
+    def _handle_release(self, msg: Packet) -> Generator:
+        prefixed = msg.meta["prefixed_start"]
+        self.release_reservation(self.amap.strip_node(prefixed))
+        yield self.rmc.send_ctrl(
+            msg.src, kind="release_ack", req_tag=msg.tag, ok=True
+        )

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ConfigError",
+    "AddressError",
+    "ProtocolError",
+    "TopologyError",
+    "MemoryError_",
+    "AllocationError",
+    "RegionError",
+    "ReservationError",
+    "FaultError",
+    "CoherenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation engine.
+
+    Raised e.g. when a process yields a non-waitable object or when the
+    simulator is run re-entrantly.
+    """
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied."""
+
+
+class AddressError(ReproError, ValueError):
+    """A physical or virtual address is malformed or out of range."""
+
+
+class ProtocolError(ReproError):
+    """A HyperTransport / HNC protocol invariant was violated."""
+
+
+class TopologyError(ReproError):
+    """The requested interconnect topology cannot be built or routed."""
+
+
+class MemoryError_(ReproError):
+    """Base class for memory-subsystem failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class AllocationError(MemoryError_):
+    """A physical-frame or virtual-range allocation could not be satisfied."""
+
+
+class RegionError(MemoryError_):
+    """A memory-region invariant (non-overlap, ownership) was violated."""
+
+
+class ReservationError(MemoryError_):
+    """The remote-memory reservation protocol failed."""
+
+
+class FaultError(MemoryError_):
+    """An unrecoverable page fault (access to unmapped virtual memory)."""
+
+
+class CoherenceError(MemoryError_):
+    """An intra-node cache-coherence invariant was violated."""

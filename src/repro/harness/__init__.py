@@ -1,0 +1,52 @@
+"""Experiment harness.
+
+One driver per evaluation artifact of the paper:
+
+========= =========================================================
+id        what it regenerates
+========= =========================================================
+fig06     random-access time vs. client-server distance
+fig07     thread sweep / server count / distance (client-RMC limit)
+fig08     server congestion under multi-node stress
+fig09     b-tree search time vs. fanout under remote swap
+fig10     b-tree scalability: remote memory vs. remote swap
+fig11     PARSEC-like workloads x {local, remote memory, remote swap}
+tableA    latency characterization (analytic vs. measured)
+========= =========================================================
+
+Every driver returns an :class:`~repro.harness.experiments.ExperimentResult`
+whose rows carry the same quantities the paper plots; ``format()``
+renders them as an ASCII table. Drivers accept a ``scale`` knob: 1.0
+runs the quick defaults used by tests/benches; larger values approach
+paper-scale workloads.
+"""
+
+from repro.harness.experiments import (
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+# importing the modules registers the drivers
+from repro.harness import (  # noqa: F401,E402
+    extA_coherency,
+    extB_alternatives,
+    extC_readonly,
+    extD_database,
+    extE_scaling,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    tables,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,124 @@
+"""Extension D — the Section VI database study, executed.
+
+"We aim to stress our prototype with a real full implementation, store
+indexes or the entire database in memory, and then study the execution
+time for different queries."
+
+This driver does exactly that with :class:`repro.apps.database.MiniDB`:
+a fully-indexed in-memory table under local memory, the remote-memory
+prototype, and remote swap, with per-query-class timings — the table
+the paper's future-work paragraph asks for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.database import MiniDB
+from repro.config import ClusterConfig
+from repro.harness.experiments import ExperimentResult, register
+from repro.mem.backing import BackingStore
+from repro.model.fastsim import (
+    LocalMemAccessor,
+    RemoteMemAccessor,
+    SwapAccessor,
+)
+from repro.model.latency import LatencyModel
+from repro.swap.remoteswap import RemoteSwap
+from repro.sim.rng import stream
+from repro.units import mib
+
+__all__ = ["run"]
+
+
+@register("extD")
+def run(
+    num_rows: int = 40_000,
+    point_queries: int = 1_500,
+    range_queries: int = 150,
+    range_span: int = 128,
+    updates: int = 500,
+    resident_pages: int = 512,
+    hops: int = 1,
+    config: Optional[ClusterConfig] = None,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    num_rows = max(5_000, int(num_rows * scale))
+    point_queries = max(200, int(point_queries * scale))
+    cfg = config if config is not None else ClusterConfig()
+    latency = LatencyModel.from_config(cfg)
+
+    result = ExperimentResult(
+        exp_id="extD",
+        title="in-memory database: query times by memory system",
+        columns=[
+            "memory_system",
+            "point_us",
+            "range128_us",
+            "update_us",
+            "scan_ms",
+        ],
+        notes=(
+            f"{num_rows} rows x 128B, hash + b-tree indexes in the same "
+            f"memory; swap keeps {resident_pages} local pages"
+        ),
+    )
+
+    rng = stream(seed, "extD")
+    point_keys = rng.integers(1, num_rows + 1, size=point_queries)
+    range_los = rng.integers(1, max(2, num_rows - range_span), size=range_queries)
+    update_keys = rng.integers(1, num_rows + 1, size=updates)
+    payload = b"\x5A" * 16
+
+    capacity = max(mib(64), num_rows * 128 * 4)
+    systems = [
+        ("local DRAM",
+         lambda: LocalMemAccessor(latency, BackingStore(capacity))),
+        ("remote memory (this paper)",
+         lambda: RemoteMemAccessor(latency, BackingStore(capacity),
+                                   hops=hops)),
+        ("remote swap",
+         lambda: SwapAccessor(latency, BackingStore(capacity),
+                              RemoteSwap(cfg.swap, resident_pages))),
+    ]
+
+    for name, make in systems:
+        acc = make()
+        db = MiniDB(acc, num_rows=num_rows, seed=seed)
+
+        # steady state for the swap baseline
+        for k in point_keys[:200]:
+            db.point_select(int(k))
+
+        t0 = acc.time_ns
+        for k in point_keys:
+            db.point_select(int(k))
+        point_us = (acc.time_ns - t0) / point_queries / 1e3
+
+        t0 = acc.time_ns
+        for lo in range_los:
+            db.range_select(int(lo), int(lo) + range_span)
+        range_us = (acc.time_ns - t0) / range_queries / 1e3
+
+        t0 = acc.time_ns
+        for k in update_keys:
+            db.update(int(k), payload)
+        update_us = (acc.time_ns - t0) / updates / 1e3
+
+        t0 = acc.time_ns
+        db.full_scan()
+        scan_ms = (acc.time_ns - t0) / 1e6
+
+        result.rows.append(
+            {
+                "memory_system": name,
+                "point_us": point_us,
+                "range128_us": range_us,
+                "update_us": update_us,
+                "scan_ms": scan_ms,
+            }
+        )
+    return result

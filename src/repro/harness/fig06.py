@@ -1,0 +1,63 @@
+"""Fig. 6 — random-access benchmark time vs. client-server distance.
+
+One thread on a client node reads line-sized chunks at random remote
+addresses while the memory server is placed 1, 2, 3... hops away on
+the 4x4 mesh. The paper's shape: execution time grows roughly linearly
+with distance (each hop adds two switch+link traversals to the closed
+request loop).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.apps.randbench import RandomAccessBenchmark
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.harness.experiments import ExperimentResult, register
+
+__all__ = ["run"]
+
+#: the client sits in the mesh interior so every distance has servers
+_CLIENT_NODE = 6  # (1, 1) on the 4x4 mesh
+
+
+@register("fig06")
+def run(
+    accesses: int = 1500,
+    distances: Sequence[int] = (1, 2, 3, 4),
+    config: Optional[ClusterConfig] = None,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    accesses = max(100, int(accesses * scale))
+    cfg = config if config is not None else ClusterConfig()
+    result = ExperimentResult(
+        exp_id="fig06",
+        title="random benchmark: execution time vs. distance (1 thread)",
+        columns=["hops", "server_node", "elapsed_ms", "ns_per_access"],
+        notes=f"{accesses} uncached 64B reads from node {_CLIENT_NODE}",
+    )
+    for distance in distances:
+        cluster = Cluster(cfg)
+        candidates = cluster.network.topology.nodes_at_distance(
+            _CLIENT_NODE, distance
+        )
+        if not candidates:
+            continue
+        bench = RandomAccessBenchmark(cluster, seed=seed)
+        run_result = bench.run_client(
+            client_node=_CLIENT_NODE,
+            server_nodes=[candidates[0]],
+            threads=1,
+            accesses_per_thread=accesses,
+        )
+        result.rows.append(
+            {
+                "hops": distance,
+                "server_node": candidates[0],
+                "elapsed_ms": run_result.elapsed_ns / 1e6,
+                "ns_per_access": run_result.ns_per_access,
+            }
+        )
+    return result

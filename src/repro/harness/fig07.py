@@ -1,0 +1,102 @@
+"""Fig. 7 — thread sweep against one and four memory servers.
+
+Left group (one server, one hop): 1, 2 and 4 client threads. The paper
+observes 2 threads halving the time but 4 threads *not* — the client
+RMC saturates at the request rate of about two threads.
+
+Right group (four servers): 4 threads with the servers 1, 2 and 3 hops
+away. Replicating the server does not help (the bottleneck is not the
+server), and moving the servers *farther away* slightly *decreases*
+the time: the lower request rate relieves the congested client RMC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.randbench import RandomAccessBenchmark
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.harness.experiments import ExperimentResult, register
+
+__all__ = ["run"]
+
+_CLIENT_NODE = 6  # (1, 1): has >= 4 nodes at distances 1, 2 and 3
+
+
+@register("fig07")
+def run(
+    accesses: int = 1200,
+    config: Optional[ClusterConfig] = None,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    accesses = max(100, int(accesses * scale))
+    cfg = config if config is not None else ClusterConfig()
+    result = ExperimentResult(
+        exp_id="fig07",
+        title="random benchmark: threads x servers x distance",
+        columns=[
+            "group",
+            "threads",
+            "servers",
+            "hops",
+            "elapsed_ms",
+            "speedup_vs_1t",
+        ],
+        notes=(
+            f"{accesses} uncached 64B reads per thread from node "
+            f"{_CLIENT_NODE}; elapsed is the slowest thread"
+        ),
+    )
+
+    def one_run(threads: int, num_servers: int, hops: int) -> float:
+        """The paper's setup: a *fixed total* amount of accesses is
+        split evenly among the threads."""
+        cluster = Cluster(cfg)
+        candidates = cluster.network.topology.nodes_at_distance(
+            _CLIENT_NODE, hops
+        )
+        servers = candidates[:num_servers]
+        if len(servers) < num_servers:
+            raise ValueError(
+                f"only {len(servers)} nodes at distance {hops}; "
+                f"need {num_servers}"
+            )
+        bench = RandomAccessBenchmark(cluster, seed=seed)
+        rr = bench.run_client(
+            client_node=_CLIENT_NODE,
+            server_nodes=servers,
+            threads=threads,
+            accesses_per_thread=accesses // threads,
+        )
+        return rr.elapsed_ns
+
+    base_1t = one_run(1, 1, 1)
+    # left group: one server, varying threads
+    for threads in (1, 2, 4):
+        elapsed = base_1t if threads == 1 else one_run(threads, 1, 1)
+        result.rows.append(
+            {
+                "group": "1 server",
+                "threads": threads,
+                "servers": 1,
+                "hops": 1,
+                "elapsed_ms": elapsed / 1e6,
+                "speedup_vs_1t": base_1t / elapsed,
+            }
+        )
+    # right group: four servers, 4 threads, varying distance
+    for hops in (1, 2, 3):
+        elapsed = one_run(4, 4, hops)
+        result.rows.append(
+            {
+                "group": "4 servers",
+                "threads": 4,
+                "servers": 4,
+                "hops": hops,
+                "elapsed_ms": elapsed / 1e6,
+                "speedup_vs_1t": base_1t / elapsed,
+            }
+        )
+    return result

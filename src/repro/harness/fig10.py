@@ -1,0 +1,111 @@
+"""Fig. 10 — b-tree search scalability: remote memory vs. remote swap.
+
+With the fanout fixed at the Fig. 9 optimum, the number of keys grows
+while the local frame pool stays fixed. The paper's shape:
+
+* **remote memory**: search time grows ~linearly with tree depth (a
+  gentle staircase — one step per added level), because every access
+  costs the same constant remote latency regardless of page locality
+  (Equation 2);
+* **remote swap**: once the tree outgrows the local frames, nearly
+  every node visit faults and the time "worsens exponentially, due to
+  the page trashing syndrome" (Equation 1 with A_page -> 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.config import ClusterConfig
+from repro.harness.experiments import ExperimentResult, register
+from repro.harness.fig09 import _arena_bytes, build_keys, make_tree
+from repro.mem.backing import BackingStore
+from repro.model.fastsim import RemoteMemAccessor, SwapAccessor
+from repro.model.latency import LatencyModel
+from repro.sim.rng import stream
+from repro.swap.remoteswap import RemoteSwap
+
+__all__ = ["run"]
+
+DEFAULT_KEY_COUNTS = (25_000, 50_000, 100_000, 200_000, 400_000, 800_000)
+
+
+@register("fig10")
+def run(
+    key_counts: Sequence[int] = DEFAULT_KEY_COUNTS,
+    searches: int = 2_000,
+    children: int = 168,
+    resident_pages: int = 2_048,  # 8 MiB of local frames
+    hops: int = 1,
+    config: Optional[ClusterConfig] = None,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    searches = max(200, int(searches * scale))
+    if scale != 1.0:
+        key_counts = [max(5_000, int(k * scale)) for k in key_counts]
+    cfg = config if config is not None else ClusterConfig()
+    latency = LatencyModel.from_config(cfg)
+    result = ExperimentResult(
+        exp_id="fig10",
+        title="b-tree search time vs. keys: remote memory vs. remote swap",
+        columns=[
+            "keys",
+            "height",
+            "remote_us_per_search",
+            "swap_us_per_search",
+            "swap_fault_rate",
+            "swap_over_remote",
+        ],
+        notes=(
+            f"fanout {children}, {searches} searches, swap holds "
+            f"{resident_pages} local pages"
+        ),
+    )
+    for num_keys in key_counts:
+        keys = build_keys(num_keys, seed)
+        rng = stream(seed, "fig10_queries", num_keys)
+        queries = rng.integers(1, num_keys * 8, size=searches, dtype=np.uint64)
+        arena = _arena_bytes(num_keys, children)
+
+        remote_acc = RemoteMemAccessor(
+            latency, BackingStore(arena), hops=hops
+        )
+        remote_tree = make_tree(remote_acc, children, keys)
+        remote_acc.reset_clock()
+        for q in queries:
+            remote_tree.search(int(q))
+        remote_us = remote_acc.time_ns / searches / 1e3
+
+        swap = RemoteSwap(cfg.swap, resident_pages=resident_pages)
+        swap_acc = SwapAccessor(latency, BackingStore(arena), swap)
+        swap_tree = make_tree(swap_acc, children, keys)
+        # steady state: let the LRU pool settle before measuring, so
+        # small trees are not dominated by one-time cold faults
+        warm = stream(seed, "fig10_warm", num_keys).integers(
+            1, num_keys * 8, size=min(500, searches), dtype=np.uint64
+        )
+        for q in warm:
+            swap_tree.search(int(q))
+        swap_acc.reset_clock()
+        faults0 = swap.stats.faults
+        accesses0 = swap.stats.accesses
+        for q in queries:
+            swap_tree.search(int(q))
+        swap_us = swap_acc.time_ns / searches / 1e3
+        d_accesses = swap.stats.accesses - accesses0
+        d_faults = swap.stats.faults - faults0
+
+        result.rows.append(
+            {
+                "keys": num_keys,
+                "height": remote_tree.height,
+                "remote_us_per_search": remote_us,
+                "swap_us_per_search": swap_us,
+                "swap_fault_rate": d_faults / d_accesses if d_accesses else 0.0,
+                "swap_over_remote": swap_us / remote_us,
+            }
+        )
+    return result

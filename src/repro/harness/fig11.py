@@ -1,0 +1,121 @@
+"""Fig. 11 — PARSEC-like workloads under the three memory systems.
+
+Each synthetic workload (see :mod:`repro.apps.parsec`) runs against
+local memory, the remote-memory prototype, and the remote-swap
+baseline. Footprints are set relative to the swap scenario's local
+memory exactly as the paper chose its benchmarks:
+
+* blackscholes, raytrace — moderately above local memory: the
+  prototype works "satisfactorily", remote swap costs ~2x;
+* canneal — far above: remote swap "worsens exponentially to
+  prohibitive levels", while the prototype stays feasible;
+* streamcluster — below: no swapping happens, so the swap bar matches
+  local memory (and only the prototype pays for remoteness).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.apps import blackscholes, canneal, raytrace, streamcluster
+from repro.config import ClusterConfig
+from repro.harness.experiments import ExperimentResult, register
+from repro.mem.backing import BackingStore
+from repro.model.fastsim import (
+    LocalMemAccessor,
+    RemoteMemAccessor,
+    SwapAccessor,
+)
+from repro.model.latency import LatencyModel
+from repro.swap.remoteswap import RemoteSwap
+from repro.units import mib
+
+__all__ = ["run"]
+
+
+@register("fig11")
+def run(
+    local_memory_bytes: int = mib(48),
+    hops: int = 1,
+    config: Optional[ClusterConfig] = None,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    local_memory_bytes = max(mib(8), int(local_memory_bytes * scale))
+    cfg = config if config is not None else ClusterConfig()
+    latency = LatencyModel.from_config(cfg)
+    resident_pages = local_memory_bytes // cfg.swap.page_bytes
+
+    workloads: list[tuple[str, Callable, dict]] = [
+        (
+            "blackscholes",
+            blackscholes,
+            {"footprint_bytes": int(local_memory_bytes * 1.5), "passes": 2,
+             "seed": seed},
+        ),
+        (
+            "raytrace",
+            raytrace,
+            {"footprint_bytes": int(local_memory_bytes * 1.5),
+             "rays": max(500, int(4_000 * scale)), "seed": seed},
+        ),
+        (
+            "canneal",
+            canneal,
+            {"footprint_bytes": int(local_memory_bytes * 4),
+             "swaps": max(1_000, int(10_000 * scale)), "seed": seed},
+        ),
+        (
+            "streamcluster",
+            streamcluster,
+            {"footprint_bytes": int(local_memory_bytes * 0.25), "scans": 8,
+             "seed": seed},
+        ),
+    ]
+
+    result = ExperimentResult(
+        exp_id="fig11",
+        title="PARSEC-like workloads: local vs. remote memory vs. remote swap",
+        columns=[
+            "benchmark",
+            "footprint_MiB",
+            "local_ms",
+            "remote_ms",
+            "swap_ms",
+            "remote_over_local",
+            "swap_over_local",
+        ],
+        notes=(
+            f"swap scenario local memory: {local_memory_bytes >> 20} MiB; "
+            f"remote memory {hops} hop(s) away"
+        ),
+    )
+
+    for name, fn, kwargs in workloads:
+        arena = kwargs["footprint_bytes"] * 2
+        times = {}
+        for scenario in ("local", "remote", "swap"):
+            backing = BackingStore(arena)
+            if scenario == "local":
+                acc = LocalMemAccessor(latency, backing)
+            elif scenario == "remote":
+                acc = RemoteMemAccessor(latency, backing, hops=hops)
+            else:
+                acc = SwapAccessor(
+                    latency,
+                    backing,
+                    RemoteSwap(cfg.swap, resident_pages=resident_pages),
+                )
+            times[scenario] = fn(acc, **kwargs).time_ns
+        result.rows.append(
+            {
+                "benchmark": name,
+                "footprint_MiB": kwargs["footprint_bytes"] >> 20,
+                "local_ms": times["local"] / 1e6,
+                "remote_ms": times["remote"] / 1e6,
+                "swap_ms": times["swap"] / 1e6,
+                "remote_over_local": times["remote"] / times["local"],
+                "swap_over_local": times["swap"] / times["local"],
+            }
+        )
+    return result

@@ -1,0 +1,187 @@
+"""ASCII charts for experiment results.
+
+The paper's figures are bar and line charts; this module renders the
+regenerated data the same way, in the terminal, so
+``python -m repro run fig10 --plot`` shows the *shape* at a glance —
+including log-scale support, which Fig. 10's divergence needs.
+
+Pure string processing over :class:`ExperimentResult` columns; no
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.harness.experiments import ExperimentResult
+
+__all__ = ["bar_chart", "line_chart", "plot_result"]
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.3g}"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 50,
+    log: bool = False,
+) -> str:
+    """Horizontal bar chart; one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ConfigError("labels and values must align")
+    if not values:
+        raise ConfigError("nothing to plot")
+    if any(v < 0 for v in values):
+        raise ConfigError("bar charts need non-negative values")
+    if log and any(v <= 0 for v in values):
+        raise ConfigError("log scale needs strictly positive values")
+
+    def transform(v: float) -> float:
+        return math.log10(v) if log else v
+
+    tvals = [transform(v) for v in values]
+    lo = min(0.0, min(tvals)) if not log else min(tvals)
+    hi = max(tvals)
+    span = (hi - lo) or 1.0
+    label_w = max(len(str(lbl)) for lbl in labels)
+    lines = []
+    if title:
+        lines.append(title + (" [log]" if log else ""))
+    for lbl, v, tv in zip(labels, values, tvals):
+        frac = (tv - lo) / span
+        cells = frac * width
+        bar = _BAR * int(cells)
+        if cells - int(cells) >= 0.5:
+            bar += _HALF
+        lines.append(f"{str(lbl):>{label_w}} | {bar} {_fmt(v)}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series gets a marker (``*``, ``o``, ``+``, ``x``...); the grid
+    is linear in x and linear or log10 in y.
+    """
+    if not series:
+        raise ConfigError("need at least one series")
+    markers = "*o+x#@%&"
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigError(f"series {name!r} length != x length")
+    all_y = [y for ys in series.values() for y in ys]
+    if log_y and any(y <= 0 for y in all_y):
+        raise ConfigError("log scale needs strictly positive values")
+
+    def ty(v: float) -> float:
+        return math.log10(v) if log_y else v
+
+    y_lo, y_hi = min(map(ty, all_y)), max(map(ty, all_y))
+    y_span = (y_hi - y_lo) or 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(series.items(), markers):
+        for x, y in zip(xs, ys):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((ty(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title + (" [log y]" if log_y else ""))
+    top_label = _fmt(10**y_hi if log_y else y_hi)
+    bot_label = _fmt(10**y_lo if log_y else y_lo)
+    label_w = max(len(top_label), len(bot_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = f"{top_label:>{label_w}} "
+        elif i == height - 1:
+            prefix = f"{bot_label:>{label_w}} "
+        else:
+            prefix = " " * (label_w + 1)
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * (label_w + 1) + "+" + "-" * width)
+    lines.append(
+        " " * (label_w + 2) + f"{_fmt(x_lo)}" + " " * max(
+            1, width - len(_fmt(x_lo)) - len(_fmt(x_hi))
+        ) + f"{_fmt(x_hi)}"
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)
+
+
+#: per-experiment plotting recipes: (x column, y columns, log_y)
+_RECIPES: dict[str, tuple[Optional[str], list[str], bool]] = {
+    "fig06": ("hops", ["ns_per_access"], False),
+    "fig07": (None, ["elapsed_ms"], False),
+    "fig08": (None, ["control_ns_per_access"], False),
+    "fig09": ("children", ["us_per_search"], False),
+    "fig10": ("keys", ["remote_us_per_search", "swap_us_per_search"], True),
+    "fig11": (None, ["remote_over_local", "swap_over_local"], True),
+    "tableA": (None, ["measured_ns"], True),
+    "extA": ("nodes", ["noncoherent_ns", "snoopy_ns", "directory_ns"], False),
+    "extB": (None, ["ns_per_access"], True),
+    "extC": ("readers", ["read_speedup"], False),
+    "extD": (None, ["point_us"], True),
+    "extE": ("pairs", ["aggregate_mops"], False),
+}
+
+
+def plot_result(result: ExperimentResult, width: int = 56) -> str:
+    """Best-effort chart for a known experiment id.
+
+    Numeric-x experiments plot as line charts; categorical ones as bar
+    charts (one bar per row, labelled by the first column).
+    """
+    recipe = _RECIPES.get(result.exp_id)
+    if recipe is None:
+        raise ConfigError(f"no plot recipe for {result.exp_id!r}")
+    x_col, y_cols, log = recipe
+    if x_col is not None:
+        xs = [float(v) for v in result.column(x_col)]
+        series = {c: [float(v) for v in result.column(c)] for c in y_cols}
+        return line_chart(
+            xs, series, title=result.title, width=width, log_y=log
+        )
+    labels = [
+        " ".join(str(row[c]) for c in result.columns[: min(3, len(result.columns) - 1)]
+                 if not isinstance(row[c], float))
+        or str(i)
+        for i, row in enumerate(result.rows)
+    ]
+    # single-metric bar chart per y column, stacked vertically
+    charts = [
+        bar_chart(
+            labels,
+            [float(v) for v in result.column(col)],
+            title=f"{result.title} — {col}",
+            width=width,
+            log=log,
+        )
+        for col in y_cols
+    ]
+    return "\n\n".join(charts)

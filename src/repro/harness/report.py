@@ -1,0 +1,93 @@
+"""Markdown report generation.
+
+``write_report`` runs a set of experiments and renders one
+self-contained markdown document — the machinery behind refreshing
+EXPERIMENTS.md after a model change, and a convenient artifact to
+attach to regression runs::
+
+    from repro.harness.report import write_report
+    write_report("report.md", experiments=["fig06", "tableA"], scale=0.5)
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.harness.experiments import (
+    ExperimentResult,
+    available_experiments,
+    run_experiment,
+)
+
+__all__ = ["render_markdown", "write_report"]
+
+
+def _result_to_markdown(result: ExperimentResult) -> str:
+    """One experiment as a markdown section with a pipe table."""
+    lines = [f"## {result.exp_id} — {result.title}", ""]
+    header = " | ".join(result.columns)
+    sep = " | ".join("---" for _ in result.columns)
+    lines.append(f"| {header} |")
+    lines.append(f"| {sep} |")
+    for row in result.rows:
+        cells = " | ".join(
+            ExperimentResult._fmt(row.get(col)) for col in result.columns
+        )
+        lines.append(f"| {cells} |")
+    if result.notes:
+        lines.append("")
+        lines.append(f"*{result.notes}*")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_markdown(
+    results: Sequence[ExperimentResult],
+    title: str = "Reproduction report",
+    preamble: str = "",
+) -> str:
+    """Render experiment results into one markdown document."""
+    parts = [f"# {title}", ""]
+    if preamble:
+        parts += [preamble, ""]
+    parts += [_result_to_markdown(r) for r in results]
+    return "\n".join(parts)
+
+
+def write_report(
+    path: str | Path,
+    experiments: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    title: str = "Reproduction report",
+) -> Path:
+    """Run *experiments* (default: all) and write the markdown report.
+
+    Returns the written path. Each experiment's wall-clock time is
+    recorded in the document so regressions in simulator performance
+    are visible alongside regressions in results.
+    """
+    targets = list(experiments) if experiments else available_experiments()
+    results = []
+    timings = []
+    for exp_id in targets:
+        kwargs = {"scale": scale}
+        if exp_id != "tableA":
+            kwargs["seed"] = seed
+        t0 = time.time()
+        results.append(run_experiment(exp_id, **kwargs))
+        timings.append((exp_id, time.time() - t0))
+    preamble_lines = [
+        f"Generated with scale={scale:g}, seed={seed}.",
+        "",
+        "| experiment | wall time (s) |",
+        "| --- | --- |",
+    ]
+    preamble_lines += [f"| {e} | {t:.1f} |" for e, t in timings]
+    doc = render_markdown(results, title=title,
+                          preamble="\n".join(preamble_lines))
+    out = Path(path)
+    out.write_text(doc, encoding="utf-8")
+    return out

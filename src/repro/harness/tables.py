@@ -1,0 +1,72 @@
+"""Table A — latency characterization (Section V-A prose).
+
+The paper's evaluation narrates its latency budget rather than
+tabulating it; this driver produces the table a reader would want:
+local DRAM vs. remote line fetch at 1/2 hops vs. the swap baselines,
+with the analytic composition (:class:`~repro.model.latency.LatencyModel`)
+next to the value measured on the packet-level simulator. The agreement
+between the two columns is the contract that lets Figs. 9-11 run on
+the fast tier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, NetworkConfig
+from repro.harness.experiments import ExperimentResult, register
+from repro.model.latency import LatencyModel
+
+__all__ = ["run"]
+
+
+@register("tableA")
+def run(
+    samples: int = 48,
+    config: Optional[ClusterConfig] = None,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    samples = max(16, int(samples * scale))
+    base = config if config is not None else ClusterConfig()
+    # a 4-node line gives exact 1- and 2-hop neighbors for node 1
+    cfg = ClusterConfig(
+        network=NetworkConfig(topology="line", dims=(4, 1), link=base.network.link,
+                              switch_latency_ns=base.network.switch_latency_ns,
+                              switch_buffer_packets=base.network.switch_buffer_packets),
+        node=base.node,
+        rmc=base.rmc,
+        swap=base.swap,
+        seed=base.seed,
+    )
+    analytic = LatencyModel.from_config(cfg)
+    measured = LatencyModel.calibrate(Cluster(cfg), samples=samples)
+
+    result = ExperimentResult(
+        exp_id="tableA",
+        title="latency characterization: analytic model vs. packet-level measurement",
+        columns=["metric", "analytic_ns", "measured_ns", "ratio"],
+        notes=f"measured over {samples} uncached line reads each",
+    )
+
+    def row(metric: str, a: float, m: float) -> None:
+        result.rows.append(
+            {
+                "metric": metric,
+                "analytic_ns": a,
+                "measured_ns": m,
+                "ratio": m / a if a else float("nan"),
+            }
+        )
+
+    row("local DRAM line read", analytic.local_ns, measured.local_ns)
+    row("remote line read, 1 hop", analytic.remote_1hop_ns, measured.remote_1hop_ns)
+    row(
+        "remote line read, 2 hops",
+        analytic.remote_ns(2),
+        measured.remote_ns(2),
+    )
+    row("added latency per hop", analytic.remote_per_hop_ns, measured.remote_per_hop_ns)
+    row("remote-swap page fault", analytic.swap_fault_ns, analytic.swap_fault_ns)
+    row("disk-swap page fault", analytic.disk_fault_ns, analytic.disk_fault_ns)
+    return result

@@ -1,0 +1,46 @@
+"""HyperTransport-like transport modeling.
+
+This package models the two transport layers of the prototype
+(Section IV-A):
+
+* **Plain HT** inside a node: the point-to-point links and the
+  on-board crossbar connecting cores, memory controllers and the RMC.
+  Plain HT can address at most 32 devices (:data:`HT_MAX_DEVICES`),
+  which is why the prototype cannot use it between nodes.
+* **High Node Count (HNC) HT** between nodes: an extended header
+  carrying a 14-bit node identifier, bridged to/from plain HT by the
+  RMC (cf. Section 7.2 of the HNC specification the paper cites).
+"""
+
+from repro.ht.packet import (
+    Packet,
+    PacketType,
+    TagAllocator,
+    make_read_req,
+    make_read_resp,
+    make_write_ack,
+    make_write_req,
+)
+from repro.ht.link import Link, DuplexLink
+from repro.ht.device import HTDevice, HT_MAX_DEVICES
+from repro.ht.hnc import HNCBridge, HNC_NODE_BITS, hnc_encapsulate, hnc_decapsulate
+from repro.ht.crossbar import Crossbar
+
+__all__ = [
+    "Packet",
+    "PacketType",
+    "TagAllocator",
+    "make_read_req",
+    "make_read_resp",
+    "make_write_req",
+    "make_write_ack",
+    "Link",
+    "DuplexLink",
+    "HTDevice",
+    "HT_MAX_DEVICES",
+    "HNCBridge",
+    "HNC_NODE_BITS",
+    "hnc_encapsulate",
+    "hnc_decapsulate",
+    "Crossbar",
+]

@@ -1,0 +1,115 @@
+"""High Node Count (HNC) HyperTransport encapsulation.
+
+Plain HT headers address at most 32 devices, so the prototype bridges
+node-crossing packets onto HNC HT, whose extended header carries a
+14-bit destination-node identifier — the same 14 bits that form the
+prefix of every remote physical address (Section III-B / Fig. 3).
+
+The bridge rules mirror Section 7.2 of the HNC spec as the paper uses
+them:
+
+* **encapsulate** (local HT -> fabric): the destination node id is read
+  straight from the top 14 bits of the packet's physical address — no
+  translation table.
+* **decapsulate** (fabric -> local HT): the node prefix is cleared so
+  the embedded address is a plain local physical address at the owner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as _dc_replace
+
+from repro.errors import ProtocolError
+from repro.ht.packet import Packet, PacketType
+from repro.mem.addressmap import AddressMap
+
+__all__ = ["HNC_NODE_BITS", "HNCBridge", "hnc_encapsulate", "hnc_decapsulate"]
+
+#: Width of the HNC node-identifier field.
+HNC_NODE_BITS: int = 14
+
+
+def hnc_encapsulate(packet: Packet, amap: AddressMap, local_node: int) -> Packet:
+    """Turn a local HT memory packet into an HNC fabric packet.
+
+    The fabric destination is the node prefix of the address. Raises
+    :class:`ProtocolError` for packets whose address is local (prefix
+    0 or ``local_node``) — those must never reach the fabric.
+    """
+    if packet.ptype in (PacketType.READ_REQ, PacketType.WRITE_REQ):
+        owner = amap.node_of(packet.addr)
+        if owner == 0 or owner == local_node:
+            raise ProtocolError(
+                f"address {packet.addr:#x} is local to node {local_node}; "
+                "encapsulating it would loop back"
+            )
+        return Packet(
+            ptype=packet.ptype,
+            src=local_node,
+            dst=owner,
+            addr=packet.addr,
+            size=packet.size,
+            tag=packet.tag,
+            payload=packet.payload,
+            hops=packet.hops,
+            issue_ns=packet.issue_ns,
+            meta=dict(packet.meta),
+        )
+    if packet.ptype.is_response or packet.ptype is PacketType.CTRL:
+        # Responses/control already carry explicit fabric src/dst.
+        if packet.dst == local_node:
+            raise ProtocolError(
+                f"response {packet!r} is destined to the local node; "
+                "it must not enter the fabric"
+            )
+        return packet
+    raise ProtocolError(f"cannot encapsulate {packet.ptype}")
+
+
+def hnc_decapsulate(packet: Packet, amap: AddressMap, local_node: int) -> Packet:
+    """Turn an HNC fabric packet into a local HT packet at the owner.
+
+    For requests, the node prefix is stripped from the address (the
+    RMC "sets those 14 bits to zero", Section III-B); responses pass
+    through untouched.
+    """
+    if packet.dst != local_node:
+        raise ProtocolError(
+            f"packet for node {packet.dst} decapsulated at node {local_node}"
+        )
+    if packet.ptype in (PacketType.READ_REQ, PacketType.WRITE_REQ):
+        owner = amap.node_of(packet.addr)
+        if owner != local_node:
+            raise ProtocolError(
+                f"request addr {packet.addr:#x} carries prefix {owner}, "
+                f"but arrived at node {local_node}"
+            )
+        return _dc_replace(packet, addr=amap.strip_node(packet.addr))
+    return packet
+
+
+class HNCBridge:
+    """Stateless HT<->HNC bridging bound to one node.
+
+    Kept as an object (rather than bare functions) so the RMC can count
+    bridged packets and so an ablation can swap in a table-based
+    variant.
+    """
+
+    def __init__(self, amap: AddressMap, local_node: int) -> None:
+        if not 1 <= local_node <= amap.max_nodes:
+            raise ProtocolError(
+                f"node id {local_node} outside 1..{amap.max_nodes}"
+            )
+        self.amap = amap
+        self.local_node = local_node
+        self.encapsulated = 0
+        self.decapsulated = 0
+
+    def to_fabric(self, packet: Packet) -> Packet:
+        self.encapsulated += 1
+        return hnc_encapsulate(packet, self.amap, self.local_node)
+
+    def from_fabric(self, packet: Packet) -> Packet:
+        self.decapsulated += 1
+        return hnc_decapsulate(packet, self.amap, self.local_node)

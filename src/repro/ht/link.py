@@ -1,0 +1,106 @@
+"""Point-to-point link model.
+
+A :class:`Link` is unidirectional: packets are serialized one at a time
+(FIFO, at the configured bandwidth), then fly for the propagation
+delay, then land in the receiver's ingress store. Serializations cannot
+overlap — this is where link contention arises — but propagation is
+pipelined, so back-to-back packets overlap in flight like real wires.
+
+:class:`DuplexLink` bundles two opposite :class:`Link` s, matching
+HyperTransport's full-duplex lanes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import LinkConfig
+from repro.ht.packet import Packet
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Store
+from repro.sim.stats import Counter, TimeWeighted
+
+__all__ = ["Link", "DuplexLink"]
+
+
+class Link:
+    """One direction of an HT lane.
+
+    ``sink`` is the :class:`~repro.sim.resources.Store` the far end
+    reads from. Use :meth:`send` from a process::
+
+        yield link.send(packet)      # returns once serialization ends
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: LinkConfig,
+        name: str = "",
+        sink: Optional[Store] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.name = name or "link"
+        self.sink = sink if sink is not None else Store(sim, name=f"{self.name}.rx")
+        #: serialization is exclusive: model as "wire busy until" time
+        self._busy_until = 0.0
+        self.packets = Counter(f"{self.name}.packets")
+        self.bytes = Counter(f"{self.name}.bytes")
+        self.occupancy = TimeWeighted(f"{self.name}.occupancy")
+
+    def send(self, packet: Packet) -> Event:
+        """Transmit *packet*; the returned event fires when the wire frees.
+
+        Delivery into the far-end store happens one propagation delay
+        after serialization completes (not awaited by the sender).
+        """
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        # wire_bytes already includes the command header
+        ser = packet.wire_bytes / self.config.bandwidth_Bpns
+        self._busy_until = start + ser
+        self.packets.add()
+        self.bytes.add(packet.wire_bytes)
+        self.occupancy.adjust(+1, now)
+
+        done = self.sim.event()
+
+        def _serialized(_evt: Event) -> None:
+            self.occupancy.adjust(-1, self.sim.now)
+            # schedule delivery after propagation
+            deliver = self.sim.timeout(self.config.propagation_ns)
+            deliver.add_callback(lambda _e: self.sink.put(packet))
+            done.succeed()
+
+        self.sim.timeout(start - now + ser).add_callback(_serialized)
+        return done
+
+    @property
+    def busy(self) -> bool:
+        """True while a packet is being serialized."""
+        return self.sim.now < self._busy_until
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Fraction of time the wire spent serializing (time-weighted)."""
+        return self.occupancy.average(now if now is not None else self.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Link {self.name} pkts={self.packets.value}>"
+
+
+class DuplexLink:
+    """A full-duplex HT lane: independent TX in each direction."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: LinkConfig,
+        name_a: str = "a",
+        name_b: str = "b",
+    ) -> None:
+        self.forward = Link(sim, config, name=f"{name_a}->{name_b}")
+        self.backward = Link(sim, config, name=f"{name_b}->{name_a}")
+
+    def direction(self, reverse: bool) -> Link:
+        return self.backward if reverse else self.forward

@@ -1,0 +1,194 @@
+"""HT packet formats.
+
+Four packet kinds cover the memory protocol the RMC forwards:
+
+========== =============================== ======================
+type       direction                        payload
+========== =============================== ======================
+READ_REQ   requester -> memory owner        none (address + size)
+READ_RESP  memory owner -> requester        the data read
+WRITE_REQ  requester -> memory owner        the data to write
+WRITE_ACK  memory owner -> requester        none
+========== =============================== ======================
+
+plus NACK (flow-control reject emitted by a full RMC buffer) and CTRL
+(OS-level reservation-protocol messages, Section III-B / Fig. 4, which
+share the fabric with memory traffic).
+
+Packets carry the *physical address including the 14-bit node prefix*;
+the RMC rewrites the prefix when bridging (see :mod:`repro.rmc.rmc`).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "PacketType",
+    "Packet",
+    "TagAllocator",
+    "make_read_req",
+    "make_read_resp",
+    "make_write_req",
+    "make_write_ack",
+    "make_nack",
+    "make_ctrl",
+]
+
+
+class PacketType(enum.Enum):
+    """Kind of an HT packet."""
+
+    READ_REQ = "read_req"
+    READ_RESP = "read_resp"
+    WRITE_REQ = "write_req"
+    WRITE_ACK = "write_ack"
+    NACK = "nack"
+    CTRL = "ctrl"
+
+    @property
+    def is_request(self) -> bool:
+        return self in (PacketType.READ_REQ, PacketType.WRITE_REQ)
+
+    @property
+    def is_response(self) -> bool:
+        return self in (PacketType.READ_RESP, PacketType.WRITE_ACK,
+                        PacketType.NACK)
+
+
+#: HT command header size in bytes (one control doubleword + address).
+_HEADER_BYTES = 8
+
+
+@dataclass
+class Packet:
+    """A single HT transaction unit.
+
+    ``src``/``dst`` are *fabric node ids* (1-based; see
+    :mod:`repro.mem.addressmap`). Intra-node hops leave them equal.
+    ``tag`` pairs responses with their requests. ``hops`` counts fabric
+    switch traversals for instrumentation.
+    """
+
+    ptype: PacketType
+    src: int
+    dst: int
+    addr: int
+    size: int
+    tag: int
+    payload: Optional[bytes] = None
+    hops: int = 0
+    issue_ns: float = 0.0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ProtocolError(f"negative packet size {self.size}")
+        if self.payload is not None and len(self.payload) != self.size:
+            raise ProtocolError(
+                f"payload length {len(self.payload)} != declared size {self.size}"
+            )
+        if self.ptype in (PacketType.READ_RESP, PacketType.WRITE_REQ):
+            if self.payload is None and self.size > 0:
+                raise ProtocolError(f"{self.ptype} of size {self.size} needs a payload")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes this packet occupies on a link (header + data)."""
+        data = self.size if self.ptype in (
+            PacketType.READ_RESP, PacketType.WRITE_REQ
+        ) else 0
+        return _HEADER_BYTES + data
+
+    def response_to(self, **overrides: Any) -> "Packet":
+        """Build the matching response packet (src/dst swapped, same tag)."""
+        if self.ptype == PacketType.READ_REQ:
+            rtype = PacketType.READ_RESP
+        elif self.ptype == PacketType.WRITE_REQ:
+            rtype = PacketType.WRITE_ACK
+        else:
+            raise ProtocolError(f"{self.ptype} has no defined response")
+        kwargs: dict[str, Any] = dict(
+            ptype=rtype,
+            src=self.dst,
+            dst=self.src,
+            addr=self.addr,
+            size=self.size if rtype is PacketType.READ_RESP else 0,
+            tag=self.tag,
+            payload=None,
+        )
+        kwargs.update(overrides)
+        return Packet(**kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Pkt {self.ptype.value} tag={self.tag} {self.src}->{self.dst} "
+            f"addr={self.addr:#x} size={self.size}>"
+        )
+
+
+class TagAllocator:
+    """Monotonic transaction-tag source (unique within one simulator)."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def next(self) -> int:
+        return next(self._counter)
+
+
+def make_read_req(src: int, dst: int, addr: int, size: int, tag: int) -> Packet:
+    """A sized read request (no payload)."""
+    return Packet(PacketType.READ_REQ, src, dst, addr, size, tag)
+
+
+def make_read_resp(req: Packet, payload: Optional[bytes] = None) -> Packet:
+    """The data response to *req*."""
+    if req.ptype is not PacketType.READ_REQ:
+        raise ProtocolError(f"read response requires a READ_REQ, got {req.ptype}")
+    if payload is None:
+        payload = bytes(req.size)
+    return req.response_to(payload=payload, size=len(payload))
+
+
+def make_write_req(
+    src: int, dst: int, addr: int, payload: bytes, tag: int
+) -> Packet:
+    """A posted-with-ack write carrying *payload*."""
+    return Packet(
+        PacketType.WRITE_REQ, src, dst, addr, len(payload), tag, payload=payload
+    )
+
+
+def make_write_ack(req: Packet) -> Packet:
+    """The completion ack for a WRITE_REQ."""
+    if req.ptype is not PacketType.WRITE_REQ:
+        raise ProtocolError(f"write ack requires a WRITE_REQ, got {req.ptype}")
+    return req.response_to()
+
+
+def make_nack(req: Packet, at_node: int) -> Packet:
+    """Flow-control reject for *req* emitted by a full buffer at *at_node*."""
+    if not req.ptype.is_request:
+        raise ProtocolError("only requests can be NACKed")
+    return Packet(
+        PacketType.NACK,
+        src=at_node,
+        dst=req.src,
+        addr=req.addr,
+        size=0,
+        tag=req.tag,
+        meta={"nacked": req.ptype},
+    )
+
+
+def make_ctrl(src: int, dst: int, tag: int, **meta: Any) -> Packet:
+    """An OS-level control message (reservation protocol, Fig. 4)."""
+    return Packet(
+        PacketType.CTRL, src, dst, addr=0, size=0, tag=tag, meta=dict(meta)
+    )

@@ -1,0 +1,102 @@
+"""Functional physical memory.
+
+The simulator actually stores data: reads return what was written, so
+the b-tree, the PARSEC-like workloads and every test operate on real
+bytes. To avoid allocating gigabytes of host RAM for a 16 GiB window,
+the store is **chunk-sparse**: 64 KiB NumPy chunks materialize on first
+touch and untouched chunks read as zeros (matching zero-initialized
+DRAM semantics in the model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AddressError
+
+__all__ = ["BackingStore"]
+
+_DEFAULT_CHUNK = 64 * 1024
+
+
+class BackingStore:
+    """Sparse byte-addressable memory of a fixed capacity."""
+
+    def __init__(self, capacity: int, chunk_bytes: int = _DEFAULT_CHUNK) -> None:
+        if capacity <= 0:
+            raise AddressError(f"capacity must be positive, got {capacity}")
+        if chunk_bytes <= 0 or chunk_bytes & (chunk_bytes - 1):
+            raise AddressError(
+                f"chunk size must be a power of two, got {chunk_bytes}"
+            )
+        self.capacity = capacity
+        self.chunk_bytes = chunk_bytes
+        self._chunks: dict[int, np.ndarray] = {}
+
+    # -- byte interface -------------------------------------------------------
+    def read(self, addr: int, size: int) -> bytes:
+        """Read *size* bytes starting at *addr*."""
+        self._check_range(addr, size)
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            cidx, off = divmod(addr + pos, self.chunk_bytes)
+            take = min(size - pos, self.chunk_bytes - off)
+            chunk = self._chunks.get(cidx)
+            if chunk is not None:
+                out[pos : pos + take] = chunk[off : off + take].tobytes()
+            pos += take
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write *data* starting at *addr*."""
+        size = len(data)
+        self._check_range(addr, size)
+        view = np.frombuffer(data, dtype=np.uint8)
+        pos = 0
+        while pos < size:
+            cidx, off = divmod(addr + pos, self.chunk_bytes)
+            take = min(size - pos, self.chunk_bytes - off)
+            chunk = self._chunks.get(cidx)
+            if chunk is None:
+                chunk = np.zeros(self.chunk_bytes, dtype=np.uint8)
+                self._chunks[cidx] = chunk
+            chunk[off : off + take] = view[pos : pos + take]
+            pos += take
+
+    # -- typed convenience (used by workloads) ----------------------------
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, int(value).to_bytes(8, "little", signed=False))
+
+    def read_array(self, addr: int, count: int, dtype: np.dtype) -> np.ndarray:
+        """Read *count* elements of *dtype* as a fresh array."""
+        dt = np.dtype(dtype)
+        raw = self.read(addr, count * dt.itemsize)
+        return np.frombuffer(raw, dtype=dt).copy()
+
+    def write_array(self, addr: int, values: np.ndarray) -> None:
+        self.write(addr, np.ascontiguousarray(values).tobytes())
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        """Host memory actually materialized."""
+        return len(self._chunks) * self.chunk_bytes
+
+    def _check_range(self, addr: int, size: int) -> None:
+        if size < 0:
+            raise AddressError(f"negative access size {size}")
+        if addr < 0 or addr + size > self.capacity:
+            raise AddressError(
+                f"access [{addr:#x}, {addr + size:#x}) outside capacity "
+                f"{self.capacity:#x}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<BackingStore {self.capacity:#x} bytes, "
+            f"{len(self._chunks)} chunks resident>"
+        )

@@ -1,0 +1,157 @@
+"""Set-associative write-back cache model.
+
+Tag-array only: the data itself lives in the backing store, so the
+cache tracks *which lines are resident and dirty* and produces hit/miss
+timing plus write-back traffic. This is the standard decomposition for
+trace-driven simulators — functional state in one place, locality state
+in another — and keeps the model fast enough for 10^8-access workloads.
+
+LRU is exact, implemented with per-set ordered dicts (move-to-end on
+touch). Lines are identified by *line address* (byte address //
+line size); callers that have full addresses use :meth:`line_of`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import CacheConfig
+from repro.errors import CoherenceError
+
+__all__ = ["Cache", "CacheStats", "AccessResult"]
+
+
+@dataclass
+class CacheStats:
+    """Aggregate counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    invalidations_received: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    #: line address evicted to make room, if any
+    evicted: Optional[int] = None
+    #: True if the evicted line was dirty (must be written back)
+    writeback: bool = False
+
+
+@dataclass
+class _Line:
+    dirty: bool = False
+    # MESI state is tracked by the coherence domain; the cache only
+    # needs residency + dirtiness.
+
+
+@dataclass
+class Cache:
+    """One cache (modeled at the L2 / last-level-per-core granularity)."""
+
+    config: CacheConfig
+    name: str = "cache"
+    _sets: list[OrderedDict[int, _Line]] = field(init=False, repr=False)
+    stats: CacheStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._sets = [OrderedDict() for _ in range(self.config.num_sets)]
+        self.stats = CacheStats()
+
+    # -- geometry -------------------------------------------------------------
+    def line_of(self, addr: int) -> int:
+        """Line address containing byte address *addr*."""
+        return addr // self.config.line_bytes
+
+    def set_of(self, line: int) -> int:
+        return line % self.config.num_sets
+
+    # -- core operation ----------------------------------------------------
+    def access(self, line: int, is_write: bool) -> AccessResult:
+        """Touch *line*; returns hit/miss and any eviction.
+
+        On a miss the line is installed (fetch is the caller's job) and
+        the LRU victim of the set, if the set was full, is evicted —
+        with ``writeback=True`` if it was dirty.
+        """
+        s = self._sets[self.set_of(line)]
+        entry = s.get(line)
+        if entry is not None:
+            s.move_to_end(line)
+            if is_write:
+                entry.dirty = True
+            self.stats.hits += 1
+            return AccessResult(hit=True)
+
+        self.stats.misses += 1
+        evicted: Optional[int] = None
+        writeback = False
+        if len(s) >= self.config.associativity:
+            victim, vline = s.popitem(last=False)
+            evicted = victim
+            writeback = vline.dirty and self.config.write_back
+            self.stats.evictions += 1
+            if writeback:
+                self.stats.writebacks += 1
+        s[line] = _Line(dirty=is_write and self.config.write_back)
+        return AccessResult(hit=False, evicted=evicted, writeback=writeback)
+
+    # -- coherence hooks ---------------------------------------------------
+    def contains(self, line: int) -> bool:
+        return line in self._sets[self.set_of(line)]
+
+    def is_dirty(self, line: int) -> bool:
+        entry = self._sets[self.set_of(line)].get(line)
+        return bool(entry and entry.dirty)
+
+    def invalidate(self, line: int) -> bool:
+        """Drop *line* (coherence probe). Returns True if it was dirty.
+
+        A dirty invalidation means the probe also triggered a data
+        transfer — the expensive case the paper's architecture avoids
+        across nodes.
+        """
+        s = self._sets[self.set_of(line)]
+        entry = s.pop(line, None)
+        if entry is None:
+            raise CoherenceError(
+                f"{self.name}: invalidate of non-resident line {line:#x}"
+            )
+        self.stats.invalidations_received += 1
+        return entry.dirty
+
+    def flush(self) -> list[int]:
+        """Write back and drop every dirty line; return their addresses.
+
+        Models the explicit cache flush the prototype performs between
+        a write phase and a parallel read-only phase (Section IV-B).
+        """
+        dirty: list[int] = []
+        for s in self._sets:
+            for line, entry in list(s.items()):
+                if entry.dirty:
+                    dirty.append(line)
+                del s[line]
+        self.stats.flushes += 1
+        self.stats.writebacks += len(dirty)
+        return dirty
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

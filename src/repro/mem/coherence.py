@@ -1,0 +1,190 @@
+"""Intra-node MESI coherence with probe accounting.
+
+This module exists to *demonstrate the paper's thesis quantitatively*:
+in the proposed architecture, the set of caches that must be probed on
+a coherent write is bounded by one node's caches, **independent of how
+much memory the region spans**; in a coherent-aggregation design
+(3Leaf/ScaleMP-style, Section II) the probe fan-out grows with every
+node contributing cache as well as memory.
+
+The domain tracks, per line, which member caches hold it and in what
+MESI state, keeps the caches' tag arrays in sync (installing and
+invalidating lines through their public API), and counts probes,
+invalidations and dirty data transfers. A latency model converts those
+counts into coherence overhead for the fast-simulation tier.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CoherenceError
+from repro.mem.cache import Cache
+
+__all__ = ["MESIState", "CoherenceStats", "CoherenceDomain"]
+
+
+class MESIState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class CoherenceStats:
+    """Probe traffic counters for one domain."""
+
+    read_requests: int = 0
+    write_requests: int = 0
+    #: probes sent to peer caches (each peer probed counts once)
+    probes_sent: int = 0
+    invalidations: int = 0
+    #: dirty-data transfers between caches (M -> requester)
+    interventions: int = 0
+
+    @property
+    def probes_per_request(self) -> float:
+        total = self.read_requests + self.write_requests
+        return self.probes_sent / total if total else 0.0
+
+
+class CoherenceDomain:
+    """A MESI directory over the caches of **one node**.
+
+    ``broadcast`` selects between snoop-broadcast probing (every peer
+    cache is probed on every miss — the Opteron's behaviour, whose cost
+    grows with domain size) and precise directory probing (only actual
+    sharers are probed).
+    """
+
+    def __init__(self, caches: list[Cache], broadcast: bool = True,
+                 name: str = "domain") -> None:
+        if not caches:
+            raise CoherenceError("a coherence domain needs at least one cache")
+        names = [c.name for c in caches]
+        if len(set(names)) != len(names):
+            raise CoherenceError(f"duplicate cache names in domain: {names}")
+        self.name = name
+        self.caches = list(caches)
+        self.broadcast = broadcast
+        #: line -> {cache index -> MESIState}; absent line == Invalid everywhere
+        self._directory: dict[int, dict[int, MESIState]] = {}
+        self.stats = CoherenceStats()
+
+    @property
+    def num_caches(self) -> int:
+        return len(self.caches)
+
+    # -- the two coherent operations ------------------------------------
+    def read(self, cache_idx: int, line: int) -> bool:
+        """Coherent read of *line* by cache *cache_idx*; True if cache hit."""
+        self._check_idx(cache_idx)
+        self.stats.read_requests += 1
+        sharers = self._directory.setdefault(line, {})
+        state = sharers.get(cache_idx, MESIState.INVALID)
+        if state is not MESIState.INVALID:
+            self.caches[cache_idx].access(line, is_write=False)
+            return True
+
+        # Miss: probe peers. A peer in M must supply the data
+        # (intervention) and drop to S; peers in E drop to S.
+        probed = (
+            self.num_caches - 1
+            if self.broadcast
+            else sum(1 for i in sharers if i != cache_idx)
+        )
+        self.stats.probes_sent += probed
+        for i, st in list(sharers.items()):
+            if i == cache_idx:
+                continue
+            if st is MESIState.MODIFIED:
+                self.stats.interventions += 1
+                sharers[i] = MESIState.SHARED
+            elif st is MESIState.EXCLUSIVE:
+                sharers[i] = MESIState.SHARED
+        newstate = (
+            MESIState.SHARED
+            if any(i != cache_idx for i in sharers)
+            else MESIState.EXCLUSIVE
+        )
+        sharers[cache_idx] = newstate
+        self._install(cache_idx, line, is_write=False)
+        return False
+
+    def write(self, cache_idx: int, line: int) -> bool:
+        """Coherent write of *line* by cache *cache_idx*; True if it
+        already held the line in M/E (silent upgrade)."""
+        self._check_idx(cache_idx)
+        self.stats.write_requests += 1
+        sharers = self._directory.setdefault(line, {})
+        state = sharers.get(cache_idx, MESIState.INVALID)
+        if state in (MESIState.MODIFIED, MESIState.EXCLUSIVE):
+            sharers[cache_idx] = MESIState.MODIFIED
+            self.caches[cache_idx].access(line, is_write=True)
+            return True
+
+        # Upgrade or write-miss: invalidate every other copy.
+        probed = (
+            self.num_caches - 1
+            if self.broadcast
+            else sum(1 for i in sharers if i != cache_idx)
+        )
+        self.stats.probes_sent += probed
+        for i, st in list(sharers.items()):
+            if i == cache_idx:
+                continue
+            if st is MESIState.MODIFIED:
+                self.stats.interventions += 1
+            self.stats.invalidations += 1
+            if self.caches[i].contains(line):
+                self.caches[i].invalidate(line)
+            del sharers[i]
+        hit = state is MESIState.SHARED
+        sharers[cache_idx] = MESIState.MODIFIED
+        self._install(cache_idx, line, is_write=True)
+        return hit
+
+    # -- queries used by tests and the fast model -------------------------
+    def state_of(self, cache_idx: int, line: int) -> MESIState:
+        self._check_idx(cache_idx)
+        return self._directory.get(line, {}).get(cache_idx, MESIState.INVALID)
+
+    def sharers_of(self, line: int) -> list[int]:
+        return sorted(self._directory.get(line, {}))
+
+    def check_invariants(self) -> None:
+        """SWMR: a line in M has exactly one holder; M never coexists
+        with S/E. Raises :class:`CoherenceError` on violation."""
+        for line, sharers in self._directory.items():
+            states = list(sharers.values())
+            if MESIState.MODIFIED in states and len(states) > 1:
+                raise CoherenceError(
+                    f"line {line:#x}: M coexists with other copies: {sharers}"
+                )
+            if states.count(MESIState.EXCLUSIVE) > 1:
+                raise CoherenceError(
+                    f"line {line:#x}: multiple E copies: {sharers}"
+                )
+            if MESIState.EXCLUSIVE in states and len(states) > 1:
+                raise CoherenceError(
+                    f"line {line:#x}: E coexists with other copies: {sharers}"
+                )
+
+    # -- internals ----------------------------------------------------------
+    def _install(self, cache_idx: int, line: int, is_write: bool) -> None:
+        """Install the line into the tag array, handling LRU eviction."""
+        result = self.caches[cache_idx].access(line, is_write=is_write)
+        if result.evicted is not None:
+            sharers = self._directory.get(result.evicted)
+            if sharers is not None:
+                sharers.pop(cache_idx, None)
+                if not sharers:
+                    del self._directory[result.evicted]
+
+    def _check_idx(self, idx: int) -> None:
+        if not 0 <= idx < self.num_caches:
+            raise CoherenceError(
+                f"cache index {idx} outside domain of {self.num_caches}"
+            )

@@ -1,0 +1,177 @@
+"""Virtual memory: page tables and per-process address spaces.
+
+Implements exactly the machinery Section III-B reviews: a load/store
+presents a virtual address; the TLB is consulted; on a miss the page
+table is walked and the TLB refilled; the resulting **physical address
+may carry a remote node prefix**, in which case the hardware forwards
+the access to the RMC with no software on the path.
+
+The page table stores *prefixed* physical page bases, so mapping a
+virtual page to remote memory is nothing more than writing a prefixed
+address into the table — the paper's key trick (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import AddressError, AllocationError, FaultError
+from repro.mem.tlb import TLB
+from repro.units import PAGE_SIZE
+
+__all__ = ["PTE", "PageTable", "AddressSpace", "Translation"]
+
+
+@dataclass(frozen=True)
+class PTE:
+    """One page-table entry."""
+
+    #: prefixed physical base address of the frame
+    phys_page: int
+    writable: bool = True
+    #: frame lives on a remote node (informational; the hardware does
+    #: not care — only the prefix matters)
+    remote: bool = False
+    #: frame may never be swapped (all remote reservations are pinned)
+    pinned: bool = False
+
+
+@dataclass(frozen=True)
+class Translation:
+    """Result of a virtual-address translation."""
+
+    phys_addr: int
+    tlb_hit: bool
+    pte: PTE
+
+
+class PageTable:
+    """vpn -> PTE mapping for one process."""
+
+    def __init__(self, page_bytes: int = PAGE_SIZE) -> None:
+        if page_bytes < 512 or page_bytes & (page_bytes - 1):
+            raise AddressError(
+                f"page size must be a power of two >= 512, got {page_bytes}"
+            )
+        self.page_bytes = page_bytes
+        self._entries: dict[int, PTE] = {}
+
+    def map(self, vpn: int, pte: PTE) -> None:
+        if vpn in self._entries:
+            raise AddressError(f"vpn {vpn:#x} is already mapped")
+        if pte.phys_page % self.page_bytes:
+            raise AddressError(
+                f"frame base {pte.phys_page:#x} not page-aligned"
+            )
+        self._entries[vpn] = pte
+
+    def unmap(self, vpn: int) -> PTE:
+        try:
+            return self._entries.pop(vpn)
+        except KeyError:
+            raise AddressError(f"vpn {vpn:#x} is not mapped") from None
+
+    def lookup(self, vpn: int) -> Optional[PTE]:
+        return self._entries.get(vpn)
+
+    def entries(self) -> Iterator[tuple[int, PTE]]:
+        return iter(sorted(self._entries.items()))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class AddressSpace:
+    """A process's virtual address space.
+
+    Virtual ranges are handed out by a simple bump allocator starting
+    at ``base`` (like ``mmap`` regions growing upward); translations go
+    TLB-first, then page-table walk.
+    """
+
+    #: default first virtual address handed out (skip a null guard zone)
+    DEFAULT_BASE = 0x1000_0000
+
+    def __init__(
+        self,
+        page_bytes: int = PAGE_SIZE,
+        tlb_entries: int = 512,
+        base: int = DEFAULT_BASE,
+        name: str = "as",
+    ) -> None:
+        self.name = name
+        self.page_table = PageTable(page_bytes)
+        self.tlb = TLB(tlb_entries, name=f"{name}.tlb")
+        self._next_vaddr = base
+        #: page-table walks performed (each is a slow OS-free HW walk)
+        self.walks = 0
+        #: faults raised for unmapped pages
+        self.faults = 0
+
+    @property
+    def page_bytes(self) -> int:
+        return self.page_table.page_bytes
+
+    # -- virtual allocation ------------------------------------------------
+    def reserve_virtual(self, num_pages: int) -> int:
+        """Carve a fresh, contiguous, unmapped virtual range.
+
+        Returns its base virtual address; pages are mapped later as the
+        OS-lite backs them.
+        """
+        if num_pages < 1:
+            raise AllocationError(f"need >= 1 page, got {num_pages}")
+        vaddr = self._next_vaddr
+        self._next_vaddr += num_pages * self.page_bytes
+        return vaddr
+
+    # -- mapping ---------------------------------------------------------------
+    def map_page(self, vaddr: int, pte: PTE) -> None:
+        if vaddr % self.page_bytes:
+            raise AddressError(f"vaddr {vaddr:#x} is not page-aligned")
+        self.page_table.map(vaddr // self.page_bytes, pte)
+
+    def unmap_page(self, vaddr: int) -> PTE:
+        if vaddr % self.page_bytes:
+            raise AddressError(f"vaddr {vaddr:#x} is not page-aligned")
+        vpn = vaddr // self.page_bytes
+        self.tlb.invalidate(vpn)
+        return self.page_table.unmap(vpn)
+
+    # -- translation -------------------------------------------------------
+    def translate(self, vaddr: int) -> Translation:
+        """Translate *vaddr*; TLB first, page-table walk on miss.
+
+        Raises :class:`FaultError` for unmapped pages — in the real
+        system the OS would allocate on demand; the simulator makes
+        this explicit via the OS-lite allocation APIs instead.
+        """
+        vpn, offset = divmod(vaddr, self.page_bytes)
+        phys_page = self.tlb.lookup(vpn)
+        if phys_page is not None:
+            pte = self.page_table.lookup(vpn)
+            assert pte is not None, "TLB entry for unmapped page"
+            return Translation(phys_page + offset, tlb_hit=True, pte=pte)
+        pte = self.page_table.lookup(vpn)
+        if pte is None:
+            self.faults += 1
+            raise FaultError(
+                f"{self.name}: access to unmapped virtual address {vaddr:#x}"
+            )
+        self.walks += 1
+        self.tlb.insert(vpn, pte.phys_page)
+        return Translation(pte.phys_page + offset, tlb_hit=False, pte=pte)
+
+    def translate_range(self, vaddr: int, size: int) -> list[Translation]:
+        """Translate every page an access of *size* bytes touches."""
+        if size <= 0:
+            raise AddressError(f"access size must be positive, got {size}")
+        out = []
+        page = self.page_bytes
+        first = vaddr // page
+        last = (vaddr + size - 1) // page
+        for vpn in range(first, last + 1):
+            start = max(vaddr, vpn * page)
+            out.append(self.translate(start))
+        return out

@@ -1,0 +1,65 @@
+"""Translation Lookaside Buffer model (Section III-B background).
+
+Fully-associative, exact-LRU TLB over virtual page numbers. The paging
+walk on a miss is charged by the caller (see
+:class:`repro.mem.paging.AddressSpace`); the TLB itself only tracks
+residency and counts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["TLB"]
+
+
+class TLB:
+    """vpn -> prefixed physical page address, with LRU replacement."""
+
+    def __init__(self, entries: int = 512, name: str = "tlb") -> None:
+        if entries < 1:
+            raise ConfigError(f"TLB needs >= 1 entry, got {entries}")
+        self.entries = entries
+        self.name = name
+        self._map: OrderedDict[int, int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def lookup(self, vpn: int) -> Optional[int]:
+        """Return the cached physical page base for *vpn*, or None."""
+        phys = self._map.get(vpn)
+        if phys is None:
+            self.misses += 1
+            return None
+        self._map.move_to_end(vpn)
+        self.hits += 1
+        return phys
+
+    def insert(self, vpn: int, phys_page: int) -> None:
+        """Fill an entry (what the OS does after walking the page table)."""
+        if vpn in self._map:
+            self._map.move_to_end(vpn)
+        self._map[vpn] = phys_page
+        if len(self._map) > self.entries:
+            self._map.popitem(last=False)
+
+    def invalidate(self, vpn: int) -> None:
+        """Drop one translation (page unmapped / remapped)."""
+        self._map.pop(vpn, None)
+
+    def flush(self) -> None:
+        """Drop everything (context switch / region reconfiguration)."""
+        self._map.clear()
+        self.flushes += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._map)

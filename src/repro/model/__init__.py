@@ -1,0 +1,37 @@
+"""Fast simulation tier.
+
+Application-scale experiments (the b-tree of Figs. 9-10, the PARSEC-like
+workloads of Fig. 11) involve 10^6-10^8 memory accesses — far beyond
+what packet-level discrete-event simulation sustains in Python. This
+package provides the second fidelity tier:
+
+* :mod:`repro.model.latency` — per-access latency constants composed
+  analytically from the same configuration objects the packet tier
+  uses, plus a calibration routine that *measures* them on a live
+  packet-level cluster (a test asserts the two agree);
+* :mod:`repro.model.fastsim` — trace-driven accessors: workloads issue
+  reads/writes against real backing memory while time accumulates per
+  access according to the latency model, a line cache, and (for the
+  baselines) an LRU page cache.
+"""
+
+from repro.model.latency import LatencyModel
+from repro.model.fastsim import (
+    Accessor,
+    LocalMemAccessor,
+    RemoteMemAccessor,
+    SwapAccessor,
+    BumpAllocator,
+)
+from repro.model.prefetch import PrefetchConfig, StreamPrefetcher
+
+__all__ = [
+    "LatencyModel",
+    "Accessor",
+    "LocalMemAccessor",
+    "RemoteMemAccessor",
+    "SwapAccessor",
+    "BumpAllocator",
+    "PrefetchConfig",
+    "StreamPrefetcher",
+]

@@ -1,0 +1,293 @@
+"""Trace-driven accessors: the fast tier's execution engines.
+
+Workloads (the b-tree, the PARSEC-like kernels) are written once
+against the :class:`Accessor` interface; the accessor decides what each
+read/write costs:
+
+* :class:`LocalMemAccessor` — line cache, then local DRAM;
+* :class:`RemoteMemAccessor` — the proposed architecture: line cache
+  (remote ranges are write-back cacheable in the prototype), then a
+  constant remote line latency. Page locality is irrelevant — this is
+  Equation (2) made executable;
+* :class:`SwapAccessor` — the baseline: line cache, local DRAM for
+  resident pages, and an LRU page pool whose misses pay the full swap
+  fault — Equation (1) made executable. Works for both remote swap and
+  disk swap depending on the swap device passed in.
+
+All accessors are *functional*: data really lives in a
+:class:`~repro.mem.backing.BackingStore`, so workload results are
+checkable, and the same workload code can also run against the
+packet-level :class:`~repro.cluster.api.Session` through
+:class:`repro.apps.access.SessionAccessor` for cross-validation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Union
+
+import numpy as np
+
+from repro.config import CacheConfig
+from repro.errors import AllocationError
+from repro.mem.backing import BackingStore
+from repro.mem.cache import Cache
+from repro.model.latency import LatencyModel
+from repro.swap.diskswap import DiskSwap
+from repro.swap.remoteswap import RemoteSwap
+from repro.units import CACHE_LINE
+
+__all__ = [
+    "Accessor",
+    "BumpAllocator",
+    "LocalMemAccessor",
+    "RemoteMemAccessor",
+    "SwapAccessor",
+]
+
+
+class Accessor(Protocol):
+    """What a workload needs from its memory system."""
+
+    time_ns: float
+    accesses: int
+
+    def read(self, addr: int, size: int) -> bytes: ...
+    def write(self, addr: int, data: bytes) -> None: ...
+    def read_u64(self, addr: int) -> int: ...
+    def write_u64(self, addr: int, value: int) -> None: ...
+    def read_array(self, addr: int, count: int, dtype) -> np.ndarray: ...
+    def write_array(self, addr: int, values: np.ndarray) -> None: ...
+    def bulk_write(self, addr: int, data: bytes) -> None: ...
+    def compute(self, ns: float) -> None: ...
+
+
+class BumpAllocator:
+    """Trivial arena allocator for workload data structures."""
+
+    def __init__(self, capacity: int, base: int = 0, align: int = 8) -> None:
+        self.base = base
+        self.capacity = capacity
+        self.align = align
+        self._next = base
+
+    def alloc(self, size: int) -> int:
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive: {size}")
+        size = -(-size // self.align) * self.align
+        if self._next + size > self.base + self.capacity:
+            raise AllocationError(
+                f"arena exhausted: need {size:#x}, "
+                f"free {self.base + self.capacity - self._next:#x}"
+            )
+        addr = self._next
+        self._next += size
+        return addr
+
+    @property
+    def used_bytes(self) -> int:
+        return self._next - self.base
+
+
+class _BaseAccessor:
+    """Shared functional plumbing + typed helpers."""
+
+    def __init__(self, backing: BackingStore) -> None:
+        self.backing = backing
+        self.time_ns = 0.0
+        self.accesses = 0
+
+    # -- functional data path --------------------------------------------
+    def read(self, addr: int, size: int) -> bytes:
+        self._charge(addr, size, is_write=False)
+        return self.backing.read(addr, size)
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._charge(addr, len(data), is_write=True)
+        self.backing.write(addr, data)
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, int(value).to_bytes(8, "little", signed=False))
+
+    def read_array(self, addr: int, count: int, dtype) -> np.ndarray:
+        dt = np.dtype(dtype)
+        raw = self.read(addr, count * dt.itemsize)
+        return np.frombuffer(raw, dtype=dt).copy()
+
+    def write_array(self, addr: int, values: np.ndarray) -> None:
+        self.write(addr, np.ascontiguousarray(values).tobytes())
+
+    def bulk_write(self, addr: int, data: bytes) -> None:
+        """Untimed setup write (population phases are not measured)."""
+        self.backing.write(addr, data)
+
+    def compute(self, ns: float) -> None:
+        """Charge non-memory work (per-item computation in workloads)."""
+        if ns < 0:
+            raise ValueError(f"negative compute time {ns}")
+        self.time_ns += ns
+
+    # -- timing hook ----------------------------------------------------------
+    def _charge(self, addr: int, size: int, is_write: bool) -> None:
+        raise NotImplementedError
+
+    def reset_clock(self) -> None:
+        self.time_ns = 0.0
+        self.accesses = 0
+
+
+def _default_cache(name: str) -> Cache:
+    return Cache(CacheConfig(), name=name)
+
+
+class LocalMemAccessor(_BaseAccessor):
+    """Everything in local DRAM behind a write-back line cache."""
+
+    def __init__(
+        self,
+        latency: LatencyModel,
+        backing: BackingStore,
+        cache: Optional[Cache] = None,
+        use_cache: bool = True,
+    ) -> None:
+        super().__init__(backing)
+        self.latency = latency
+        self.cache = (
+            cache if cache is not None
+            else (_default_cache("local.l2") if use_cache else None)
+        )
+
+    def _charge(self, addr: int, size: int, is_write: bool) -> None:
+        for line in _lines(addr, size):
+            self.accesses += 1
+            if self.cache is None:
+                self.time_ns += self.latency.local_ns
+                continue
+            result = self.cache.access(line, is_write)
+            if result.hit:
+                self.time_ns += self.latency.cache_hit_ns
+            else:
+                if result.writeback:
+                    self.time_ns += self.latency.local_ns
+                self.time_ns += self.latency.local_ns
+
+
+class RemoteMemAccessor(_BaseAccessor):
+    """The paper's architecture: misses pay a constant remote latency.
+
+    ``hops`` positions the memory server on the fabric. The prototype
+    caches remote ranges write-back, so a line cache fronts the remote
+    latency; write-backs of dirty remote lines pay the remote path too.
+
+    ``prefetch`` enables the stream prefetcher of
+    :mod:`repro.model.prefetch` — the paper's Section VI future work —
+    so sequential misses are largely covered in flight.
+    """
+
+    def __init__(
+        self,
+        latency: LatencyModel,
+        backing: BackingStore,
+        hops: int = 1,
+        cache: Optional[Cache] = None,
+        use_cache: bool = True,
+        prefetch: Optional["PrefetchConfig"] = None,
+    ) -> None:
+        from repro.model.prefetch import PrefetchConfig, StreamPrefetcher
+
+        super().__init__(backing)
+        self.latency = latency
+        self.hops = hops
+        self.cache = (
+            cache if cache is not None
+            else (_default_cache("remote.l2") if use_cache else None)
+        )
+        self.prefetcher: Optional[StreamPrefetcher] = (
+            StreamPrefetcher(prefetch) if prefetch is not None else None
+        )
+
+    def _miss_ns(self, remote: float, line: int) -> float:
+        """Latency of a cache-missing line, prefetch-aware."""
+        if self.prefetcher is not None and self.prefetcher.access(line):
+            return self.prefetcher.config.covered_ns
+        return remote
+
+    def _charge(self, addr: int, size: int, is_write: bool) -> None:
+        remote = self.latency.remote_ns(self.hops)
+        for line in _lines(addr, size):
+            self.accesses += 1
+            if self.cache is None:
+                self.time_ns += self._miss_ns(remote, line)
+                continue
+            result = self.cache.access(line, is_write)
+            if result.hit:
+                self.time_ns += self.latency.cache_hit_ns
+            else:
+                if result.writeback:
+                    self.time_ns += remote
+                self.time_ns += self._miss_ns(remote, line)
+
+
+class SwapAccessor(_BaseAccessor):
+    """Remote-swap / disk-swap baseline.
+
+    Resident pages behave like local memory (line cache + local DRAM);
+    non-resident pages pay the swap device's fault service time on top.
+    """
+
+    def __init__(
+        self,
+        latency: LatencyModel,
+        backing: BackingStore,
+        swap: Union[RemoteSwap, DiskSwap],
+        cache: Optional[Cache] = None,
+        use_cache: bool = True,
+    ) -> None:
+        super().__init__(backing)
+        self.latency = latency
+        self.swap = swap
+        self.cache = (
+            cache if cache is not None
+            else (_default_cache("swap.l2") if use_cache else None)
+        )
+
+    def _charge(self, addr: int, size: int, is_write: bool) -> None:
+        for line in _lines(addr, size):
+            self.accesses += 1
+            line_addr = line * CACHE_LINE
+            # page residency is checked first: even a line-cache hit on
+            # a swapped-out page is impossible (the line was evicted
+            # with the page), so charge the fault before the cache.
+            fault_ns = self.swap.access_ns(line_addr, is_write)
+            if fault_ns > 0.0:
+                self.time_ns += fault_ns
+                if self.cache is not None:
+                    # the faulting line is installed by the fetch
+                    result = self.cache.access(line, is_write)
+                    if result.writeback:
+                        self.time_ns += self.latency.local_ns
+                self.time_ns += self.latency.local_ns
+                continue
+            if self.cache is None:
+                self.time_ns += self.latency.local_ns
+                continue
+            result = self.cache.access(line, is_write)
+            if result.hit:
+                self.time_ns += self.latency.cache_hit_ns
+            else:
+                if result.writeback:
+                    self.time_ns += self.latency.local_ns
+                self.time_ns += self.latency.local_ns
+
+    @property
+    def fault_count(self) -> int:
+        return self.swap.stats.faults
+
+
+def _lines(addr: int, size: int) -> range:
+    """Cache lines touched by an access."""
+    if size <= 0:
+        raise ValueError(f"access size must be positive: {size}")
+    return range(addr // CACHE_LINE, (addr + size - 1) // CACHE_LINE + 1)

@@ -1,0 +1,110 @@
+"""Stream prefetching for remote memory — the paper's future work.
+
+Section VI: "we are confident that improved implementations ... and the
+use of prefetching techniques will bring the performance closer to
+local memory." This module implements that extension so the claim can
+be evaluated: a classic multi-stream next-N-lines prefetcher sitting in
+front of the remote latency.
+
+Model: the prefetcher tracks up to ``streams`` sequential miss streams
+(LRU-replaced). Two consecutive line misses L-1, L confirm a stream and
+issue prefetches for lines L+1 .. L+depth; every later demand access
+that hits a prefetched line costs ``covered_ns`` (the residual wait for
+an in-flight line) instead of the full remote latency, and keeps the
+stream running one line further ahead. Prefetched lines that age out
+unreferenced count as wasted fabric traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["PrefetchConfig", "StreamPrefetcher"]
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Stream-prefetcher geometry and timing."""
+
+    #: concurrent sequential streams tracked
+    streams: int = 8
+    #: lines fetched ahead once a stream is confirmed
+    depth: int = 4
+    #: cost of a demand access that hits a prefetched line (the resid-
+    #: ual wait for an in-flight line; well under the full latency)
+    covered_ns: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.streams < 1:
+            raise ConfigError(f"need >= 1 stream, got {self.streams}")
+        if self.depth < 1:
+            raise ConfigError(f"need depth >= 1, got {self.depth}")
+        if self.covered_ns < 0:
+            raise ConfigError("covered_ns cannot be negative")
+
+
+class StreamPrefetcher:
+    """Next-N-lines stream prefetcher state machine."""
+
+    def __init__(self, config: PrefetchConfig) -> None:
+        self.config = config
+        #: stream heads: last line seen per tracked stream (LRU order)
+        self._heads: OrderedDict[int, None] = OrderedDict()
+        #: prefetched-but-unreferenced lines (insertion order = age)
+        self._prefetched: OrderedDict[int, None] = OrderedDict()
+        self.issued = 0
+        self.covered = 0
+        self.wasted = 0
+        self.demand_misses = 0
+
+    def access(self, line: int) -> bool:
+        """Feed one demand access that missed the cache.
+
+        Returns True if a prefetch covers the line (charge the caller's
+        ``covered_ns``), False for a genuine miss (full latency).
+        """
+        if line in self._prefetched:
+            del self._prefetched[line]
+            self.covered += 1
+            # keep the stream rolling one line further ahead
+            self._set_head(line)
+            self._issue(line + self.config.depth)
+            return True
+
+        self.demand_misses += 1
+        if (line - 1) in self._heads:
+            # stream confirmed: fetch the next `depth` lines
+            del self._heads[line - 1]
+            self._set_head(line)
+            for ahead in range(1, self.config.depth + 1):
+                self._issue(line + ahead)
+        else:
+            self._set_head(line)  # a potential new stream
+        return False
+
+    # -- internals ----------------------------------------------------------
+    def _set_head(self, line: int) -> None:
+        self._heads[line] = None
+        self._heads.move_to_end(line)
+        while len(self._heads) > self.config.streams:
+            self._heads.popitem(last=False)
+
+    def _issue(self, line: int) -> None:
+        if line in self._prefetched:
+            return
+        self._prefetched[line] = None
+        self._prefetched.move_to_end(line)
+        self.issued += 1
+        # bound the buffer to streams * depth * 2 outstanding entries
+        limit = self.config.streams * self.config.depth * 2
+        while len(self._prefetched) > limit:
+            self._prefetched.popitem(last=False)
+            self.wasted += 1
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of issued prefetches that were referenced."""
+        return self.covered / self.issued if self.issued else 0.0

@@ -1,0 +1,30 @@
+"""Inter-node interconnect.
+
+The prototype joins its 16 RMCs with a 4x4 2D mesh of HyperTransport
+links, a switch embedded in each FPGA, and dimension-order routing
+(Section IV-B). This package provides:
+
+* :mod:`repro.noc.topology` — mesh/torus/ring/line graph builders with
+  1-based node ids and coordinate arithmetic,
+* :mod:`repro.noc.routing` — X-Y dimension-order routing (deadlock-free
+  on meshes) and precomputed routing tables,
+* :mod:`repro.noc.switch` — the per-node FPGA switch model,
+* :mod:`repro.noc.network` — the assembled fabric facade the RMCs
+  inject into.
+"""
+
+from repro.noc.topology import Topology
+from repro.noc.routing import RoutingTable
+from repro.noc.switch import Switch
+from repro.noc.network import Network
+from repro.noc.fabricstats import FabricStats, collect, mesh_heatmap
+
+__all__ = [
+    "Topology",
+    "RoutingTable",
+    "Switch",
+    "Network",
+    "FabricStats",
+    "collect",
+    "mesh_heatmap",
+]

@@ -1,0 +1,102 @@
+"""Deterministic routing.
+
+2-D meshes/tori use **X-Y dimension-order routing** (correct X first,
+then Y), which is minimal and deadlock-free on meshes — the natural
+choice for the prototype's FPGA switches. Rings/lines route along the
+shorter arc (lines have only one).
+
+The full ``(current, destination) -> next hop`` table is precomputed at
+construction; lookups on the critical path are a dict access.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.noc.topology import Topology
+
+__all__ = ["RoutingTable"]
+
+
+class RoutingTable:
+    """Precomputed next-hop table over a :class:`Topology`."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._next: dict[tuple[int, int], int] = {}
+        self._build()
+
+    def next_hop(self, current: int, dest: int) -> int:
+        """The neighbor to forward to from *current* toward *dest*."""
+        if current == dest:
+            raise TopologyError(f"packet for node {dest} is already there")
+        try:
+            return self._next[(current, dest)]
+        except KeyError:
+            raise TopologyError(
+                f"no route from {current} to {dest} in {self.topology.kind}"
+            ) from None
+
+    def path(self, src: int, dst: int) -> list[int]:
+        """Full node sequence src..dst under this routing function."""
+        path = [src]
+        cur = src
+        guard = self.topology.num_nodes + 1
+        while cur != dst:
+            cur = self.next_hop(cur, dst)
+            path.append(cur)
+            if len(path) > guard:
+                raise TopologyError(
+                    f"routing loop detected from {src} to {dst}: {path}"
+                )
+        return path
+
+    def hops(self, src: int, dst: int) -> int:
+        return len(self.path(src, dst)) - 1
+
+    # -- construction ------------------------------------------------------
+    def _build(self) -> None:
+        topo = self.topology
+        kind = topo.kind
+        n = topo.num_nodes
+        for cur in range(1, n + 1):
+            for dst in range(1, n + 1):
+                if cur == dst:
+                    continue
+                if kind in ("mesh", "torus"):
+                    nxt = self._dor_next(cur, dst)
+                elif kind == "ring":
+                    nxt = self._ring_next(cur, dst)
+                elif kind == "fullmesh":
+                    nxt = dst  # one switched hop to anywhere
+                else:  # line
+                    nxt = cur + 1 if dst > cur else cur - 1
+                self._next[(cur, dst)] = nxt
+
+    def _dor_next(self, cur: int, dst: int) -> int:
+        topo = self.topology
+        w, h = topo.dims
+        cx, cy = topo.coords(cur)
+        dx, dy = topo.coords(dst)
+        wrap = topo.kind == "torus"
+        if cx != dx:
+            step = self._axis_step(cx, dx, w, wrap)
+            return topo.node_at((cx + step) % w, cy)
+        step = self._axis_step(cy, dy, h, wrap)
+        return topo.node_at(cx, (cy + step) % h)
+
+    @staticmethod
+    def _axis_step(c: int, d: int, extent: int, wrap: bool) -> int:
+        """+1 or -1 along one axis (shorter way around on a torus)."""
+        if not wrap:
+            return 1 if d > c else -1
+        forward = (d - c) % extent
+        backward = (c - d) % extent
+        return 1 if forward <= backward else -1
+
+    def _ring_next(self, cur: int, dst: int) -> int:
+        n = self.topology.num_nodes
+        forward = (dst - cur) % n
+        backward = (cur - dst) % n
+        if forward <= backward:
+            return cur % n + 1
+        return (cur - 2) % n + 1

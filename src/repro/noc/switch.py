@@ -1,0 +1,106 @@
+"""The per-node fabric switch.
+
+Each FPGA carries a switch that routes HNC packets between its four
+mesh ports and the local RMC (Section IV-B). The model:
+
+* one bounded ingress queue (input buffering; full buffers exert
+  back-pressure on upstream links because their delivery ``put``
+  blocks),
+* a forwarding process that charges the switch traversal latency and
+  pushes the packet onto the proper output link (or hands it to the
+  local endpoint when it has arrived),
+* per-switch forwarded/delivered counters feeding the congestion
+  analysis of Figs. 7 and 8.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.config import NetworkConfig
+from repro.errors import TopologyError
+from repro.ht.link import Link
+from repro.ht.packet import Packet
+from repro.noc.routing import RoutingTable
+from repro.sim.engine import Simulator
+from repro.sim.resources import Store
+from repro.sim.stats import Counter
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """One node's fabric switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        config: NetworkConfig,
+        routing: RoutingTable,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.routing = routing
+        #: neighbor node id -> outgoing Link (filled in by Network)
+        self.out_links: dict[int, Link] = {}
+        #: local endpoint callback (the RMC's fabric-ingress deliver)
+        self._endpoint: Optional[Callable[[Packet], None]] = None
+        # Ingress shared by all input ports; bounded so a congested
+        # switch back-pressures its upstream links.
+        port_count = 5  # 4 mesh directions + local injection
+        self.ingress = Store(
+            sim,
+            capacity=config.switch_buffer_packets * port_count,
+            name=f"sw{node_id}.in",
+        )
+        self.forwarded = Counter(f"sw{node_id}.forwarded")
+        self.delivered = Counter(f"sw{node_id}.delivered")
+        sim.process(self._forward_loop(), name=f"sw{node_id}.fwd")
+
+    # -- wiring ----------------------------------------------------------
+    def connect(self, neighbor: int, link: Link) -> None:
+        if neighbor in self.out_links:
+            raise TopologyError(
+                f"switch {self.node_id} already linked to {neighbor}"
+            )
+        self.out_links[neighbor] = link
+
+    def set_endpoint(self, deliver: Callable[[Packet], None]) -> None:
+        if self._endpoint is not None:
+            raise TopologyError(f"switch {self.node_id} already has an endpoint")
+        self._endpoint = deliver
+
+    # -- packet entry points -----------------------------------------------
+    def inject(self, packet: Packet) -> "Store":
+        """Local RMC injects a packet; returns the ingress store event
+        source so callers may block on admission via ``put``."""
+        return self.ingress
+
+    # -- forwarding engine ---------------------------------------------------
+    def _forward_loop(self) -> Generator:
+        while True:
+            packet: Packet = yield self.ingress.get()
+            yield self.sim.timeout(self.config.switch_latency_ns)
+            if packet.dst == self.node_id:
+                self.delivered.add()
+                if self._endpoint is None:
+                    raise TopologyError(
+                        f"switch {self.node_id}: packet arrived but no "
+                        "endpoint is attached"
+                    )
+                self._endpoint(packet)
+                continue
+            nxt = self.routing.next_hop(self.node_id, packet.dst)
+            try:
+                link = self.out_links[nxt]
+            except KeyError:
+                raise TopologyError(
+                    f"switch {self.node_id}: no link toward {nxt}"
+                ) from None
+            packet.hops += 1
+            self.forwarded.add()
+            # Wait for serialization (this is where link contention and
+            # back-pressure arise); propagation is pipelined inside Link.
+            yield link.send(packet)

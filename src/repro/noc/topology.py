@@ -1,0 +1,120 @@
+"""Interconnect topologies.
+
+Node identifiers are **1-based** everywhere (a node 0 must not exist —
+it would collide with the "local" address prefix, Section III-B). For
+2-D topologies node ``n`` sits at coordinates
+``((n-1) % width, (n-1) // width)``.
+
+Graphs are built with :mod:`networkx` so standard graph queries
+(connectivity, diameter, shortest paths) come for free in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import networkx as nx
+
+from repro.config import NetworkConfig
+from repro.errors import TopologyError
+
+__all__ = ["Topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An undirected interconnect graph with coordinate metadata."""
+
+    kind: str
+    dims: tuple[int, int]
+    graph: nx.Graph = field(compare=False, repr=False)
+
+    @staticmethod
+    def build(config: NetworkConfig) -> "Topology":
+        """Construct the topology described by *config*."""
+        kind = config.topology
+        if kind in ("mesh", "torus"):
+            w, h = config.dims
+            g = nx.Graph()
+            for n in range(1, w * h + 1):
+                g.add_node(n)
+            for n in range(1, w * h + 1):
+                x, y = (n - 1) % w, (n - 1) // w
+                if x + 1 < w:
+                    g.add_edge(n, n + 1)
+                elif kind == "torus" and w > 2:
+                    g.add_edge(n, n - (w - 1))
+                if y + 1 < h:
+                    g.add_edge(n, n + w)
+                elif kind == "torus" and h > 2:
+                    g.add_edge(n, n - w * (h - 1))
+            return Topology(kind, (w, h), g)
+        if kind in ("ring", "line"):
+            n_nodes = config.dims[0]
+            g = nx.Graph()
+            for n in range(1, n_nodes + 1):
+                g.add_node(n)
+            for n in range(1, n_nodes):
+                g.add_edge(n, n + 1)
+            if kind == "ring":
+                if n_nodes < 3:
+                    raise TopologyError("a ring needs >= 3 nodes")
+                g.add_edge(n_nodes, 1)
+            return Topology(kind, (n_nodes, 1), g)
+        if kind == "fullmesh":
+            # every pair directly connected — the abstraction of a
+            # non-blocking central switch, i.e. the HT-over-Ethernet /
+            # InfiniBand deployment Section IV-B anticipates (switch
+            # traversal time goes into the link's latency instead)
+            n_nodes = config.dims[0]
+            if n_nodes < 2:
+                raise TopologyError("a full mesh needs >= 2 nodes")
+            g = nx.complete_graph(range(1, n_nodes + 1))
+            return Topology(kind, (n_nodes, 1), g)
+        raise TopologyError(f"unknown topology kind {kind!r}")
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def width(self) -> int:
+        return self.dims[0]
+
+    def coords(self, node: int) -> tuple[int, int]:
+        """(x, y) grid position of a node."""
+        self._check(node)
+        return (node - 1) % self.width, (node - 1) // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        w, h = self.dims
+        if not (0 <= x < w and 0 <= y < h):
+            raise TopologyError(f"coords ({x}, {y}) outside {w}x{h} grid")
+        return y * w + x + 1
+
+    def neighbors(self, node: int) -> list[int]:
+        self._check(node)
+        return sorted(self.graph.neighbors(node))
+
+    def hops(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes."""
+        self._check(src)
+        self._check(dst)
+        return nx.shortest_path_length(self.graph, src, dst)
+
+    def nodes_at_distance(self, src: int, d: int) -> list[int]:
+        """All nodes exactly *d* hops from *src* (used by Fig. 6/7 setups)."""
+        self._check(src)
+        lengths = nx.single_source_shortest_path_length(self.graph, src)
+        return sorted(n for n, hop in lengths.items() if hop == d)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        return iter(self.graph.edges())
+
+    def _check(self, node: int) -> None:
+        if node not in self.graph:
+            raise TopologyError(
+                f"node {node} not in {self.kind} topology of {self.num_nodes}"
+            )

@@ -1,0 +1,20 @@
+"""The Remote Memory Controller — the paper's core contribution.
+
+The RMC (Sections III-B and IV-A) is an HT I/O unit that makes memory
+on other nodes reachable by ordinary load/store instructions:
+
+* **client role** — local memory transactions whose physical address
+  carries a non-zero node prefix are bridged onto the HNC fabric and
+  matched with their returning responses;
+* **server role** — fabric requests arriving for this node have their
+  prefix stripped and are replayed to the local memory controllers,
+  and the replies are sent back.
+
+No translation tables are needed (node ids start at 1, so prefix 0 is
+"local" at every node) and no software runs on the access path.
+"""
+
+from repro.rmc.outstanding import OutstandingTable, PendingOp
+from repro.rmc.rmc import RMC
+
+__all__ = ["RMC", "OutstandingTable", "PendingOp"]

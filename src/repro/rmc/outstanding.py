@@ -1,0 +1,84 @@
+"""Outstanding-transaction tracking for the RMC client pipeline.
+
+Every remote request in flight holds one of the RMC's scarce buffer
+entries from local acceptance until its response is delivered back to
+the issuing core. The table pairs responses with requests by tag,
+counts retransmissions, and exposes occupancy for instrumentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.ht.packet import Packet
+from repro.sim.resources import Request, Store
+
+__all__ = ["PendingOp", "OutstandingTable"]
+
+
+@dataclass
+class PendingOp:
+    """One in-flight remote transaction."""
+
+    request: Packet
+    #: where the final response must be delivered (the issuing core's
+    #: private response store); None for RMC-internal prefetches
+    reply_to: Optional[Store]
+    #: the buffer-slot grant held for the transaction's lifetime
+    #: (None for prefetches, which bypass the scarce demand slots)
+    slot: Optional[Request]
+    issue_ns: float
+    retries: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def is_prefetch(self) -> bool:
+        return bool(self.meta.get("prefetch"))
+
+
+class OutstandingTable:
+    """tag -> :class:`PendingOp` with misuse checking."""
+
+    def __init__(self, name: str = "outstanding") -> None:
+        self.name = name
+        self._pending: dict[int, PendingOp] = {}
+        self.peak = 0
+        self.total_retries = 0
+
+    def add(self, op: PendingOp) -> None:
+        tag = op.request.tag
+        if tag in self._pending:
+            raise ProtocolError(f"{self.name}: duplicate in-flight tag {tag}")
+        self._pending[tag] = op
+        self.peak = max(self.peak, len(self._pending))
+
+    def get(self, tag: int) -> PendingOp:
+        try:
+            return self._pending[tag]
+        except KeyError:
+            raise ProtocolError(
+                f"{self.name}: response for unknown tag {tag}"
+            ) from None
+
+    def complete(self, tag: int) -> PendingOp:
+        """Remove and return the entry for *tag*."""
+        op = self.get(tag)
+        del self._pending[tag]
+        return op
+
+    def note_retry(self, tag: int) -> int:
+        """Record a retransmission; returns the new retry count."""
+        op = self.get(tag)
+        op.retries += 1
+        self.total_retries += 1
+        return op.retries
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, tag: int) -> bool:
+        return tag in self._pending

@@ -1,0 +1,395 @@
+"""The Remote Memory Controller model.
+
+One RMC per node, playing both protocol roles concurrently:
+
+* **client** — local memory transactions addressed to other nodes
+  enter through :attr:`RMC.ingress` (routed there by the on-board
+  crossbar, which falls back to the RMC for every address with a
+  non-zero prefix). The RMC acquires one of its scarce in-flight
+  buffer slots, bridges the packet onto the HNC fabric, and later
+  matches the returning response to the issuing core. A full buffer
+  NACKs the core, which retries after a back-off.
+* **server** — fabric requests for this node are admitted (or NACKed
+  over the fabric when the server buffer is full), prefix-stripped,
+  and replayed to the local memory controllers through the crossbar;
+  the controllers' replies are encapsulated and sent back.
+
+Both roles share nothing but the fabric port: the client pipeline is
+the expensive side of the FPGA (request decode + tag matching), and is
+where Fig. 7's bottleneck lives. Pipeline service time degrades with
+queue length (``congestion_alpha``), modeling arbitration stalls of
+the FPGA under bursty load — the mechanism behind the paper's
+observation that moving memory servers *farther away* can slightly
+improve a saturated client.
+
+Control (CTRL) packets — the OS-level reservation protocol of Fig. 4 —
+share the fabric and are surfaced on :attr:`RMC.ctrl_in` for the
+OS-lite daemon.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generator
+
+from repro.config import RMCConfig
+from repro.errors import ProtocolError
+from repro.ht.crossbar import Crossbar
+from repro.ht.hnc import HNCBridge
+from repro.ht.packet import (
+    Packet,
+    PacketType,
+    TagAllocator,
+    make_ctrl,
+    make_nack,
+    make_read_resp,
+)
+from repro.units import CACHE_LINE as _LINE
+from repro.mem.addressmap import AddressMap
+from repro.noc.network import Network
+from repro.rmc.outstanding import OutstandingTable, PendingOp
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Resource, Store
+from repro.sim.stats import Counter, Tally, TimeWeighted
+
+__all__ = ["RMC"]
+
+
+class RMC:
+    """Remote Memory Controller bound to one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: RMCConfig,
+        amap: AddressMap,
+        node_id: int,
+        network: Network,
+        crossbar: Crossbar,
+        tags: TagAllocator,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.amap = amap
+        self.node_id = node_id
+        self.network = network
+        self.crossbar = crossbar
+        self.tags = tags
+        self.name = f"rmc{node_id}"
+        self.bridge = HNCBridge(amap, node_id)
+
+        # pipelines and buffers
+        self._client_pipe = Resource(sim, 1, name=f"{self.name}.cpipe")
+        self._server_pipe = Resource(sim, 1, name=f"{self.name}.spipe")
+        #: dedicated low-priority prefetch engine (Section VI HW option)
+        self._prefetch_pipe = Resource(sim, 1, name=f"{self.name}.pfpipe")
+        self._slots = Resource(sim, config.buffer_entries,
+                               name=f"{self.name}.slots")
+        self._server_slots = Resource(sim, config.server_buffer_entries,
+                                      name=f"{self.name}.sslots")
+
+        # queues
+        self.ingress: Store = Store(sim, name=f"{self.name}.local_in")
+        self._fabric_in: Store = Store(sim, name=f"{self.name}.fabric_in")
+        self._mc_resp: Store = Store(sim, name=f"{self.name}.mc_resp")
+        self.ctrl_in: Store = Store(sim, name=f"{self.name}.ctrl_in")
+
+        self.outstanding = OutstandingTable(name=f"{self.name}.out")
+
+        #: hardware-prefetch line buffer: prefixed line addr -> payload
+        #: (Section VI future work; empty when prefetch_depth == 0)
+        self._prefetch_data: "OrderedDict[int, bytes]" = OrderedDict()
+        self._prefetch_inflight: set[int] = set()
+
+        # instrumentation
+        self.prefetch_issued = Counter(f"{self.name}.pf_issued")
+        self.prefetch_hits = Counter(f"{self.name}.pf_hits")
+        self.client_requests = Counter(f"{self.name}.client_reqs")
+        self.server_requests = Counter(f"{self.name}.server_reqs")
+        self.client_nacks = Counter(f"{self.name}.client_nacks")
+        self.server_nacks = Counter(f"{self.name}.server_nacks")
+        self.retransmissions = Counter(f"{self.name}.retx")
+        self.remote_latency_ns = Tally(f"{self.name}.remote_latency")
+        self.inflight = TimeWeighted(f"{self.name}.inflight")
+
+        network.attach(node_id, self._fabric_in.put)
+        sim.process(self._local_loop(), name=f"{self.name}.local")
+        sim.process(self._fabric_loop(), name=f"{self.name}.fabric")
+        sim.process(self._mc_resp_loop(), name=f"{self.name}.mcresp")
+
+    # -- crossbar device interface -----------------------------------------
+    def owns(self, addr: int) -> bool:
+        """The RMC serves every address with a non-zero node prefix.
+
+        (In practice the crossbar routes to the RMC as its fallback;
+        this predicate exists for symmetry and assertions.)
+        """
+        return self.amap.node_of(addr) != 0
+
+    def deliver(self, packet: Packet) -> None:
+        self.ingress.put(packet)
+
+    # -- OS-level control-plane API ------------------------------------------
+    def send_ctrl(self, dst_node: int, tag: int | None = None, **meta) -> Event:
+        """Send a reservation-protocol message to *dst_node* (Fig. 4).
+
+        *tag* may be supplied by the caller so it can pair the reply;
+        otherwise a fresh tag is drawn.
+        """
+        if dst_node == self.node_id:
+            raise ProtocolError("control message addressed to the local node")
+        pkt = make_ctrl(
+            self.node_id, dst_node, tag if tag is not None else self.tags.next(),
+            **meta,
+        )
+        return self.network.inject(self.node_id, pkt)
+
+    # -- shared pipeline helper ------------------------------------------
+    def _pipe_service(self, pipe: Resource, base_ns: float) -> Generator:
+        """Hold *pipe* for a queue-length-degraded service time."""
+        waiting = pipe.queued + pipe.count  # load observed on arrival
+        grant = pipe.request()
+        yield grant
+        try:
+            mult = min(
+                1.0 + self.config.congestion_alpha * waiting,
+                self.config.congestion_cap,
+            )
+            yield self.sim.timeout(base_ns * mult)
+        finally:
+            pipe.release(grant)
+
+    # -- client role ---------------------------------------------------------
+    def _local_loop(self) -> Generator:
+        cfg = self.config
+        while True:
+            packet: Packet = yield self.ingress.get()
+            if not packet.ptype.is_request:
+                raise ProtocolError(
+                    f"{self.name}: unexpected local packet {packet!r}"
+                )
+            if self.amap.is_loopback(packet.addr, self.node_id):
+                raise ProtocolError(
+                    f"{self.name}: loopback access to {packet.addr:#x} — the "
+                    "reservation protocol must never map a node's own window"
+                )
+            reply_to: Store = packet.meta["reply_to"]
+
+            # hardware prefetch: writes invalidate buffered lines; reads
+            # fully covered by a buffered line complete without the fabric
+            if self.config.prefetch_depth:
+                line_addr = packet.addr & ~(_LINE - 1)
+                if packet.ptype is PacketType.WRITE_REQ:
+                    self._prefetch_data.pop(line_addr, None)
+                elif (
+                    packet.ptype is PacketType.READ_REQ
+                    and line_addr in self._prefetch_data
+                    and packet.addr + packet.size <= line_addr + _LINE
+                ):
+                    self.prefetch_hits.add()
+                    yield from self._pipe_service(
+                        self._client_pipe, cfg.per_op_ns()
+                    )
+                    data = self._prefetch_data.pop(line_addr)
+                    offset = packet.addr - line_addr
+                    response = make_read_resp(
+                        packet, data[offset : offset + packet.size]
+                    )
+                    yield reply_to.put(response)
+                    # keep the stream rolling: top the window back up
+                    # (already-covered lines are skipped, so this nets
+                    # one new fetch at the prefetch distance)
+                    self.sim.process(
+                        self._issue_prefetches(line_addr),
+                        name=f"{self.name}.pf",
+                    )
+                    continue
+
+            if self._slots.count >= self._slots.capacity:
+                # Buffer full: decode + NACK through the client pipe.
+                self.client_nacks.add()
+                yield from self._pipe_service(self._client_pipe, cfg.nack_ns)
+                yield reply_to.put(make_nack(packet, self.node_id))
+                continue
+            slot = self._slots.request()
+            yield slot  # immediate: capacity was checked above
+            self.client_requests.add()
+            self.inflight.adjust(+1, self.sim.now)
+            yield from self._pipe_service(self._client_pipe, cfg.per_op_ns())
+            fabric_meta = dict(packet.meta)
+            fabric_meta.pop("reply_to", None)  # stores never cross nodes
+            to_send = Packet(
+                ptype=packet.ptype,
+                src=packet.src,
+                dst=packet.dst,
+                addr=packet.addr,
+                size=packet.size,
+                tag=packet.tag,
+                payload=packet.payload,
+                issue_ns=self.sim.now,
+                meta=fabric_meta,
+            )
+            fabric_pkt = self.bridge.to_fabric(to_send)
+            self.outstanding.add(
+                PendingOp(
+                    request=fabric_pkt,
+                    reply_to=reply_to,
+                    slot=slot,
+                    issue_ns=self.sim.now,
+                )
+            )
+            yield self.network.inject(self.node_id, fabric_pkt)
+            if self.config.prefetch_depth and packet.ptype is PacketType.READ_REQ:
+                # issued in the background: prefetch competes for the
+                # pipe but never blocks demand decode (low priority)
+                self.sim.process(
+                    self._issue_prefetches(packet.addr),
+                    name=f"{self.name}.pf",
+                )
+
+    # -- fabric side (both roles) ------------------------------------------
+    def _fabric_loop(self) -> Generator:
+        while True:
+            packet: Packet = yield self._fabric_in.get()
+            if packet.ptype is PacketType.CTRL:
+                yield self.ctrl_in.put(packet)
+            elif packet.ptype.is_request:
+                yield from self._admit_server_request(packet)
+            elif packet.ptype is PacketType.NACK:
+                self.sim.process(
+                    self._retransmit(packet), name=f"{self.name}.retx"
+                )
+            elif packet.ptype.is_response:
+                if self.outstanding.get(packet.tag).is_prefetch:
+                    # prefetch fills complete on their own engine and
+                    # never block demand responses behind them
+                    self.sim.process(
+                        self._complete_prefetch(packet),
+                        name=f"{self.name}.pfdone",
+                    )
+                else:
+                    yield from self._complete_client_op(packet)
+            else:  # pragma: no cover - enum is exhaustive
+                raise ProtocolError(f"{self.name}: unroutable {packet!r}")
+
+    def _admit_server_request(self, packet: Packet) -> Generator:
+        cfg = self.config
+        if self._server_slots.count >= self._server_slots.capacity:
+            self.server_nacks.add()
+            yield from self._pipe_service(self._server_pipe, cfg.nack_ns)
+            yield self.network.inject(
+                self.node_id, make_nack(packet, self.node_id)
+            )
+            return
+        slot = self._server_slots.request()
+        yield slot
+        self.server_requests.add()
+        self.sim.process(
+            self._serve_request(packet, slot), name=f"{self.name}.serve"
+        )
+
+    def _serve_request(self, packet: Packet, slot) -> Generator:
+        yield from self._pipe_service(
+            self._server_pipe, self.config.server_per_op_ns()
+        )
+        local = self.bridge.from_fabric(packet)
+        local.meta["reply_to"] = self._mc_resp
+        local.meta["server_slot"] = slot
+        yield self.crossbar.send(local)
+
+    def _mc_resp_loop(self) -> Generator:
+        while True:
+            response: Packet = yield self._mc_resp.get()
+            slot = response.meta.pop("server_slot")
+            response.meta.pop("reply_to", None)
+            yield from self._pipe_service(
+                self._server_pipe, self.config.server_per_op_ns()
+            )
+            self._server_slots.release(slot)
+            yield self.network.inject(self.node_id, response)
+
+    def _complete_client_op(self, packet: Packet) -> Generator:
+        yield from self._pipe_service(
+            self._client_pipe, self.config.per_op_ns()
+        )
+        op = self.outstanding.complete(packet.tag)
+        assert op.slot is not None and op.reply_to is not None
+        self._slots.release(op.slot)
+        self.inflight.adjust(-1, self.sim.now)
+        self.remote_latency_ns.observe(self.sim.now - op.issue_ns)
+        yield op.reply_to.put(packet)
+
+    def _complete_prefetch(self, packet: Packet) -> Generator:
+        # a fill is just a line-buffer write: it must never queue
+        # behind prefetch *issues* (or it loses the race against the
+        # demand stream by one pipe service, forever)
+        yield self.sim.timeout(10.0)
+        op = self.outstanding.complete(packet.tag)
+        line_addr = op.request.addr
+        self._prefetch_inflight.discard(line_addr)
+        assert packet.payload is not None
+        self._prefetch_data[line_addr] = packet.payload
+        self._prefetch_data.move_to_end(line_addr)
+        while len(self._prefetch_data) > self.config.prefetch_buffer_lines:
+            self._prefetch_data.popitem(last=False)
+
+    def _issue_prefetches(self, demand_addr: int) -> Generator:
+        """Fetch the next ``prefetch_depth`` lines after a demand read.
+
+        Prefetches bypass the scarce demand slots (they have their own
+        small buffer) but pay the client pipe and the fabric like any
+        transaction — the bandwidth cost of prefetching is real.
+        """
+        owner = self.amap.node_of(demand_addr)
+        line_addr = demand_addr & ~(_LINE - 1)
+        for d in range(1, self.config.prefetch_depth + 1):
+            pf_addr = line_addr + d * _LINE
+            if self.amap.node_of(pf_addr) != owner:
+                break  # never cross the owner window
+            if (
+                pf_addr in self._prefetch_data
+                or pf_addr in self._prefetch_inflight
+            ):
+                continue
+            # reserve before the (slow) pipe service so concurrent
+            # issuing processes never duplicate a fetch
+            self._prefetch_inflight.add(pf_addr)
+            yield from self._pipe_service(
+                self._prefetch_pipe, self.config.per_op_ns()
+            )
+            pf_request = Packet(
+                ptype=PacketType.READ_REQ,
+                src=self.node_id,
+                dst=owner,
+                addr=pf_addr,
+                size=_LINE,
+                tag=self.tags.next(),
+                issue_ns=self.sim.now,
+                meta={"prefetch": True},
+            )
+            self.prefetch_issued.add()
+            self.outstanding.add(
+                PendingOp(
+                    request=pf_request,
+                    reply_to=None,
+                    slot=None,
+                    issue_ns=self.sim.now,
+                    meta={"prefetch": True},
+                )
+            )
+            yield self.network.inject(self.node_id, pf_request)
+
+    def _retransmit(self, nack: Packet) -> Generator:
+        """A remote server NACKed one of our requests: back off and resend."""
+        if nack.tag not in self.outstanding:
+            raise ProtocolError(
+                f"{self.name}: NACK for unknown tag {nack.tag}"
+            )
+        self.retransmissions.add()
+        self.outstanding.note_retry(nack.tag)
+        yield self.sim.timeout(self.config.retry_backoff_ns)
+        yield from self._pipe_service(
+            self._client_pipe, self.config.per_op_ns()
+        )
+        op = self.outstanding.get(nack.tag)
+        yield self.network.inject(self.node_id, op.request)

@@ -1,0 +1,42 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic, generator-coroutine engine in the style of
+SimPy, purpose-built for the packet-level tier of the simulator:
+
+* :class:`~repro.sim.engine.Simulator` — the event loop and clock.
+* :class:`~repro.sim.engine.Event` / :class:`~repro.sim.engine.Process`
+  — waitables that processes ``yield``.
+* :mod:`repro.sim.resources` — capacity-limited resources, FIFO stores
+  and rendezvous channels used to model queues and link arbitration.
+* :mod:`repro.sim.stats` — counters, tallies and time-weighted
+  statistics for instrumentation.
+* :mod:`repro.sim.rng` — reproducible random-stream derivation.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+from repro.sim.stats import Counter, Histogram, Tally, TimeWeighted
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "Resource",
+    "Store",
+    "Counter",
+    "Tally",
+    "TimeWeighted",
+    "Histogram",
+]

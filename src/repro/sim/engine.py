@@ -1,0 +1,446 @@
+"""Generator-coroutine discrete-event simulation core.
+
+The engine follows the classic event-list design: a binary heap of
+``(time, sequence, event)`` entries drives a clock that jumps from one
+event to the next. Model behaviour is written as generator functions
+("processes") that ``yield`` waitables:
+
+* :class:`Timeout` — resume after a simulated delay,
+* :class:`Event` — resume when some other process triggers it,
+* :class:`Process` — resume when a child process terminates,
+* :class:`AnyOf` / :class:`AllOf` — composite conditions.
+
+Determinism: ties in time are broken by a monotonically increasing
+sequence number, so two runs with the same seeds replay identically.
+Time is measured in nanoseconds (see :mod:`repro.units`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+]
+
+#: Sentinel for "event created but not yet triggered".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot waitable.
+
+    An event starts *pending*; it is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, at which point it is placed on the
+    simulator's event list and, when the clock reaches it, its
+    callbacks run and any process waiting on it resumes.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._scheduled = False
+
+    # -- state predicates -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True unless the event was failed with an exception."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with."""
+        if self._value is _PENDING:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with *value* after *delay*."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception.
+
+        A process waiting on the event will have the exception thrown
+        into it at its ``yield`` statement.
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    # -- engine internals ---------------------------------------------------
+    def _fire(self) -> None:
+        """Run callbacks. Called by the simulator when popped off the heap."""
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register *cb* to run when the event fires.
+
+        If the event has already been processed the callback runs
+        immediately (same semantics as SimPy's defused joins).
+        """
+        if self.callbacks is None:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running generator coroutine; also an event that fires on exit.
+
+    The process event succeeds with the generator's ``return`` value,
+    or fails with the exception that escaped the generator.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process target must be a generator, got {generator!r}"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the process at the current simulation time.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.add_callback(self._resume)
+        sim._schedule(init, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a dead process is an error; interrupting a process
+        blocked on an event detaches it from that event first.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self._target is self:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from the event we were waiting on (if it still has its
+        # callback list). The event may fire later; we simply ignore it.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._target = None
+        interrupt_evt = Event(self.sim)
+        interrupt_evt._ok = False
+        interrupt_evt._value = Interrupt(cause)
+        interrupt_evt.add_callback(self._resume)
+        self.sim._schedule(interrupt_evt, 0.0)
+
+    # -- engine internals ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the result of *event*."""
+        self.sim._active = self
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.sim._schedule(self, 0.0)
+            return
+        except BaseException as exc:
+            self._ok = False
+            self._value = exc
+            if not self.sim._catch_process_errors:
+                raise
+            self.sim._schedule(self, 0.0)
+            return
+        finally:
+            self.sim._active = None
+
+        if not isinstance(target, Event):
+            # Tell the generator it misbehaved so stack traces point at it.
+            exc = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            try:
+                self._generator.throw(exc)
+            except StopIteration as stop:  # pragma: no cover
+                self._ok = True
+                self._value = stop.value
+                self.sim._schedule(self, 0.0)
+                return
+            except BaseException as err:
+                self._ok = False
+                self._value = err
+                raise
+        if target.sim is not self.sim:
+            raise SimulationError("cannot wait on an event from another simulator")
+        self._target = target
+        target.add_callback(self._resume)
+
+
+class Condition(Event):
+    """Base for composite events over a set of child events."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed({})
+            return
+        for evt in self._events:
+            if evt.sim is not sim:
+                raise SimulationError("condition mixes events from different sims")
+            evt.add_callback(self._check)
+
+    def _results(self) -> dict[Event, Any]:
+        # ``processed`` (callbacks ran), not ``triggered``: a Timeout is
+        # triggered at construction but has not *happened* until fired.
+        return {e: e._value for e in self._events if e.processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(Condition):
+    """Fires as soon as any child event fires.
+
+    The value is a dict of the triggered children and their values.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed(self._results())
+
+
+class AllOf(Condition):
+    """Fires once every child event has fired.
+
+    The value is a dict mapping every child event to its value.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._results())
+
+
+class Simulator:
+    """The event loop: a clock plus a time-ordered event heap.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def producer(sim, out):
+            for i in range(3):
+                yield sim.timeout(10.0)
+                out.append((sim.now, i))
+
+        items = []
+        sim.process(producer(sim, items))
+        sim.run()
+    """
+
+    def __init__(self, *, catch_process_errors: bool = False) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq: int = 0
+        self._running = False
+        self._active: Optional[Process] = None
+        #: When True, exceptions escaping a process fail its event
+        #: instead of aborting the run (useful for fault injection).
+        self._catch_process_errors = catch_process_errors
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active
+
+    # -- event construction -----------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires *delay* ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Any, Any, Any], name: str = ""
+    ) -> Process:
+        """Start *generator* as a process; returns its completion event."""
+        return Process(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if event._scheduled:
+            raise SimulationError(f"{event!r} is already scheduled")
+        event._scheduled = True
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    # -- execution ---------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _, event = heapq.heappop(self._heap)
+        self._now = when
+        event._fire()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or the clock reaches *until*.
+
+        Returns the final simulation time. If *until* is given the
+        clock is advanced exactly to it even if no event lies there.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"until={until} lies in the past (now={self._now})"
+            )
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self._now = until
+                    return self._now
+                self.step()
+            if until is not None:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_process(self, generator: Generator[Any, Any, Any]) -> Any:
+        """Convenience: run *generator* as a process to completion.
+
+        Drains the whole event heap, then returns the process's return
+        value (re-raising any exception that escaped it).
+        """
+        proc = self.process(generator)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} deadlocked: event heap drained while "
+                "it was still waiting"
+            )
+        if not proc._ok:
+            raise proc._value
+        return proc._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.1f}ns queued={len(self._heap)}>"

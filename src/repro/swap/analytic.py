@@ -1,0 +1,84 @@
+"""The paper's closed-form memory-time models (Equations 1 and 2).
+
+Equation (1) — remote swap::
+
+    T_remote_swap = A_total * L_local + (A_total / A_page) * L_swap
+
+where ``A_total`` is the number of memory accesses, ``A_page`` the
+number of accesses a page receives during one residency in main
+memory, ``L_local`` the local RAM latency, ``L_swap`` the latency of
+fetching a page from remote memory.
+
+Equation (2) — the proposed remote memory::
+
+    T_remote_memory = A_total * L_remote
+
+The structural point the paper draws from the pair: remote memory is
+*insensitive to page locality* — ``A_page`` never appears in (2) — while
+remote swap degrades without bound as locality vanishes
+(``A_page -> 1``).
+
+These functions are cross-checked against the trace-driven models in
+``tests/swap/test_analytic.py``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "remote_swap_time_ns",
+    "remote_memory_time_ns",
+    "crossover_accesses_per_page",
+]
+
+
+def remote_swap_time_ns(
+    total_accesses: int,
+    accesses_per_page: float,
+    local_latency_ns: float,
+    swap_latency_ns: float,
+) -> float:
+    """Equation (1): total memory time under remote swap."""
+    if total_accesses < 0:
+        raise ConfigError(f"negative access count {total_accesses}")
+    if accesses_per_page < 1:
+        raise ConfigError(
+            f"accesses per page must be >= 1, got {accesses_per_page}"
+        )
+    return (
+        total_accesses * local_latency_ns
+        + (total_accesses / accesses_per_page) * swap_latency_ns
+    )
+
+
+def remote_memory_time_ns(
+    total_accesses: int,
+    remote_latency_ns: float,
+) -> float:
+    """Equation (2): total memory time under the proposed architecture."""
+    if total_accesses < 0:
+        raise ConfigError(f"negative access count {total_accesses}")
+    return total_accesses * remote_latency_ns
+
+
+def crossover_accesses_per_page(
+    local_latency_ns: float,
+    swap_latency_ns: float,
+    remote_latency_ns: float,
+) -> float:
+    """Page locality at which the two designs break even.
+
+    Setting (1) == (2) and solving for ``A_page``::
+
+        A_page* = L_swap / (L_remote - L_local)
+
+    An application re-touching each fetched page more than ``A_page*``
+    times favors remote swap; anything sparser favors remote memory.
+    This is the quantitative form of the paper's locality argument.
+    """
+    if remote_latency_ns <= local_latency_ns:
+        raise ConfigError(
+            "remote latency must exceed local latency for a crossover"
+        )
+    return swap_latency_ns / (remote_latency_ns - local_latency_ns)

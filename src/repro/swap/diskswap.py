@@ -1,0 +1,62 @@
+"""Disk-swap baseline ("the traditional approach", Section II).
+
+Identical structure to :class:`repro.swap.remoteswap.RemoteSwap` but
+with disk service times: a seek plus the page transfer at disk
+bandwidth, which puts a fault in the milliseconds — the regime where
+"the thrashing problem easily arises, increasing execution time to
+prohibitive levels".
+"""
+
+from __future__ import annotations
+
+from repro.config import SwapConfig
+from repro.swap.pagecache import LRUPageCache
+
+__all__ = ["DiskSwap"]
+
+
+class DiskSwap:
+    """Page-granular disk-swap cost model."""
+
+    def __init__(
+        self,
+        config: SwapConfig,
+        resident_pages: int,
+        name: str = "disk_swap",
+    ) -> None:
+        self.config = config
+        self.name = name
+        self.cache = LRUPageCache(resident_pages, name=f"{name}.frames")
+        self.fault_time_ns = 0.0
+
+    @property
+    def page_bytes(self) -> int:
+        return self.config.page_bytes
+
+    def page_of(self, addr: int) -> int:
+        return addr // self.config.page_bytes
+
+    def fault_service_ns(self) -> float:
+        return self.config.disk_page_ns()
+
+    def writeback_service_ns(self) -> float:
+        # Writes can be queued but must eventually pay seek + transfer.
+        return (
+            self.config.disk_seek_ns
+            + self.config.page_bytes / self.config.disk_bandwidth_Bpns
+        )
+
+    def access_ns(self, addr: int, is_write: bool = False) -> float:
+        """Extra time this access pays to the swap subsystem (0 on hit)."""
+        fault = self.cache.access(self.page_of(addr), is_write)
+        if fault is None:
+            return 0.0
+        cost = self.fault_service_ns()
+        if fault.evicted_dirty:
+            cost += self.writeback_service_ns()
+        self.fault_time_ns += cost
+        return cost
+
+    @property
+    def stats(self):
+        return self.cache.stats

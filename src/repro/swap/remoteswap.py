@@ -1,0 +1,76 @@
+"""Remote-swap baseline.
+
+Pages evicted from local RAM are parked in another node's memory and
+fetched back over the network on a fault. Faster than disk, but —
+unlike the paper's architecture — the OS sits on the critical path of
+every first touch of a page, and an access pattern with poor page
+locality faults constantly (the thrashing of Fig. 10).
+
+The model charges, per application memory access:
+
+* resident page: the local memory latency (optionally behind a line
+  cache supplied by the caller),
+* fault: OS fault handling + network setup + page serialization, plus
+  a dirty-victim write-back when the LRU evicts a modified page.
+"""
+
+from __future__ import annotations
+
+from repro.config import SwapConfig
+from repro.swap.pagecache import LRUPageCache
+
+__all__ = ["RemoteSwap"]
+
+
+class RemoteSwap:
+    """Page-granular remote-swap cost model."""
+
+    def __init__(
+        self,
+        config: SwapConfig,
+        resident_pages: int,
+        name: str = "remote_swap",
+    ) -> None:
+        self.config = config
+        self.name = name
+        self.cache = LRUPageCache(resident_pages, name=f"{name}.frames")
+        self.fault_time_ns = 0.0
+
+    @property
+    def page_bytes(self) -> int:
+        return self.config.page_bytes
+
+    def page_of(self, addr: int) -> int:
+        return addr // self.config.page_bytes
+
+    def fault_service_ns(self) -> float:
+        """Cost of pulling one page from the remote store."""
+        return self.config.remote_page_ns()
+
+    def writeback_service_ns(self) -> float:
+        """Cost of pushing a dirty victim back (overlaps the fetch in
+        real kernels only partially; we charge the transfer, not the
+        OS entry, which is shared with the fault)."""
+        return (
+            self.config.net_setup_ns
+            + self.config.page_bytes / self.config.net_bandwidth_Bpns
+        )
+
+    def access_ns(self, addr: int, is_write: bool = False) -> float:
+        """Extra time this access pays to the swap subsystem.
+
+        Returns 0.0 for resident pages — the caller charges its normal
+        local-memory latency on top.
+        """
+        fault = self.cache.access(self.page_of(addr), is_write)
+        if fault is None:
+            return 0.0
+        cost = self.fault_service_ns()
+        if fault.evicted_dirty:
+            cost += self.writeback_service_ns()
+        self.fault_time_ns += cost
+        return cost
+
+    @property
+    def stats(self):
+        return self.cache.stats

@@ -1,0 +1,129 @@
+"""Time and size units used throughout the simulator.
+
+Simulated time is measured in **nanoseconds** (floats); sizes in
+**bytes** (ints). These helpers exist so that configuration code reads
+like the paper ("4 GB per socket", "800 MHz DDR2") instead of raw
+powers of two.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "S",
+    "KIB",
+    "MIB",
+    "GIB",
+    "CACHE_LINE",
+    "PAGE_SIZE",
+    "ns",
+    "us",
+    "ms",
+    "seconds",
+    "kib",
+    "mib",
+    "gib",
+    "fmt_time",
+    "fmt_size",
+    "bandwidth_time",
+]
+
+# -- time constants (all in nanoseconds) ---------------------------------
+NS: float = 1.0
+US: float = 1_000.0
+MS: float = 1_000_000.0
+S: float = 1_000_000_000.0
+
+# -- size constants (bytes) ----------------------------------------------
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+#: Cache-line size of the modeled Opteron (64 bytes).
+CACHE_LINE: int = 64
+
+#: Default OS page size (4 KiB), used by the paging and swap subsystems.
+PAGE_SIZE: int = 4 * KIB
+
+
+def ns(x: float) -> float:
+    """Return *x* nanoseconds expressed in simulator time units."""
+    return x * NS
+
+
+def us(x: float) -> float:
+    """Return *x* microseconds expressed in simulator time units."""
+    return x * US
+
+
+def ms(x: float) -> float:
+    """Return *x* milliseconds expressed in simulator time units."""
+    return x * MS
+
+
+def seconds(x: float) -> float:
+    """Return *x* seconds expressed in simulator time units."""
+    return x * S
+
+
+def kib(x: float) -> int:
+    """Return *x* KiB in bytes."""
+    return int(x * KIB)
+
+
+def mib(x: float) -> int:
+    """Return *x* MiB in bytes."""
+    return int(x * MIB)
+
+
+def gib(x: float) -> int:
+    """Return *x* GiB in bytes."""
+    return int(x * GIB)
+
+
+def fmt_time(t_ns: float) -> str:
+    """Render a duration in the most readable unit.
+
+    >>> fmt_time(1500)
+    '1.500 us'
+    """
+    t = float(t_ns)
+    if t < 0:
+        return "-" + fmt_time(-t)
+    if t < US:
+        return f"{t:.1f} ns"
+    if t < MS:
+        return f"{t / US:.3f} us"
+    if t < S:
+        return f"{t / MS:.3f} ms"
+    return f"{t / S:.3f} s"
+
+
+def fmt_size(nbytes: int) -> str:
+    """Render a byte count in the most readable power-of-two unit.
+
+    >>> fmt_size(4096)
+    '4.0 KiB'
+    """
+    n = float(nbytes)
+    if n < 0:
+        return "-" + fmt_size(-nbytes)
+    if n < KIB:
+        return f"{int(n)} B"
+    if n < MIB:
+        return f"{n / KIB:.1f} KiB"
+    if n < GIB:
+        return f"{n / MIB:.1f} MiB"
+    return f"{n / GIB:.2f} GiB"
+
+
+def bandwidth_time(nbytes: int, bytes_per_ns: float) -> float:
+    """Serialization delay of *nbytes* over a link of the given bandwidth.
+
+    ``bytes_per_ns`` is bytes per nanosecond, i.e. GB/s in SI units.
+    """
+    if bytes_per_ns <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bytes_per_ns}")
+    return nbytes / bytes_per_ns

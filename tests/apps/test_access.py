@@ -1,0 +1,108 @@
+"""Tests for accessor adapters and the trace recorder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.access import SessionAccessor, TraceRecorder
+from repro.cluster.malloc import Placement
+from repro.config import ClusterConfig
+from repro.mem.backing import BackingStore
+from repro.model.fastsim import LocalMemAccessor
+from repro.model.latency import LatencyModel
+from repro.units import mib
+
+
+@pytest.fixture
+def lat():
+    return LatencyModel.from_config(ClusterConfig())
+
+
+class TestSessionAccessor:
+    def test_functional_roundtrip(self, small_cluster):
+        app = small_cluster.session(1)
+        app.borrow_remote(2, mib(8))
+        acc = SessionAccessor(app, capacity=mib(2),
+                              placement=Placement.REMOTE)
+        acc.write(100, b"abc")
+        assert acc.read(100, 3) == b"abc"
+        acc.write_u64(0, 77)
+        assert acc.read_u64(0) == 77
+
+    def test_time_is_simulated_time(self, small_cluster):
+        app = small_cluster.session(1)
+        app.borrow_remote(2, mib(8))
+        acc = SessionAccessor(app, capacity=mib(1),
+                              placement=Placement.REMOTE, cached=False)
+        assert acc.time_ns == 0.0
+        acc.read(0, 64)
+        assert acc.time_ns > 0
+        acc.reset_clock()
+        assert acc.time_ns == 0.0
+
+    def test_bulk_write_untimed_and_visible(self, small_cluster):
+        app = small_cluster.session(1)
+        acc = SessionAccessor(app, capacity=mib(1),
+                              placement=Placement.LOCAL)
+        t0 = acc.time_ns
+        payload = bytes(range(256)) * 64  # spans multiple pages
+        acc.bulk_write(3000, payload)
+        assert acc.time_ns == t0
+        assert acc.read(3000, len(payload)) == payload
+
+    def test_compute_advances_clock(self, small_cluster):
+        app = small_cluster.session(1)
+        acc = SessionAccessor(app, capacity=mib(1),
+                              placement=Placement.LOCAL)
+        acc.compute(500.0)
+        assert acc.time_ns == pytest.approx(500.0)
+
+    def test_array_helpers(self, small_cluster):
+        app = small_cluster.session(1)
+        acc = SessionAccessor(app, capacity=mib(1),
+                              placement=Placement.LOCAL)
+        values = np.arange(100, dtype=np.uint64)
+        acc.write_array(0, values)
+        assert (acc.read_array(0, 100, np.uint64) == values).all()
+
+
+class TestTraceRecorder:
+    def test_records_reads_and_writes(self, lat):
+        inner = LocalMemAccessor(lat, BackingStore(1 << 20))
+        rec = TraceRecorder(inner)
+        rec.write(0, b"xy")
+        rec.read(64, 8)
+        rec.read_u64(128)
+        assert [(e.addr, e.is_write) for e in rec.trace] == [
+            (0, True),
+            (64, False),
+            (128, False),
+        ]
+        assert rec.accesses == inner.accesses
+        assert rec.time_ns == inner.time_ns
+
+    def test_functional_passthrough(self, lat):
+        rec = TraceRecorder(LocalMemAccessor(lat, BackingStore(1 << 20)))
+        rec.write_u64(8, 99)
+        assert rec.read_u64(8) == 99
+
+    def test_max_entries_cap(self, lat):
+        rec = TraceRecorder(
+            LocalMemAccessor(lat, BackingStore(1 << 20)), max_entries=2
+        )
+        for i in range(5):
+            rec.read(i * 64, 8)
+        assert len(rec.trace) == 2
+
+    def test_unique_pages(self, lat):
+        rec = TraceRecorder(LocalMemAccessor(lat, BackingStore(1 << 20)))
+        rec.read(0, 8)
+        rec.read(100, 8)
+        rec.read(5000, 8)
+        assert rec.unique_pages(4096) == 2
+
+    def test_bulk_write_not_traced(self, lat):
+        rec = TraceRecorder(LocalMemAccessor(lat, BackingStore(1 << 20)))
+        rec.bulk_write(0, bytes(100))
+        assert rec.trace == []

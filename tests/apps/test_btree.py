@@ -1,0 +1,168 @@
+"""Tests for the B-tree workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.btree import BTree
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.mem.backing import BackingStore
+from repro.model.fastsim import LocalMemAccessor
+from repro.model.latency import LatencyModel
+
+
+@pytest.fixture
+def lat():
+    return LatencyModel.from_config(ClusterConfig())
+
+
+def make_tree(lat, children=8, capacity=1 << 24):
+    acc = LocalMemAccessor(lat, BackingStore(capacity))
+    return BTree(acc, children=children)
+
+
+class TestBulkLoad:
+    def test_all_keys_findable(self, lat):
+        tree = make_tree(lat, children=8)
+        keys = np.arange(10, 2000, 3, dtype=np.uint64)
+        tree.bulk_load(keys)
+        assert all(tree.search(int(k)) for k in keys)
+
+    def test_absent_keys_not_found(self, lat):
+        tree = make_tree(lat, children=8)
+        keys = np.arange(10, 2000, 3, dtype=np.uint64)
+        tree.bulk_load(keys)
+        assert not any(tree.search(int(k) + 1) for k in keys[:100])
+        assert not tree.search(5)
+        assert not tree.search(10**9)
+
+    def test_height_is_logarithmic(self, lat):
+        tree = make_tree(lat, children=16)
+        n = 5000
+        tree.bulk_load(np.arange(1, n + 1, dtype=np.uint64))
+        # 15 keys/node: height must be near log_16
+        assert tree.height <= 4
+        assert tree.num_keys == n
+
+    def test_single_key(self, lat):
+        tree = make_tree(lat)
+        tree.bulk_load(np.array([42], dtype=np.uint64))
+        assert tree.height == 0
+        assert tree.search(42)
+
+    def test_exact_full_tree(self, lat):
+        """n exactly fills a two-level tree."""
+        tree = make_tree(lat, children=4)
+        n = 3 + 4 * 3  # root full + 4 full leaves
+        tree.bulk_load(np.arange(1, n + 1, dtype=np.uint64))
+        assert tree.height == 1
+        assert all(tree.search(k) for k in range(1, n + 1))
+
+    def test_unsorted_keys_rejected(self, lat):
+        tree = make_tree(lat)
+        with pytest.raises(ConfigError):
+            tree.bulk_load(np.array([3, 1, 2], dtype=np.uint64))
+
+    def test_duplicate_keys_rejected(self, lat):
+        tree = make_tree(lat)
+        with pytest.raises(ConfigError):
+            tree.bulk_load(np.array([1, 1, 2], dtype=np.uint64))
+
+    def test_non_empty_tree_rejected(self, lat):
+        tree = make_tree(lat)
+        tree.insert(5)
+        with pytest.raises(ConfigError):
+            tree.bulk_load(np.array([1, 2], dtype=np.uint64))
+
+    def test_empty_load_is_noop(self, lat):
+        tree = make_tree(lat)
+        tree.bulk_load(np.array([], dtype=np.uint64))
+        assert not tree.search(1)
+
+
+class TestInsert:
+    def test_insert_and_search(self, lat):
+        tree = make_tree(lat, children=4)
+        for k in (5, 1, 9, 3, 7, 2, 8, 4, 6, 10, 11, 12):
+            tree.insert(k)
+        for k in range(1, 13):
+            assert tree.search(k)
+        assert not tree.search(0)
+        assert tree.num_keys == 12
+
+    def test_splits_grow_height(self, lat):
+        tree = make_tree(lat, children=3)
+        for k in range(1, 30):
+            tree.insert(k)
+        assert tree.height >= 2
+        assert all(tree.search(k) for k in range(1, 30))
+
+    def test_duplicate_insert_rejected(self, lat):
+        tree = make_tree(lat)
+        tree.insert(5)
+        with pytest.raises(ConfigError):
+            tree.insert(5)
+
+
+class TestGeometry:
+    def test_node_bytes_formula(self, lat):
+        tree = make_tree(lat, children=168)
+        assert tree.node_bytes == 16 + 8 * (2 * 168 - 1)
+
+    def test_min_children_validated(self, lat):
+        acc = LocalMemAccessor(lat, BackingStore(1 << 20))
+        with pytest.raises(ConfigError):
+            BTree(acc, children=2)
+
+    def test_small_nodes_packed_within_pages(self, lat):
+        tree = make_tree(lat, children=8)  # 136-byte nodes
+        keys = np.arange(1, 3000, dtype=np.uint64)
+        tree.bulk_load(keys)
+        # arena consumption far below one page per node
+        assert tree.arena.used_bytes < tree.num_nodes * 4096 / 4
+
+
+class TestStats:
+    def test_search_stats_accumulate(self, lat):
+        tree = make_tree(lat, children=8)
+        tree.bulk_load(np.arange(1, 1000, dtype=np.uint64))
+        tree.search(500)
+        tree.search(10**6)
+        s = tree.stats
+        assert s.searches == 2
+        assert s.found == 1
+        assert s.nodes_visited >= 2
+        assert s.key_probes > 0
+        assert s.mean_depth >= 1
+        tree.reset_stats()
+        assert tree.stats.searches == 0
+
+    def test_search_time_charged_to_accessor(self, lat):
+        tree = make_tree(lat, children=8)
+        tree.bulk_load(np.arange(1, 5000, dtype=np.uint64))
+        t0 = tree.accessor.time_ns
+        tree.search(2500)
+        assert tree.accessor.time_ns > t0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    keys=st.sets(st.integers(1, 10**6), min_size=1, max_size=400),
+    children=st.sampled_from([3, 4, 8, 31]),
+)
+def test_btree_equals_set_semantics(keys, children):
+    """Property: after bulk-loading any key set, search answers exactly
+    like set membership (probed with members and non-members)."""
+    lat = LatencyModel.from_config(ClusterConfig())
+    acc = LocalMemAccessor(lat, BackingStore(1 << 24))
+    tree = BTree(acc, children=children)
+    sorted_keys = np.array(sorted(keys), dtype=np.uint64)
+    tree.bulk_load(sorted_keys)
+    for k in list(keys)[:50]:
+        assert tree.search(k)
+    rng = np.random.default_rng(0)
+    for probe in rng.integers(1, 10**6, size=50):
+        assert tree.search(int(probe)) == (int(probe) in keys)

@@ -1,0 +1,111 @@
+"""Tests for the synthetic PARSEC-like workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.parsec import blackscholes, canneal, raytrace, streamcluster
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.mem.backing import BackingStore
+from repro.model.fastsim import (
+    LocalMemAccessor,
+    RemoteMemAccessor,
+    SwapAccessor,
+)
+from repro.model.latency import LatencyModel
+from repro.swap.remoteswap import RemoteSwap
+from repro.units import mib
+
+
+@pytest.fixture
+def lat():
+    return LatencyModel.from_config(ClusterConfig())
+
+
+def _local(lat, cap=1 << 27):
+    return LocalMemAccessor(lat, BackingStore(cap))
+
+
+def test_blackscholes_runs_and_reports(lat):
+    r = blackscholes(_local(lat), footprint_bytes=mib(2), passes=1)
+    assert r.name == "blackscholes"
+    assert r.time_ns > 0
+    assert r.work_items == mib(2) // 40
+    assert r.ns_per_item > 0
+
+
+def test_blackscholes_passes_scale_time(lat):
+    one = blackscholes(_local(lat), footprint_bytes=mib(2), passes=1)
+    two = blackscholes(_local(lat), footprint_bytes=mib(2), passes=2)
+    assert two.time_ns > 1.5 * one.time_ns
+
+
+def test_raytrace_runs(lat):
+    r = raytrace(_local(lat), footprint_bytes=mib(4), rays=200)
+    assert r.work_items == 200
+    assert r.accesses >= 200 * 12  # hot levels at minimum
+
+
+def test_raytrace_footprint_validated(lat):
+    with pytest.raises(ConfigError):
+        raytrace(_local(lat), footprint_bytes=1024, rays=10)
+
+
+def test_canneal_runs_and_swaps_elements(lat):
+    acc = _local(lat)
+    r = canneal(acc, footprint_bytes=mib(1), swaps=100)
+    assert r.work_items == 100
+    assert r.accesses == 100 * 4 * 1  # 2 reads + 2 writes, 32B = 1 line
+
+
+def test_canneal_needs_two_elements(lat):
+    with pytest.raises(ConfigError):
+        canneal(_local(lat), footprint_bytes=32, swaps=1)
+
+
+def test_streamcluster_runs(lat):
+    r = streamcluster(_local(lat), footprint_bytes=mib(1), scans=3)
+    assert r.work_items == (mib(1) // 64) * 3
+
+
+def test_determinism_same_seed(lat):
+    a = canneal(_local(lat), footprint_bytes=mib(1), swaps=200, seed=3)
+    b = canneal(_local(lat), footprint_bytes=mib(1), swaps=200, seed=3)
+    assert a.time_ns == b.time_ns
+
+
+def test_fig11_orderings(lat):
+    """The qualitative Fig. 11 claims, in miniature."""
+    cfg = ClusterConfig()
+    local_mem = mib(8)
+    resident = local_mem // 4096
+
+    def run(fn, footprint, **kw):
+        out = {}
+        for scenario in ("local", "remote", "swap"):
+            backing = BackingStore(footprint * 2)
+            if scenario == "local":
+                acc = LocalMemAccessor(lat, backing)
+            elif scenario == "remote":
+                acc = RemoteMemAccessor(lat, backing)
+            else:
+                acc = SwapAccessor(lat, backing,
+                                   RemoteSwap(cfg.swap, resident))
+            out[scenario] = fn(acc, footprint_bytes=footprint, **kw).time_ns
+        return out
+
+    # canneal: swap catastrophic, remote feasible
+    t = run(canneal, local_mem * 4, swaps=2000)
+    assert t["swap"] > 10 * t["remote"]
+    assert t["remote"] < 10 * t["local"]
+
+    # streamcluster fits locally: swap ~ local, remote pays remoteness
+    t = run(streamcluster, local_mem // 4, scans=4)
+    assert t["swap"] < 1.6 * t["local"]
+    assert t["remote"] > t["local"]
+
+    # blackscholes: sequential, swap only ~2x
+    t = run(blackscholes, int(local_mem * 1.5), passes=2)
+    assert t["swap"] < 3.5 * t["local"]
+    assert t["local"] < t["remote"] < t["swap"]

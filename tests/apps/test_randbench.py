@@ -1,0 +1,85 @@
+"""Tests for the random-access microbenchmark driver (packet tier)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.randbench import RandomAccessBenchmark
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, NetworkConfig
+from repro.units import mib
+
+
+def _cluster(dims=(4, 1), topology="line"):
+    return Cluster(
+        ClusterConfig(network=NetworkConfig(topology=topology, dims=dims))
+    )
+
+
+def test_single_thread_result_fields():
+    bench = RandomAccessBenchmark(_cluster(), seed=1, buffer_bytes=mib(4))
+    rr = bench.run_client(1, [2], threads=1, accesses_per_thread=50)
+    assert rr.total_accesses == 50
+    assert rr.elapsed_ns > 0
+    assert rr.ns_per_access > 0
+    assert rr.throughput_mops > 0
+    assert len(rr.thread_times_ns) == 1
+    assert rr.client_rmc_requests == 50
+
+
+def test_two_threads_roughly_double_throughput():
+    bench = RandomAccessBenchmark(_cluster(), seed=1, buffer_bytes=mib(4))
+    one = bench.run_client(1, [2], threads=1, accesses_per_thread=120)
+    bench2 = RandomAccessBenchmark(_cluster(), seed=1, buffer_bytes=mib(4))
+    two = bench2.run_client(1, [2], threads=2, accesses_per_thread=60)
+    assert two.elapsed_ns < 0.65 * one.elapsed_ns
+
+
+def test_distance_increases_time():
+    near = RandomAccessBenchmark(_cluster(), seed=1, buffer_bytes=mib(4))
+    t_near = near.run_client(1, [2], 1, 60).elapsed_ns
+    far = RandomAccessBenchmark(_cluster(), seed=1, buffer_bytes=mib(4))
+    t_far = far.run_client(1, [4], 1, 60).elapsed_ns
+    assert t_far > t_near * 1.1
+
+
+def test_multiple_servers_spread_buffers():
+    cluster = _cluster()
+    bench = RandomAccessBenchmark(cluster, seed=1, buffer_bytes=mib(2))
+    rr = bench.run_client(1, [2, 3], threads=1, accesses_per_thread=40)
+    assert rr.server_nodes == (2, 3)
+    assert cluster.node(2).rmc.server_requests.value > 0
+    assert cluster.node(3).rmc.server_requests.value > 0
+
+
+def test_server_stress_reports_server_load():
+    cluster = _cluster(dims=(4, 1))
+    bench = RandomAccessBenchmark(cluster, seed=1, buffer_bytes=mib(2))
+    sr = bench.run_server_stress(
+        server_node=2,
+        control_node=1,
+        stress_nodes=[3, 4],
+        threads_per_stressor=2,
+        control_accesses=60,
+    )
+    assert sr.control_elapsed_ns > 0
+    assert sr.server_requests > 60  # stressors contributed
+    assert sr.stress_nodes == (3, 4)
+
+
+def test_stress_slows_control_thread():
+    quiet = RandomAccessBenchmark(_cluster(), seed=1, buffer_bytes=mib(2))
+    t_quiet = quiet.run_server_stress(2, 1, [], 1, 60).control_elapsed_ns
+    noisy = RandomAccessBenchmark(_cluster(), seed=1, buffer_bytes=mib(2))
+    t_noisy = noisy.run_server_stress(
+        2, 1, [3, 4], 4, 60
+    ).control_elapsed_ns
+    assert t_noisy > t_quiet
+
+
+def test_deterministic_given_seed():
+    a = RandomAccessBenchmark(_cluster(), seed=9, buffer_bytes=mib(2))
+    b = RandomAccessBenchmark(_cluster(), seed=9, buffer_bytes=mib(2))
+    ra = a.run_client(1, [2], 2, 40)
+    rb = b.run_client(1, [2], 2, 40)
+    assert ra.elapsed_ns == rb.elapsed_ns

@@ -1,0 +1,50 @@
+"""Tests for the streaming kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.streams import stream_scan
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.mem.backing import BackingStore
+from repro.model.fastsim import LocalMemAccessor, RemoteMemAccessor
+from repro.model.latency import LatencyModel
+from repro.units import mib
+
+
+@pytest.fixture
+def lat():
+    return LatencyModel.from_config(ClusterConfig())
+
+
+def test_scan_moves_expected_bytes(lat):
+    acc = LocalMemAccessor(lat, BackingStore(1 << 22))
+    r = stream_scan(acc, size_bytes=mib(1), passes=2)
+    assert r.bytes_moved == 2 * mib(1)
+    assert r.time_ns > 0
+    assert r.bandwidth_Bpns > 0
+
+
+def test_write_fraction_interleaves_writes(lat):
+    acc = LocalMemAccessor(lat, BackingStore(1 << 22), use_cache=False)
+    stream_scan(acc, size_bytes=mib(1), write_fraction=0.25)
+    # 1 MiB / 4 KiB chunks = 256; every 4th is a write
+    assert acc.accesses == 256 * 64  # lines
+
+
+def test_remote_stream_slower_than_local(lat):
+    local = LocalMemAccessor(lat, BackingStore(1 << 22), use_cache=False)
+    remote = RemoteMemAccessor(lat, BackingStore(1 << 22), use_cache=False)
+    rl = stream_scan(local, size_bytes=mib(1))
+    rr = stream_scan(remote, size_bytes=mib(1))
+    assert rr.time_ns > rl.time_ns
+    assert rr.bandwidth_Bpns < rl.bandwidth_Bpns
+
+
+def test_validation(lat):
+    acc = LocalMemAccessor(lat, BackingStore(1 << 22))
+    with pytest.raises(ConfigError):
+        stream_scan(acc, size_bytes=100)  # smaller than a chunk
+    with pytest.raises(ConfigError):
+        stream_scan(acc, size_bytes=mib(1), write_fraction=1.5)

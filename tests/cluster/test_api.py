@@ -1,0 +1,100 @@
+"""Tests for the Session API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.malloc import Placement
+from repro.errors import ConfigError
+from repro.units import mib
+
+
+@pytest.fixture
+def app(small_cluster):
+    app = small_cluster.session(1)
+    app.borrow_remote(2, mib(16))
+    return app
+
+
+def test_read_write_bytes(app):
+    ptr = app.malloc(mib(1), Placement.REMOTE)
+    app.write(ptr + 100, b"hello")
+    assert app.read(ptr + 100, 5) == b"hello"
+
+
+def test_u64_helpers(app):
+    ptr = app.malloc(4096, Placement.LOCAL)
+    app.write_u64(ptr, 2**60 + 5)
+    assert app.read_u64(ptr) == 2**60 + 5
+
+
+def test_array_roundtrip(app):
+    ptr = app.malloc(mib(1), Placement.REMOTE)
+    values = np.arange(512, dtype=np.uint64)
+    app.write_array(ptr, values)
+    out = app.read_array(ptr, 512, np.uint64)
+    assert (out == values).all()
+
+
+def test_access_spanning_pages(app):
+    """Reads/writes crossing a page boundary split correctly even when
+    the two pages live on different frames."""
+    ptr = app.malloc(mib(1), Placement.REMOTE)
+    page = app.aspace.page_bytes
+    data = bytes(range(200)) + bytes(200)
+    app.write(ptr + page - 200, data)
+    assert app.read(ptr + page - 200, len(data)) == data
+
+
+def test_unknown_core_rejected(app):
+    ptr = app.malloc(4096, Placement.LOCAL)
+    with pytest.raises(ConfigError):
+        app.read(ptr, 8, core=999)
+
+
+def test_writes_advance_simulated_time(app, small_cluster):
+    ptr = app.malloc(mib(1), Placement.REMOTE)
+    t0 = small_cluster.sim.now
+    app.write(ptr, bytes(64), cached=False)
+    assert small_cluster.sim.now > t0
+
+
+def test_uncached_remote_slower_than_local(app, small_cluster):
+    sim = small_cluster.sim
+    rptr = app.malloc(mib(1), Placement.REMOTE)
+    lptr = app.malloc(mib(1), Placement.LOCAL)
+    app.read(rptr, 64, cached=False)  # warm translations
+    app.read(lptr, 64, cached=False)
+
+    t0 = sim.now
+    app.read(rptr + 64, 64, cached=False)
+    remote_t = sim.now - t0
+    t0 = sim.now
+    app.read(lptr + 64, 64, cached=False)
+    local_t = sim.now - t0
+    assert remote_t > 3 * local_t
+
+
+def test_g_methods_compose_in_processes(app, small_cluster):
+    """Two threads on different cores make progress concurrently."""
+    sim = small_cluster.sim
+    ptr = app.malloc(mib(1), Placement.REMOTE)
+    done = []
+
+    def thread(tid, core):
+        yield from app.g_write(ptr + tid * 4096, bytes([tid] * 8), core=core)
+        data = yield from app.g_read(ptr + tid * 4096, 8, core=core)
+        done.append((tid, data))
+
+    sim.process(thread(1, 0))
+    sim.process(thread(2, 1))
+    sim.run()
+    assert sorted(done) == [(1, bytes([1] * 8)), (2, bytes([2] * 8))]
+
+
+def test_flush_generator(app, small_cluster):
+    ptr = app.malloc(mib(1), Placement.REMOTE)
+    app.write_u64(ptr, 9)
+    small_cluster.sim.run_process(app.g_flush(core=0))
+    assert app.node.cores[0].cache.resident_lines == 0

@@ -1,0 +1,138 @@
+"""Tests for the coherent intra-node access path.
+
+This is the half of the paper's argument that stays *inside* a node:
+the cores of one board share memory through MESI, and the cost of that
+sharing is bounded by the board — never by how much memory the region
+spans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.malloc import Placement
+from repro.errors import ProtocolError
+from repro.mem.coherence import MESIState
+from repro.units import mib
+
+
+@pytest.fixture
+def app(small_cluster):
+    return small_cluster.session(1)
+
+
+def test_producer_consumer_between_cores(app):
+    """Core 0 writes, core 1 reads the same line coherently."""
+    ptr = app.malloc(mib(1), Placement.LOCAL)
+    app.coherent_write(ptr, b"shared!!", core=0)
+    assert app.coherent_read(ptr, 8, core=1) == b"shared!!"
+
+
+def test_write_invalidates_peer_copy(app, small_cluster):
+    ptr = app.malloc(mib(1), Placement.LOCAL)
+    node = small_cluster.node(1)
+    line = node.caches[0].line_of(app.aspace.translate(ptr).phys_addr)
+    app.coherent_read(ptr, 8, core=0)
+    app.coherent_read(ptr, 8, core=1)
+    assert node.coherence.state_of(0, line) is MESIState.SHARED
+    app.coherent_write(ptr, b"x" * 8, core=2)
+    assert node.coherence.state_of(2, line) is MESIState.MODIFIED
+    assert node.coherence.state_of(0, line) is MESIState.INVALID
+    assert node.coherence.state_of(1, line) is MESIState.INVALID
+    node.coherence.check_invariants()
+
+
+def test_intervention_is_faster_than_dram(app, small_cluster):
+    """Reading a line a peer holds Modified comes cache-to-cache."""
+    sim = small_cluster.sim
+    ptr = app.malloc(mib(1), Placement.LOCAL)
+    app.coherent_read(ptr + 4096, 8, core=1)  # warm TLB path for core 1
+
+    # cold read from DRAM
+    t0 = sim.now
+    app.coherent_read(ptr, 8, core=1)
+    dram_t = sim.now - t0
+
+    ptr2 = ptr + 64 * 1024
+    app.coherent_write(ptr2, b"y" * 8, core=0)  # core 0 holds it M
+    t0 = sim.now
+    app.coherent_read(ptr2, 8, core=1)          # intervention
+    c2c_t = sim.now - t0
+    assert c2c_t < dram_t
+
+
+def test_coherent_hits_are_cheap(app, small_cluster):
+    sim = small_cluster.sim
+    ptr = app.malloc(mib(1), Placement.LOCAL)
+    app.coherent_read(ptr, 8, core=0)
+    t0 = sim.now
+    app.coherent_read(ptr, 8, core=0)
+    assert sim.now - t0 <= 2 * small_cluster.config.node.cache.hit_ns
+
+
+def test_remote_address_rejected(app):
+    """Section IV-B enforced: no coherence for the RMC-mapped range."""
+    app.borrow_remote(2, mib(8))
+    rptr = app.malloc(mib(1), Placement.REMOTE)
+    with pytest.raises(ProtocolError, match="coherency is not maintained"):
+        app.coherent_read(rptr, 8, core=0)
+    with pytest.raises(ProtocolError):
+        app.coherent_write(rptr, b"z" * 8, core=0)
+
+
+def test_probe_traffic_stays_on_board(app, small_cluster):
+    """Coherent traffic on node 1 generates zero fabric packets."""
+    node1 = small_cluster.node(1)
+    ptr = app.malloc(mib(1), Placement.LOCAL)
+    fabric_before = node1.rmc.client_requests.value
+    for core in range(4):
+        app.coherent_write(ptr + core * 8, bytes([core] * 8), core=core)
+        app.coherent_read(ptr, 8, core=core)
+    assert node1.rmc.client_requests.value == fabric_before
+    assert node1.coherence.stats.probes_sent > 0
+
+
+def test_false_sharing_ping_pong_costs(app, small_cluster):
+    """Two cores alternately writing one line pay invalidations every
+    time; writing disjoint lines does not."""
+    sim = small_cluster.sim
+    ptr = app.malloc(mib(1), Placement.LOCAL)
+
+    t0 = sim.now
+    for i in range(10):
+        app.coherent_write(ptr, bytes([i] * 8), core=i % 2)
+    shared_t = sim.now - t0
+
+    inv_during = small_cluster.node(1).coherence.stats.invalidations
+    t0 = sim.now
+    for i in range(10):
+        app.coherent_write(ptr + 4096 + (i % 2) * 64, bytes([i] * 8),
+                           core=i % 2)
+    disjoint_t = sim.now - t0
+    assert shared_t > disjoint_t
+    assert inv_during >= 9  # every alternation invalidated the peer
+
+
+def test_parallel_coherent_threads_functionally_correct(app, small_cluster):
+    """Four cores incrementing disjoint counters concurrently."""
+    sim = small_cluster.sim
+    ptr = app.malloc(mib(1), Placement.LOCAL)
+
+    def worker(core):
+        for i in range(5):
+            raw = yield from app.g_coherent_read(ptr + core * 64, 8, core=core)
+            value = int.from_bytes(raw, "little")
+            yield from app.g_coherent_write(
+                ptr + core * 64,
+                (value + 1).to_bytes(8, "little"),
+                core=core,
+            )
+
+    procs = [sim.process(worker(c)) for c in range(4)]
+    sim.run()
+    assert all(p.ok for p in procs)
+    for core in range(4):
+        assert app.coherent_read(ptr + core * 64, 8, core=core) == (
+            (5).to_bytes(8, "little")
+        )
+    small_cluster.node(1).coherence.check_invariants()

@@ -1,0 +1,165 @@
+"""Tests for the remote-caching discipline monitor (Section IV-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.discipline import RemoteAccessDiscipline
+from repro.errors import CoherenceError
+from repro.mem.addressmap import AddressMap
+
+
+@pytest.fixture
+def mon():
+    return RemoteAccessDiscipline(amap=AddressMap(), local_node=1)
+
+
+def _remote(mon, offset=0):
+    return mon.amap.encode(2, 0x1000 + offset)
+
+
+def test_single_writer_is_fine(mon):
+    addr = _remote(mon)
+    for i in range(10):
+        mon.on_access(0, addr + i * 8, 8, is_write=True)
+        mon.on_access(0, addr + i * 8, 8, is_write=False)
+    assert mon.clean
+
+
+def test_local_accesses_ignored(mon):
+    for core in range(4):
+        mon.on_access(core, 0x1000, 8, is_write=True)
+    assert mon.clean
+
+
+def test_read_after_unflushed_write_detected(mon):
+    addr = _remote(mon)
+    mon.on_access(0, addr, 8, is_write=True)
+    with pytest.raises(CoherenceError, match="read-after-write"):
+        mon.on_access(1, addr, 8, is_write=False)
+
+
+def test_write_after_write_detected(mon):
+    addr = _remote(mon)
+    mon.on_access(0, addr, 8, is_write=True)
+    with pytest.raises(CoherenceError, match="write-after-write"):
+        mon.on_access(1, addr, 8, is_write=True)
+
+
+def test_write_under_stale_reader_detected(mon):
+    addr = _remote(mon)
+    mon.on_access(1, addr, 8, is_write=False)  # core 1 caches the line
+    with pytest.raises(CoherenceError, match="write-after-read"):
+        mon.on_access(0, addr, 8, is_write=True)
+
+
+def test_flush_legitimizes_the_phase_change(mon):
+    """The paper's exact protocol: write, flush, parallel read."""
+    addr = _remote(mon)
+    mon.on_access(0, addr, 64, is_write=True)
+    mon.on_flush(0)
+    for core in range(4):
+        mon.on_access(core, addr, 8, is_write=False)
+    assert mon.clean
+
+
+def test_readers_must_also_be_flushed_before_next_write(mon):
+    addr = _remote(mon)
+    mon.on_access(0, addr, 8, is_write=True)
+    mon.on_flush(0)
+    mon.on_access(1, addr, 8, is_write=False)  # parallel read phase
+    mon.on_access(2, addr, 8, is_write=False)
+    # writing again while readers hold copies is a hazard...
+    with pytest.raises(CoherenceError, match="write-after-read"):
+        mon.on_access(0, addr, 8, is_write=True)
+
+
+def test_full_phase_cycle_is_clean(mon):
+    addr = _remote(mon)
+    for cycle in range(3):
+        mon.on_access(0, addr, 64, is_write=True)   # write phase
+        mon.on_flush(0)
+        for core in range(4):                        # read phase
+            mon.on_access(core, addr, 8, is_write=False)
+        for core in range(4):                        # readers flush
+            mon.on_flush(core)
+    assert mon.clean
+
+
+def test_disjoint_lines_never_conflict(mon):
+    for core in range(4):
+        mon.on_access(core, _remote(mon, core * 64), 8, is_write=True)
+    assert mon.clean
+
+
+def test_spanning_access_checks_every_line(mon):
+    addr = _remote(mon)
+    mon.on_access(0, addr, 8, is_write=True)
+    # a wide read from another core overlaps the dirty first line
+    with pytest.raises(CoherenceError):
+        mon.on_access(1, addr + 56, 16, is_write=False)
+
+
+class TestSessionIntegration:
+    """The monitor attached to a live Session (end to end)."""
+
+    def test_violation_caught_through_session(self, small_cluster):
+        from repro.cluster.malloc import Placement
+        from repro.units import mib
+
+        app = small_cluster.session(1)
+        app.borrow_remote(2, mib(8))
+        ptr = app.malloc(mib(1), Placement.REMOTE)
+        app.attach_discipline(strict=True)
+        app.write_u64(ptr, 1, core=0)
+        with pytest.raises(CoherenceError):
+            app.read_u64(ptr, core=1)  # stale-read hazard
+
+    def test_correct_protocol_passes_through_session(self, small_cluster):
+        from repro.cluster.malloc import Placement
+        from repro.units import mib
+
+        app = small_cluster.session(1)
+        app.borrow_remote(2, mib(8))
+        ptr = app.malloc(mib(1), Placement.REMOTE)
+        mon = app.attach_discipline(strict=True)
+        app.write_u64(ptr, 7, core=0)
+        small_cluster.sim.run_process(app.g_flush(core=0))
+        for core in range(4):
+            assert app.read_u64(ptr, core=core) == 7
+        assert mon.clean
+
+    def test_uncached_accesses_not_checked(self, small_cluster):
+        """Uncached accesses always see memory directly — no hazard."""
+        from repro.cluster.malloc import Placement
+        from repro.units import mib
+
+        app = small_cluster.session(1)
+        app.borrow_remote(2, mib(8))
+        ptr = app.malloc(mib(1), Placement.REMOTE)
+        mon = app.attach_discipline(strict=True)
+        app.write(ptr, b"\x01" * 8, core=0, cached=False)
+        assert app.read(ptr, 8, core=1, cached=False) == b"\x01" * 8
+        assert mon.clean
+
+    def test_local_traffic_not_checked(self, small_cluster):
+        from repro.cluster.malloc import Placement
+
+        app = small_cluster.session(1)
+        mon = app.attach_discipline(strict=True)
+        ptr = app.malloc(4096, Placement.LOCAL)
+        app.write_u64(ptr, 1, core=0)
+        app.read_u64(ptr, core=1)
+        assert mon.clean
+
+
+def test_non_strict_mode_records_instead(mon):
+    mon.strict = False
+    addr = _remote(mon)
+    mon.on_access(0, addr, 8, is_write=True)
+    mon.on_access(1, addr, 8, is_write=False)
+    mon.on_access(1, addr, 8, is_write=True)
+    assert not mon.clean
+    kinds = [v.kind for v in mon.violations]
+    assert "read-after-write" in kinds
+    assert len(mon.violations) >= 2

@@ -1,0 +1,87 @@
+"""Tests for memory hot-remove/hot-add (Section III's kernel support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.malloc import Placement
+from repro.errors import AllocationError, ReservationError
+from repro.units import mib
+
+
+@pytest.fixture
+def os1(small_cluster):
+    return small_cluster.node(1).os
+
+
+def test_hot_remove_moves_capacity_to_local(os1):
+    donated_before = os1.donated_free_bytes
+    start = os1.hot_remove_donation(mib(64))
+    assert os1.donated_free_bytes == donated_before - mib(64)
+    assert os1.hot_removed_bytes == mib(64)
+    assert start >= os1.private_pool.size  # range keeps donated addresses
+
+
+def test_reclaimed_range_serves_local_allocations(small_cluster):
+    os1 = small_cluster.node(1).os
+    private = small_cluster.config.node.private_memory_bytes
+    # exhaust the boot-time pool, then hot-remove and allocate again
+    os1.alloc_local(private)
+    with pytest.raises(AllocationError):
+        os1.alloc_local(mib(1))
+    os1.hot_remove_donation(mib(8))
+    addr = os1.alloc_local(mib(1))
+    assert addr >= private
+    os1.free_local(addr, mib(1))
+
+
+def test_hot_add_requires_idle_range(os1):
+    start = os1.hot_remove_donation(mib(8))
+    addr = os1.alloc_local(os1.private_pool.size)  # still fits private
+    del addr
+    taken = os1._reclaimed[start].alloc(mib(1))
+    with pytest.raises(ReservationError, match="still has"):
+        os1.hot_add_donation(start)
+    os1._reclaimed[start].free(taken, mib(1))
+    os1.hot_add_donation(start)
+    assert os1.hot_removed_bytes == 0
+
+
+def test_hot_add_restores_donation_capacity(os1):
+    before = os1.donated_free_bytes
+    start = os1.hot_remove_donation(mib(16))
+    os1.hot_add_donation(start)
+    assert os1.donated_free_bytes == before
+    # and the range can be granted again
+    os1.grant_reservation(2, before)
+
+
+def test_hot_remove_cannot_take_granted_memory(os1):
+    os1.grant_reservation(2, os1.donated_free_bytes)  # pin everything
+    with pytest.raises(ReservationError, match="hot-remove"):
+        os1.hot_remove_donation(mib(1))
+
+
+def test_hot_add_of_unknown_range_rejected(os1):
+    with pytest.raises(ReservationError, match="no hot-removed"):
+        os1.hot_add_donation(0xDEAD000)
+
+
+def test_malloc_through_reclaimed_memory_end_to_end(small_cluster):
+    """A process can actually use hot-removed memory via malloc."""
+    app = small_cluster.session(1)
+    os1 = small_cluster.node(1).os
+    private = small_cluster.config.node.private_memory_bytes
+    app.malloc(private, Placement.LOCAL)  # drain boot-time pool
+    os1.hot_remove_donation(mib(8))
+    ptr = app.malloc(mib(2), Placement.LOCAL)
+    app.write_u64(ptr, 99)
+    assert app.read_u64(ptr) == 99
+    alloc = app.allocator.allocation_at(ptr)
+    assert not alloc.remote
+    assert alloc.phys_start >= private
+
+
+def test_free_outside_every_pool_rejected(os1):
+    with pytest.raises(AllocationError):
+        os1.free_local(os1.config.total_memory_bytes - 4096, 4096)

@@ -1,0 +1,119 @@
+"""Tests for the interposed allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.malloc import Placement
+from repro.errors import AllocationError
+from repro.units import mib
+
+
+@pytest.fixture
+def app(small_cluster):
+    return small_cluster.session(1)
+
+
+def test_local_malloc_maps_unprefixed_frames(app, small_cluster):
+    ptr = app.malloc(mib(1), Placement.LOCAL)
+    t = app.aspace.translate(ptr)
+    assert small_cluster.amap.node_of(t.phys_addr) == 0
+    assert not t.pte.remote
+    assert not t.pte.pinned
+
+
+def test_remote_malloc_requires_reservation(app):
+    with pytest.raises(AllocationError, match="reserve"):
+        app.malloc(mib(1), Placement.REMOTE)
+
+
+def test_remote_malloc_maps_prefixed_pinned_frames(app, small_cluster):
+    app.borrow_remote(2, mib(8))
+    ptr = app.malloc(mib(1), Placement.REMOTE)
+    t = app.aspace.translate(ptr)
+    assert small_cluster.amap.node_of(t.phys_addr) == 2
+    assert t.pte.remote
+    assert t.pte.pinned
+
+
+def test_auto_placement_spills_to_remote(app, small_cluster):
+    app.borrow_remote(2, mib(32))
+    private = small_cluster.config.node.private_memory_bytes
+    a = app.malloc(private - mib(1), Placement.AUTO)  # nearly all local
+    b = app.malloc(mib(8), Placement.AUTO)            # must spill
+    assert not app.allocator.allocation_at(a).remote
+    assert app.allocator.allocation_at(b).remote
+
+
+def test_free_returns_memory_both_ways(app):
+    app.borrow_remote(2, mib(8))
+    os = app.node.os
+    local_before = os.local_free_bytes
+    remote_before = app.allocator.remote_free_bytes
+
+    l = app.malloc(mib(2), Placement.LOCAL)
+    r = app.malloc(mib(2), Placement.REMOTE)
+    assert os.local_free_bytes < local_before
+    assert app.allocator.remote_free_bytes < remote_before
+    app.free(l)
+    app.free(r)
+    assert os.local_free_bytes == local_before
+    assert app.allocator.remote_free_bytes == remote_before
+    assert app.allocator.local_bytes == 0
+    assert app.allocator.remote_bytes == 0
+
+
+def test_free_unmaps_pages(app):
+    from repro.errors import FaultError
+
+    ptr = app.malloc(mib(1), Placement.LOCAL)
+    app.free(ptr)
+    with pytest.raises(FaultError):
+        app.aspace.translate(ptr)
+
+
+def test_double_free_rejected(app):
+    ptr = app.malloc(4096, Placement.LOCAL)
+    app.free(ptr)
+    with pytest.raises(AllocationError):
+        app.free(ptr)
+
+
+def test_unknown_pointer_rejected(app):
+    with pytest.raises(AllocationError):
+        app.free(0xDEADBEEF)
+    with pytest.raises(AllocationError):
+        app.allocator.allocation_at(0xDEADBEEF)
+
+
+def test_zero_size_rejected(app):
+    with pytest.raises(AllocationError):
+        app.malloc(0)
+
+
+def test_sub_page_allocations_get_whole_pages(app):
+    a = app.malloc(100, Placement.LOCAL)
+    b = app.malloc(100, Placement.LOCAL)
+    assert abs(b - a) >= app.aspace.page_bytes
+
+
+def test_multiple_arenas_searched_in_order(app):
+    app.borrow_remote(2, mib(2))
+    app.borrow_remote(3, mib(8))
+    # exhaust the first arena; allocation must fall to the second
+    a = app.malloc(mib(2), Placement.REMOTE)
+    b = app.malloc(mib(4), Placement.REMOTE)
+    t_a = app.aspace.translate(a)
+    t_b = app.aspace.translate(b)
+    assert app.cluster.amap.node_of(t_a.phys_addr) == 2
+    assert app.cluster.amap.node_of(t_b.phys_addr) == 3
+
+
+def test_all_mapped_pages_stay_inside_lease(app, small_cluster):
+    app.borrow_remote(2, mib(4))
+    ptr = app.malloc(mib(3), Placement.REMOTE)
+    res = next(iter(app.node.reservations.held.values()))
+    page = app.aspace.page_bytes
+    for off in range(0, mib(3), page):
+        t = app.aspace.translate(ptr + off)
+        assert res.contains(t.phys_addr)

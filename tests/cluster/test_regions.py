@@ -1,0 +1,115 @@
+"""Tests for memory regions (Fig. 1 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.regions import MemoryRegion, RegionManager, Segment
+from repro.errors import RegionError
+from repro.mem.addressmap import AddressMap
+from repro.units import gib, mib
+
+
+@pytest.fixture
+def mgr():
+    m = RegionManager(AddressMap(), num_nodes=5)
+    for n in range(1, 6):
+        m.add_home_segment(n, 0, gib(8))
+    return m
+
+
+def test_one_region_per_node(mgr):
+    assert len(mgr.regions) == 5
+    for n in range(1, 6):
+        assert mgr.region_of(n).home_node == n
+
+
+def test_default_region_is_home_memory(mgr):
+    region = mgr.region_of(1)
+    assert region.total_bytes == gib(8)
+    assert region.remote_bytes == 0
+    assert region.donor_nodes == []
+
+
+def test_grow_region_with_remote_segment(mgr):
+    amap = mgr.amap
+    start = amap.encode(2, gib(8))  # node 2's donation pool
+    mgr.add_remote_segment(1, donor=2, prefixed_start=start, size=gib(4))
+    region = mgr.region_of(1)
+    assert region.total_bytes == gib(12)
+    assert region.remote_bytes == gib(4)
+    assert region.donor_nodes == [2]
+    mgr.check_invariants()
+
+
+def test_fig1_scenario(mgr):
+    """Region 3 spans nodes 2 and 4; region 5 spans node 4 too."""
+    amap = mgr.amap
+    mgr.add_remote_segment(3, 2, amap.encode(2, gib(8)), gib(2))
+    mgr.add_remote_segment(3, 4, amap.encode(4, gib(8)), gib(2))
+    mgr.add_remote_segment(5, 4, amap.encode(4, gib(10)), gib(2))
+    mgr.check_invariants()
+    assert mgr.region_of(3).donor_nodes == [2, 4]
+    assert mgr.region_of(5).donor_nodes == [4]
+
+
+def test_overlapping_segments_rejected(mgr):
+    amap = mgr.amap
+    mgr.add_remote_segment(1, 2, amap.encode(2, gib(8)), gib(2))
+    with pytest.raises(RegionError):
+        mgr.add_remote_segment(3, 2, amap.encode(2, gib(9)), gib(2))
+
+
+def test_own_prefix_segment_rejected(mgr):
+    with pytest.raises(RegionError):
+        mgr.add_remote_segment(1, 1, mgr.amap.encode(1, gib(8)), gib(1))
+
+
+def test_wrong_prefix_rejected(mgr):
+    with pytest.raises(RegionError):
+        mgr.add_remote_segment(1, 2, mgr.amap.encode(3, gib(8)), gib(1))
+
+
+def test_access_outside_region_detected(mgr):
+    amap = mgr.amap
+    with pytest.raises(RegionError):
+        mgr.owner_region_of_addr(amap.encode(2, gib(9)), accessing_node=1)
+
+
+def test_access_inside_region_allowed(mgr):
+    amap = mgr.amap
+    mgr.add_remote_segment(1, 2, amap.encode(2, gib(8)), gib(2))
+    region = mgr.owner_region_of_addr(amap.encode(2, gib(9)), 1)
+    assert region.home_node == 1
+    # local memory too
+    assert mgr.owner_region_of_addr(gib(1), 1).home_node == 1
+
+
+def test_remove_segment_shrinks(mgr):
+    amap = mgr.amap
+    seg = mgr.add_remote_segment(1, 2, amap.encode(2, gib(8)), gib(2))
+    mgr.remove_segment(1, seg)
+    assert mgr.region_of(1).remote_bytes == 0
+    with pytest.raises(RegionError):
+        mgr.remove_segment(1, seg)
+
+
+def test_segment_validation():
+    with pytest.raises(RegionError):
+        Segment(owner_node=1, start=0, size=0)
+    with pytest.raises(RegionError):
+        Segment(owner_node=0, start=0, size=10)
+
+
+def test_region_contains():
+    region = MemoryRegion(home_node=1,
+                          segments=[Segment(1, 0, 100), Segment(2, 1000, 50)])
+    assert region.contains(50)
+    assert region.contains(1049)
+    assert not region.contains(100)
+    assert not region.contains(999)
+
+
+def test_home_segments_never_collide_across_nodes(mgr):
+    """Two nodes' local [0, 8G) ranges are distinct physical memory."""
+    mgr.check_invariants()  # would raise if node-blind

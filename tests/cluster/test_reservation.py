@@ -1,0 +1,88 @@
+"""Tests for the Fig. 4 reservation protocol over the simulated fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReservationError
+from repro.units import gib, mib
+
+
+def test_reserve_roundtrip(small_cluster):
+    cluster = small_cluster
+    node1 = cluster.node(1)
+    res = cluster.sim.run_process(node1.reservations.reserve(2, mib(16)))
+    assert res.donor_node == 2
+    assert res.size == mib(16)
+    assert cluster.amap.node_of(res.prefixed_start) == 2
+    # donor actually pinned it
+    donor_os = cluster.node(2).os
+    assert donor_os.donated_free_bytes == (
+        cluster.config.node.donated_memory_bytes - mib(16)
+    )
+    assert res.prefixed_start in node1.reservations.held
+
+
+def test_reserve_takes_simulated_time(small_cluster):
+    cluster = small_cluster
+    t0 = cluster.sim.now
+    cluster.sim.run_process(
+        cluster.node(1).reservations.reserve(2, mib(1))
+    )
+    # two fabric crossings + OS service on both ends
+    assert cluster.sim.now - t0 > 10_000
+
+
+def test_release_roundtrip(small_cluster):
+    cluster = small_cluster
+    node1 = cluster.node(1)
+    donor_os = cluster.node(2).os
+    before = donor_os.donated_free_bytes
+    res = cluster.sim.run_process(node1.reservations.reserve(2, mib(4)))
+    cluster.sim.run_process(node1.reservations.release(res))
+    assert donor_os.donated_free_bytes == before
+    assert res.prefixed_start not in node1.reservations.held
+
+
+def test_donor_decline_propagates(small_cluster):
+    cluster = small_cluster
+    node1 = cluster.node(1)
+    huge = cluster.config.node.donated_memory_bytes + gib(1)
+    with pytest.raises(ReservationError, match="declined"):
+        cluster.sim.run_process(node1.reservations.reserve(2, huge))
+
+
+def test_self_reservation_rejected(small_cluster):
+    node1 = small_cluster.node(1)
+    with pytest.raises(ReservationError):
+        small_cluster.sim.run_process(node1.reservations.reserve(1, mib(1)))
+
+
+def test_invalid_size_rejected(small_cluster):
+    node1 = small_cluster.node(1)
+    with pytest.raises(ReservationError):
+        small_cluster.sim.run_process(node1.reservations.reserve(2, 0))
+
+
+def test_release_of_unheld_lease_rejected(small_cluster):
+    from repro.cluster.reservation import Reservation
+
+    node1 = small_cluster.node(1)
+    fake = Reservation(donor_node=2, prefixed_start=small_cluster.amap.encode(2, 0),
+                       size=mib(1))
+    with pytest.raises(ReservationError):
+        small_cluster.sim.run_process(node1.reservations.release(fake))
+
+
+def test_concurrent_reservations_from_two_borrowers(small_cluster):
+    """Nodes 1 and 3 borrow from node 2 at the same time; the donor's
+    daemon serializes them onto disjoint ranges."""
+    cluster = small_cluster
+    sim = cluster.sim
+    p1 = sim.process(cluster.node(1).reservations.reserve(2, mib(8)))
+    p3 = sim.process(cluster.node(3).reservations.reserve(2, mib(8)))
+    sim.run()
+    r1, r3 = p1.value, p3.value
+    lo1 = cluster.amap.strip_node(r1.prefixed_start)
+    lo3 = cluster.amap.strip_node(r3.prefixed_start)
+    assert lo1 + r1.size <= lo3 or lo3 + r3.size <= lo1

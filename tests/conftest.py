@@ -1,0 +1,48 @@
+"""Shared fixtures.
+
+Small cluster configurations keep packet-level tests fast: tiny DRAM
+capacities are fine because the backing store is sparse and tests only
+touch a few megabytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    DRAMConfig,
+    NetworkConfig,
+    NodeConfig,
+)
+from repro.model.latency import LatencyModel
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def small_config() -> ClusterConfig:
+    """A 4-node line: node 1 has neighbors at 1, 2 and 3 hops."""
+    return ClusterConfig(network=NetworkConfig(topology="line", dims=(4, 1)))
+
+
+@pytest.fixture
+def mesh_config() -> ClusterConfig:
+    """A 3x3 mesh for routing/fabric tests."""
+    return ClusterConfig(network=NetworkConfig(topology="mesh", dims=(3, 3)))
+
+
+@pytest.fixture
+def small_cluster(small_config):
+    from repro.cluster.cluster import Cluster
+
+    return Cluster(small_config)
+
+
+@pytest.fixture
+def latency_model() -> LatencyModel:
+    return LatencyModel.from_config(ClusterConfig())

@@ -1,0 +1,103 @@
+"""Smoke tests for the figure drivers' parameterization.
+
+The shape assertions live in ``tests/integration/test_figures.py``;
+these check the drivers' knobs (scale, custom sweeps, custom configs)
+at the smallest sizes that still exercise the code paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ClusterConfig, RMCConfig
+from repro.harness import run_experiment
+
+
+class TestScaleKnob:
+    def test_fig06_scale_shrinks_access_count(self):
+        r = run_experiment("fig06", accesses=1000, distances=(1,), scale=0.1)
+        assert "100 uncached" in r.notes
+
+    def test_fig09_scale_floors_apply(self):
+        r = run_experiment(
+            "fig09", num_keys=50_000, searches=500, fanouts=(64,),
+            scale=0.01,
+        )
+        assert "10000 keys" in r.notes
+        assert len(r.rows) == 1
+
+    def test_tableA_scale(self):
+        r = run_experiment("tableA", samples=64, scale=0.25)
+        assert "16 uncached" in r.notes
+
+
+class TestCustomSweeps:
+    def test_fig06_custom_distances(self):
+        r = run_experiment("fig06", accesses=150, distances=(2, 4))
+        assert r.column("hops") == [2, 4]
+
+    def test_fig08_custom_sweep(self):
+        r = run_experiment(
+            "fig08", control_accesses=120, sweep=((0, 0), (1, 2))
+        )
+        assert len(r.rows) == 2
+        assert r.rows[1]["threads_each"] == 2
+
+    def test_fig10_custom_key_counts(self):
+        r = run_experiment(
+            "fig10", key_counts=(8_000, 16_000), searches=200,
+            resident_pages=64,
+        )
+        assert r.column("keys") == [8_000, 16_000]
+
+    def test_fig11_small_local_memory(self):
+        from repro.units import mib
+
+        r = run_experiment("fig11", local_memory_bytes=mib(8), scale=0.1)
+        assert len(r.rows) == 4
+        assert {row["benchmark"] for row in r.rows} == {
+            "blackscholes", "raytrace", "canneal", "streamcluster",
+        }
+
+    def test_extA_custom_nodes(self):
+        r = run_experiment("extA", node_counts=(2, 4), accesses=3_000)
+        assert r.column("nodes") == [2, 4]
+
+    def test_extB_footprint_factor(self):
+        r = run_experiment("extB", accesses=3_000, footprint_factor=2.0)
+        assert "2x local" in r.notes
+
+    def test_extC_items_rounded_to_readers(self):
+        r = run_experiment("extC", items=102)
+        # 102 -> 100 (divisible by 4)
+        assert "100 64B items" in r.notes
+
+    def test_extE_custom_pairs(self):
+        r = run_experiment(
+            "extE", pair_counts=(1, 2), accesses_per_client=120
+        )
+        assert r.column("pairs") == [1, 2]
+
+
+class TestCustomConfig:
+    def test_fig06_accepts_config_override(self):
+        cfg = ClusterConfig(rmc=RMCConfig(processing_ns=300.0))
+        slow = run_experiment("fig06", accesses=150, distances=(1,),
+                              config=cfg)
+        fast = run_experiment("fig06", accesses=150, distances=(1,))
+        assert (
+            slow.rows[0]["ns_per_access"] > fast.rows[0]["ns_per_access"]
+        )
+
+    def test_seed_changes_workload_not_shape(self):
+        a = run_experiment("fig06", accesses=150, distances=(1,), seed=1)
+        b = run_experiment("fig06", accesses=150, distances=(1,), seed=2)
+        # different random addresses, same regime
+        assert a.rows[0]["ns_per_access"] == pytest.approx(
+            b.rows[0]["ns_per_access"], rel=0.1
+        )
+
+    def test_same_seed_is_deterministic(self):
+        a = run_experiment("fig06", accesses=150, distances=(1,), seed=5)
+        b = run_experiment("fig06", accesses=150, distances=(1,), seed=5)
+        assert a.rows == b.rows

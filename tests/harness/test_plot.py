@@ -1,0 +1,126 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.experiments import ExperimentResult
+from repro.harness.plot import bar_chart, line_chart, plot_result
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        line_a, line_b = chart.splitlines()
+        assert line_b.count("█") > line_a.count("█")
+
+    def test_title_and_values_shown(self):
+        chart = bar_chart(["x"], [1234.0], title="T")
+        assert chart.startswith("T")
+        assert "1,234" in chart
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart(["a", "b"], [1.0, 1000.0], width=40)
+        logged = bar_chart(["a", "b"], [1.0, 1000.0], width=40, log=True)
+        assert linear.splitlines()[0].count("█") == 0
+        # log scale keeps both bars visible... the small one is the
+        # baseline (0 cells) but the ratio of bar lengths shrinks
+        assert logged.splitlines()[1].count("█") <= 40
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ConfigError):
+            bar_chart([], [])
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [0.0], log=True)
+
+
+class TestLineChart:
+    def test_markers_present_per_series(self):
+        chart = line_chart(
+            [1, 2, 3],
+            {"up": [1, 2, 3], "down": [3, 2, 1]},
+        )
+        assert "*" in chart
+        assert "o" in chart
+        assert "*=up" in chart
+        assert "o=down" in chart
+
+    def test_axis_labels(self):
+        chart = line_chart([0, 100], {"s": [5, 50]})
+        assert "100" in chart
+        assert "50" in chart
+
+    def test_log_y(self):
+        chart = line_chart([1, 2], {"s": [1, 1000]}, log_y=True)
+        assert "[log y]" not in chart  # no title given
+        chart = line_chart([1, 2], {"s": [1, 1000]}, title="t", log_y=True)
+        assert "[log y]" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            line_chart([1, 2], {})
+        with pytest.raises(ConfigError):
+            line_chart([1, 2], {"s": [1]})
+        with pytest.raises(ConfigError):
+            line_chart([1, 2], {"s": [0, 1]}, log_y=True)
+
+
+class TestPlotResult:
+    def test_numeric_x_renders_line_chart(self):
+        r = ExperimentResult(
+            "fig06", "t", columns=["hops", "server_node", "elapsed_ms",
+                                   "ns_per_access"],
+            rows=[
+                {"hops": 1, "server_node": 2, "elapsed_ms": 1.0,
+                 "ns_per_access": 800.0},
+                {"hops": 2, "server_node": 3, "elapsed_ms": 1.2,
+                 "ns_per_access": 1000.0},
+            ],
+        )
+        chart = plot_result(r)
+        assert "*=ns_per_access" in chart
+
+    def test_categorical_renders_bar_chart(self):
+        r = ExperimentResult(
+            "extB", "t", columns=["approach", "ns_per_access", "vs_local",
+                                  "vs_this_paper"],
+            rows=[
+                {"approach": "x", "ns_per_access": 100.0, "vs_local": 1.0,
+                 "vs_this_paper": 1.0},
+                {"approach": "y", "ns_per_access": 1000.0, "vs_local": 10.0,
+                 "vs_this_paper": 10.0},
+            ],
+        )
+        chart = plot_result(r)
+        assert "█" in chart
+        assert "x" in chart and "y" in chart
+
+    def test_unknown_experiment_rejected(self):
+        r = ExperimentResult("fig99", "t", columns=["a"], rows=[{"a": 1}])
+        with pytest.raises(ConfigError):
+            plot_result(r)
+
+    def test_every_registered_recipe_has_needed_columns(self):
+        """Each recipe's columns must exist in the real driver output
+        (checked against a fast run of the cheap ones)."""
+        from repro.harness import run_experiment
+        from repro.harness.plot import _RECIPES
+
+        result = run_experiment("tableA")
+        x_col, y_cols, _ = _RECIPES["tableA"]
+        for col in ([] if x_col is None else [x_col]) + y_cols:
+            assert col in result.columns
+        assert plot_result(result)  # renders without error
+
+
+def test_cli_plot_flag(capsys):
+    from repro.harness.cli import main
+
+    assert main(["run", "tableA", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "█" in out

@@ -1,0 +1,49 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.report import render_markdown, write_report
+
+
+def _result():
+    return ExperimentResult(
+        exp_id="demo",
+        title="a demo",
+        columns=["k", "v"],
+        rows=[{"k": "x", "v": 1.0}, {"k": "y", "v": 2345.0}],
+        notes="demo note",
+    )
+
+
+def test_render_contains_table_and_notes():
+    doc = render_markdown([_result()], title="T", preamble="hello")
+    assert doc.startswith("# T")
+    assert "hello" in doc
+    assert "## demo — a demo" in doc
+    assert "| k | v |" in doc
+    assert "| x | 1 |" in doc
+    assert "2,345" in doc
+    assert "*demo note*" in doc
+
+
+def test_render_multiple_sections():
+    doc = render_markdown([_result(), _result()])
+    assert doc.count("## demo") == 2
+
+
+def test_write_report_runs_experiments(tmp_path):
+    out = write_report(
+        tmp_path / "report.md", experiments=["tableA"], scale=0.5
+    )
+    text = out.read_text()
+    assert "tableA" in text
+    assert "local DRAM line read" in text
+    assert "wall time" in text
+
+
+def test_write_report_respects_scale_and_seed(tmp_path):
+    out = write_report(
+        tmp_path / "r.md", experiments=["tableA"], scale=0.5, seed=3
+    )
+    assert "scale=0.5, seed=3" in out.read_text()

@@ -1,0 +1,112 @@
+"""Tests for HNC encapsulation rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.ht.device import HT_MAX_DEVICES
+from repro.ht.hnc import HNCBridge, hnc_decapsulate, hnc_encapsulate
+from repro.ht.packet import PacketType, make_read_req, make_read_resp
+from repro.mem.addressmap import AddressMap
+
+
+@pytest.fixture
+def amap():
+    return AddressMap()
+
+
+def test_plain_ht_device_limit_is_32():
+    """The architectural reason HNC exists (Section IV-A)."""
+    assert HT_MAX_DEVICES == 32
+
+
+def test_encapsulate_reads_destination_from_prefix(amap):
+    addr = amap.encode(5, 0x1234)
+    pkt = make_read_req(src=1, dst=1, addr=addr, size=64, tag=1)
+    fabric = hnc_encapsulate(pkt, amap, local_node=1)
+    assert fabric.dst == 5
+    assert fabric.src == 1
+    assert fabric.addr == addr  # address unchanged until the far side
+
+
+def test_encapsulate_local_address_rejected(amap):
+    pkt = make_read_req(1, 1, 0x1000, 64, tag=1)  # prefix 0
+    with pytest.raises(ProtocolError):
+        hnc_encapsulate(pkt, amap, local_node=1)
+
+
+def test_encapsulate_loopback_rejected(amap):
+    addr = amap.encode(1, 0x1000)  # own prefix
+    pkt = make_read_req(1, 1, addr, 64, tag=1)
+    with pytest.raises(ProtocolError):
+        hnc_encapsulate(pkt, amap, local_node=1)
+
+
+def test_decapsulate_strips_prefix(amap):
+    addr = amap.encode(3, 0xBEEF40)
+    pkt = make_read_req(1, 3, addr, 64, tag=2)
+    local = hnc_decapsulate(pkt, amap, local_node=3)
+    assert local.addr == 0xBEEF40
+    assert amap.node_of(local.addr) == 0
+
+
+def test_decapsulate_wrong_node_rejected(amap):
+    addr = amap.encode(3, 0x1000)
+    pkt = make_read_req(1, 3, addr, 64, tag=2)
+    with pytest.raises(ProtocolError):
+        hnc_decapsulate(pkt, amap, local_node=4)
+
+
+def test_decapsulate_prefix_destination_mismatch_rejected(amap):
+    # dst says node 4 but address prefix says node 3
+    addr = amap.encode(3, 0x1000)
+    pkt = make_read_req(1, 4, addr, 64, tag=2)
+    with pytest.raises(ProtocolError):
+        hnc_decapsulate(pkt, amap, local_node=4)
+
+
+def test_responses_pass_through_both_ways(amap):
+    addr = amap.encode(2, 0x40)
+    req = make_read_req(1, 2, addr, 8, tag=5)
+    resp = make_read_resp(req)  # src=2, dst=1
+    out = hnc_encapsulate(resp, amap, local_node=2)
+    assert out is resp
+    back = hnc_decapsulate(resp, amap, local_node=1)
+    assert back is resp
+
+
+def test_response_to_self_rejected(amap):
+    req = make_read_req(2, 2, amap.encode(2, 0x40), 8, tag=5)
+    resp = make_read_resp(req)  # dst == 2
+    with pytest.raises(ProtocolError):
+        hnc_encapsulate(resp, amap, local_node=2)
+
+
+def test_bridge_counts(amap):
+    bridge = HNCBridge(amap, local_node=1)
+    addr = amap.encode(2, 0x100)
+    pkt = make_read_req(1, 1, addr, 64, tag=1)
+    fabric = bridge.to_fabric(pkt)
+    assert bridge.encapsulated == 1
+    arrived = HNCBridge(amap, local_node=2)
+    local = arrived.from_fabric(fabric)
+    assert arrived.decapsulated == 1
+    assert local.addr == 0x100
+
+
+def test_bridge_node_range_validated(amap):
+    with pytest.raises(ProtocolError):
+        HNCBridge(amap, local_node=0)
+
+
+def test_roundtrip_preserves_everything_but_prefix(amap):
+    addr = amap.encode(7, 0xABC000)
+    pkt = make_read_req(4, 4, addr, 128, tag=77)
+    fabric = hnc_encapsulate(pkt, amap, local_node=4)
+    local = hnc_decapsulate(fabric, amap, local_node=7)
+    assert local.ptype is PacketType.READ_REQ
+    assert local.size == 128
+    assert local.tag == 77
+    assert local.addr == 0xABC000
+    assert (local.src, local.dst) == (4, 7)

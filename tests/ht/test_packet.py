@@ -1,0 +1,127 @@
+"""Tests for HT packet formats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.ht.packet import (
+    Packet,
+    PacketType,
+    TagAllocator,
+    make_ctrl,
+    make_nack,
+    make_read_req,
+    make_read_resp,
+    make_write_ack,
+    make_write_req,
+)
+
+
+def test_read_req_has_no_payload():
+    req = make_read_req(src=1, dst=2, addr=0x1000, size=64, tag=7)
+    assert req.ptype is PacketType.READ_REQ
+    assert req.payload is None
+    assert req.wire_bytes == 8  # header only
+
+
+def test_read_resp_matches_request():
+    req = make_read_req(1, 2, 0x1000, 4, tag=9)
+    resp = make_read_resp(req, b"\x01\x02\x03\x04")
+    assert resp.ptype is PacketType.READ_RESP
+    assert (resp.src, resp.dst) == (2, 1)
+    assert resp.tag == 9
+    assert resp.payload == b"\x01\x02\x03\x04"
+    assert resp.wire_bytes == 8 + 4
+
+
+def test_read_resp_default_payload_zeroes():
+    req = make_read_req(1, 2, 0, 8, tag=1)
+    assert make_read_resp(req).payload == bytes(8)
+
+
+def test_read_resp_requires_read_req():
+    wr = make_write_req(1, 2, 0, b"x", tag=1)
+    with pytest.raises(ProtocolError):
+        make_read_resp(wr)
+
+
+def test_write_req_carries_payload():
+    wr = make_write_req(1, 2, 0x40, b"abcdef", tag=3)
+    assert wr.size == 6
+    assert wr.wire_bytes == 8 + 6
+
+
+def test_write_ack_swaps_endpoints():
+    wr = make_write_req(3, 5, 0x40, b"ab", tag=11)
+    ack = make_write_ack(wr)
+    assert ack.ptype is PacketType.WRITE_ACK
+    assert (ack.src, ack.dst) == (5, 3)
+    assert ack.size == 0
+    assert ack.tag == 11
+
+
+def test_write_ack_requires_write_req():
+    rd = make_read_req(1, 2, 0, 8, tag=1)
+    with pytest.raises(ProtocolError):
+        make_write_ack(rd)
+
+
+def test_payload_size_mismatch_rejected():
+    with pytest.raises(ProtocolError):
+        Packet(PacketType.WRITE_REQ, 1, 2, 0, 8, 1, payload=b"short")
+
+
+def test_missing_payload_rejected():
+    with pytest.raises(ProtocolError):
+        Packet(PacketType.READ_RESP, 1, 2, 0, 8, 1, payload=None)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ProtocolError):
+        Packet(PacketType.READ_REQ, 1, 2, 0, -1, 1)
+
+
+def test_nack_points_back_to_requester():
+    req = make_read_req(4, 9, 0x99, 64, tag=21)
+    nack = make_nack(req, at_node=9)
+    assert nack.ptype is PacketType.NACK
+    assert nack.dst == 4
+    assert nack.tag == 21
+    assert nack.meta["nacked"] is PacketType.READ_REQ
+
+
+def test_nack_only_for_requests():
+    req = make_read_req(4, 9, 0x99, 64, tag=21)
+    resp = make_read_resp(req)
+    with pytest.raises(ProtocolError):
+        make_nack(resp, at_node=9)
+
+
+def test_ctrl_carries_meta():
+    ctrl = make_ctrl(1, 3, tag=5, kind="reserve", size=4096)
+    assert ctrl.ptype is PacketType.CTRL
+    assert ctrl.meta == {"kind": "reserve", "size": 4096}
+
+
+def test_response_to_rejects_non_request():
+    ack = make_write_ack(make_write_req(1, 2, 0, b"a", 1))
+    with pytest.raises(ProtocolError):
+        ack.response_to()
+
+
+def test_type_predicates():
+    assert PacketType.READ_REQ.is_request
+    assert PacketType.WRITE_REQ.is_request
+    assert PacketType.READ_RESP.is_response
+    assert PacketType.WRITE_ACK.is_response
+    assert PacketType.NACK.is_response
+    assert not PacketType.CTRL.is_request
+    assert not PacketType.CTRL.is_response
+
+
+def test_tag_allocator_unique_and_positive():
+    tags = TagAllocator()
+    seen = [tags.next() for _ in range(100)]
+    assert len(set(seen)) == 100
+    assert min(seen) >= 1

@@ -1,0 +1,142 @@
+"""End-to-end integration tests: the whole system working together."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.malloc import Placement
+from repro.config import ClusterConfig, NetworkConfig
+from repro.units import mib
+
+
+def test_quickstart_scenario(small_cluster):
+    """The README quickstart must work exactly as advertised."""
+    app = small_cluster.session(1)
+    app.borrow_remote(donor=2, size=mib(64))
+    ptr = app.malloc(mib(16), Placement.REMOTE)
+    app.write_u64(ptr, 42)
+    assert app.read_u64(ptr) == 42
+
+
+def test_process_memory_exceeds_node_private_memory():
+    """The paper's headline capability: one process uses more memory
+    than its node owns, without touching other nodes' processors."""
+    cfg = ClusterConfig(network=NetworkConfig(topology="line", dims=(4, 1)))
+    cluster = Cluster(cfg)
+    app = cluster.session(1)
+    private = cfg.node.private_memory_bytes
+
+    for donor in (2, 3, 4):
+        app.borrow_remote(donor, cfg.node.donated_memory_bytes // 2)
+    total = private + 3 * cfg.node.donated_memory_bytes // 2
+    assert cluster.regions.region_of(1).total_bytes == total
+    assert cluster.regions.region_of(1).total_bytes > cfg.node.total_memory_bytes
+
+    # and the memory is actually usable
+    ptr = app.malloc(mib(4), Placement.REMOTE)
+    data = np.arange(1000, dtype=np.uint64)
+    app.write_array(ptr, data)
+    assert (app.read_array(ptr, 1000, np.uint64) == data).all()
+
+
+def test_remote_accesses_do_not_involve_donor_caches():
+    """The core thesis: traffic to borrowed memory reaches the donor's
+    memory controllers but NEVER its caches/cores."""
+    cluster = Cluster(
+        ClusterConfig(network=NetworkConfig(topology="line", dims=(2, 1)))
+    )
+    app = cluster.session(1)
+    app.borrow_remote(2, mib(16))
+    ptr = app.malloc(mib(4), Placement.REMOTE)
+    for i in range(20):
+        app.write_u64(ptr + i * 4096, i)
+        app.read_u64(ptr + i * 4096)
+
+    donor = cluster.node(2)
+    assert sum(mc.reads.value + mc.writes.value for mc in donor.mcs) > 0
+    for cache in donor.caches:
+        assert cache.stats.accesses == 0
+    for core in donor.cores:
+        assert core.loads.value == 0 and core.stores.value == 0
+    assert donor.coherence.stats.probes_sent == 0
+
+
+def test_borrow_use_return_cycle(small_cluster):
+    cluster = small_cluster
+    app = cluster.session(1)
+    res = app.borrow_remote(2, mib(8))
+    ptr = app.malloc(mib(2), Placement.REMOTE)
+    app.write(ptr, b"payload")
+    assert app.read(ptr, 7) == b"payload"
+    app.free(ptr)
+    cluster.give_back(1, res)
+    assert cluster.regions.region_of(1).remote_bytes == 0
+
+
+def test_concurrent_borrowers_isolated():
+    """Two nodes borrow from the same donor; their data never mixes."""
+    cluster = Cluster(
+        ClusterConfig(network=NetworkConfig(topology="line", dims=(3, 1)))
+    )
+    app1 = cluster.session(1)
+    app3 = cluster.session(3)
+    app1.borrow_remote(2, mib(8))
+    app3.borrow_remote(2, mib(8))
+    p1 = app1.malloc(mib(1), Placement.REMOTE)
+    p3 = app3.malloc(mib(1), Placement.REMOTE)
+    app1.write(p1, b"\x11" * 256)
+    app3.write(p3, b"\x33" * 256)
+    assert app1.read(p1, 256) == b"\x11" * 256
+    assert app3.read(p3, 256) == b"\x33" * 256
+    cluster.regions.check_invariants()
+
+
+def test_sixteen_node_prototype_smoke():
+    """The full 4x4 prototype assembles and serves remote memory."""
+    cluster = Cluster()  # paper defaults
+    app = cluster.session(6)
+    app.borrow_remote(10, mib(8))
+    ptr = app.malloc(mib(1), Placement.REMOTE)
+    app.write_u64(ptr, 2010)
+    assert app.read_u64(ptr) == 2010
+    assert cluster.hops(6, 10) == 1
+
+
+def test_parallel_read_only_phase_after_flush(small_cluster):
+    """Section IV-B usage discipline: single-writer phase, flush, then
+    a parallel read-only phase across several cores."""
+    cluster = small_cluster
+    app = cluster.session(1)
+    app.borrow_remote(2, mib(8))
+    ptr = app.malloc(mib(1), Placement.REMOTE)
+    for i in range(8):
+        app.write_u64(ptr + i * 64, i * 10, core=0)
+    cluster.sim.run_process(app.g_flush(core=0))
+
+    results = {}
+
+    def reader(idx, core):
+        data = yield from app.g_read(ptr + idx * 64, 8, core=core)
+        results[idx] = int.from_bytes(data, "little")
+
+    sim = cluster.sim
+    for i in range(8):
+        sim.process(reader(i, core=i % 4))
+    sim.run()
+    assert results == {i: i * 10 for i in range(8)}
+
+
+def test_region_isolation_enforced_by_manager(small_cluster):
+    """A node reading an address outside its region is a bug the region
+    manager can detect."""
+    from repro.errors import RegionError
+
+    cluster = small_cluster
+    cluster.borrow(1, 2, mib(8))
+    foreign = cluster.amap.encode(
+        2, cluster.config.node.private_memory_bytes + mib(64)
+    )
+    with pytest.raises(RegionError):
+        cluster.regions.owner_region_of_addr(foreign, accessing_node=1)

@@ -1,0 +1,182 @@
+"""Failure-injection and adversarial-condition tests.
+
+The paper's correctness argument rests on invariants (pinned grants,
+non-overlap, prefix discipline); these tests drive the system into the
+corners where those invariants do the work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.malloc import Placement
+from repro.config import ClusterConfig, NetworkConfig, RMCConfig
+from repro.errors import (
+    AllocationError,
+    ReservationError,
+)
+from repro.units import mib
+
+
+def _line(n=3, **kw):
+    return Cluster(
+        ClusterConfig(network=NetworkConfig(topology="line", dims=(n, 1)), **kw)
+    )
+
+
+def test_donor_exhaustion_is_clean(small_cluster):
+    """Draining a donor fails the *next* reservation, corrupts nothing."""
+    cluster = small_cluster
+    app = cluster.session(1)
+    donated = cluster.config.node.donated_memory_bytes
+    app.borrow_remote(2, donated)  # take everything
+    with pytest.raises(ReservationError, match="declined"):
+        app.borrow_remote(2, mib(1))
+    # the donor still functions for other borrowers after a release
+    res = next(iter(cluster.node(1).reservations.held.values()))
+    cluster.give_back(1, res)
+    app3 = cluster.session(3)
+    app3.borrow_remote(2, mib(4))
+    ptr = app3.malloc(mib(1), Placement.REMOTE)
+    app3.write_u64(ptr, 1)
+    assert app3.read_u64(ptr) == 1
+
+
+def test_failed_reservation_leaves_no_partial_state(small_cluster):
+    cluster = small_cluster
+    regions_before = cluster.regions.region_of(1).total_bytes
+    donated_before = cluster.node(2).os.donated_free_bytes
+    with pytest.raises(ReservationError):
+        cluster.borrow(1, 2, cluster.config.node.donated_memory_bytes * 2)
+    assert cluster.regions.region_of(1).total_bytes == regions_before
+    assert cluster.node(2).os.donated_free_bytes == donated_before
+    cluster.regions.check_invariants()
+
+
+def test_local_exhaustion_spills_then_fails_loudly(small_cluster):
+    app = small_cluster.session(1)
+    private = small_cluster.config.node.private_memory_bytes
+    app.malloc(private, Placement.LOCAL)
+    # AUTO with no remote arena: clean failure, no partial mappings
+    mapped_before = len(app.aspace.page_table)
+    with pytest.raises(AllocationError):
+        app.malloc(mib(1), Placement.AUTO)
+    assert len(app.aspace.page_table) == mapped_before
+    # grow the region: AUTO now succeeds remotely
+    app.borrow_remote(2, mib(8))
+    ptr = app.malloc(mib(1), Placement.AUTO)
+    assert app.allocator.allocation_at(ptr).remote
+
+
+def test_interrupted_thread_releases_core_slots(small_cluster):
+    """Interrupting a thread mid-access must not leak the core's
+    outstanding-request slot."""
+    cluster = small_cluster
+    app = cluster.session(1)
+    app.borrow_remote(2, mib(8))
+    ptr = app.malloc(mib(1), Placement.REMOTE)
+    app.read(ptr, 8, cached=False)  # warm paths
+    core = app.node.cores[0]
+    sim = cluster.sim
+
+    def victim():
+        while True:
+            yield from app.g_read(ptr, 64, core=0, cached=False)
+
+    def killer(target):
+        yield sim.timeout(100.0)  # mid-flight
+        target.interrupt("stop")
+
+    v = sim.process(victim())
+    sim.process(killer(v))
+    with pytest.raises(Exception):
+        # Interrupt escapes the victim; the engine surfaces it
+        sim.run()
+    # the slot must be free again: a fresh read works
+    assert core._remote_slots.count in (0, 1)
+    app.read(ptr, 64, cached=False)
+
+
+def test_nack_storm_converges():
+    """Pathologically tiny RMC buffers: heavy retries, but every access
+    eventually completes and no transaction is lost."""
+    cluster = _line(
+        3,
+        rmc=RMCConfig(buffer_entries=1, server_buffer_entries=1,
+                      retry_backoff_ns=200.0),
+    )
+    sim = cluster.sim
+    apps = []
+    for client in (1, 3):
+        app = cluster.session(client)
+        app.borrow_remote(2, mib(4))
+        ptr = app.malloc(mib(1), Placement.REMOTE)
+        apps.append((app, ptr))
+
+    def hammer(app, ptr, n):
+        for i in range(n):
+            yield from app.g_read(ptr + (i % 16) * 4096, 64, cached=False)
+
+    procs = []
+    for app, ptr in apps:
+        for core in range(3):
+            procs.append(sim.process(hammer(app, ptr, 25)))
+    sim.run()
+    assert all(p.ok for p in procs)
+    for node_id in (1, 2, 3):
+        rmc = cluster.node(node_id).rmc
+        assert len(rmc.outstanding) == 0  # nothing stuck in flight
+    total_nacks = sum(
+        cluster.node(n).rmc.client_nacks.value
+        + cluster.node(n).rmc.server_nacks.value
+        for n in (1, 2, 3)
+    )
+    assert total_nacks > 0  # the storm actually happened
+
+
+def test_single_node_cluster_has_no_donors():
+    cluster = Cluster(
+        ClusterConfig(network=NetworkConfig(topology="line", dims=(1, 1)))
+    )
+    app = cluster.session(1)
+    ptr = app.malloc(mib(1), Placement.LOCAL)
+    app.write_u64(ptr, 5)
+    assert app.read_u64(ptr) == 5
+    with pytest.raises(AllocationError):
+        app.malloc(mib(1), Placement.REMOTE)
+
+
+def test_deterministic_replay_bit_identical():
+    """Same seed, same config -> identical simulated timelines, even
+    through NACK storms and contention."""
+
+    def run():
+        from repro.apps.randbench import RandomAccessBenchmark
+
+        cluster = _line(4, rmc=RMCConfig(buffer_entries=2))
+        bench = RandomAccessBenchmark(cluster, seed=77, buffer_bytes=mib(2))
+        rr = bench.run_client(1, [2, 3], threads=4, accesses_per_thread=40)
+        return rr.elapsed_ns, rr.thread_times_ns, rr.retransmissions
+
+    assert run() == run()
+
+
+def test_region_invariants_survive_churn(small_cluster):
+    """Borrow/return churn across several borrowers never overlaps."""
+    cluster = small_cluster
+    import itertools
+
+    leases = {}
+    plan = [(1, 2), (3, 2), (4, 2), (1, 4), (3, 4)]
+    for i, (borrower, donor) in enumerate(itertools.chain(plan, plan)):
+        key = (borrower, donor, i % 2)
+        if key in leases:
+            cluster.give_back(borrower, leases.pop(key))
+        else:
+            leases[key] = cluster.borrow(borrower, donor, mib(2 + i))
+        cluster.regions.check_invariants()
+    for (borrower, _, _), lease in leases.items():
+        cluster.give_back(borrower, lease)
+    for n in range(1, 5):
+        assert cluster.regions.region_of(n).remote_bytes == 0

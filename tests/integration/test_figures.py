@@ -1,0 +1,169 @@
+"""Shape assertions for every reproduced figure, at test scale.
+
+These are the repository's acceptance tests: each asserts the
+*qualitative* claim the paper draws from the corresponding figure,
+using scaled-down workloads so the whole module runs in tens of
+seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig06():
+    return run_experiment("fig06", accesses=400, distances=(1, 2, 3))
+
+
+@pytest.fixture(scope="module")
+def fig07():
+    return run_experiment("fig07", accesses=800)
+
+
+@pytest.fixture(scope="module")
+def fig08():
+    return run_experiment(
+        "fig08",
+        control_accesses=400,
+        sweep=((0, 0), (1, 4), (3, 4), (7, 4)),
+    )
+
+
+@pytest.fixture(scope="module")
+def fig09():
+    return run_experiment(
+        "fig09",
+        num_keys=150_000,
+        searches=800,
+        fanouts=(8, 32, 168, 256, 2048),
+        resident_pages=128,
+    )
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return run_experiment(
+        "fig10",
+        key_counts=(20_000, 80_000, 320_000),
+        searches=800,
+        resident_pages=512,
+    )
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    from repro.units import mib
+
+    return run_experiment("fig11", local_memory_bytes=mib(16), scale=0.4)
+
+
+class TestFig06:
+    def test_time_increases_with_distance(self, fig06):
+        times = fig06.column("ns_per_access")
+        assert times == sorted(times)
+        assert times[-1] > times[0] * 1.2
+
+    def test_per_hop_increment_roughly_constant(self, fig06):
+        t = fig06.column("ns_per_access")
+        d1, d2 = t[1] - t[0], t[2] - t[1]
+        assert d2 == pytest.approx(d1, rel=0.3)
+
+
+class TestFig07:
+    def test_two_threads_halve_time(self, fig07):
+        by = {(r["group"], r["threads"], r["hops"]): r["elapsed_ms"]
+              for r in fig07.rows}
+        assert by[("1 server", 2, 1)] == pytest.approx(
+            by[("1 server", 1, 1)] / 2, rel=0.15
+        )
+
+    def test_four_threads_saturate(self, fig07):
+        """4t improves on 2t by far less than 2x (the RMC bottleneck)."""
+        by = {(r["group"], r["threads"], r["hops"]): r["elapsed_ms"]
+              for r in fig07.rows}
+        gain = by[("1 server", 2, 1)] / by[("1 server", 4, 1)]
+        assert gain < 1.4
+
+    def test_four_servers_do_not_help(self, fig07):
+        by = {(r["group"], r["threads"], r["servers"], r["hops"]):
+              r["elapsed_ms"] for r in fig07.rows}
+        assert by[("4 servers", 4, 4, 1)] == pytest.approx(
+            by[("1 server", 4, 1, 1)], rel=0.1
+        )
+
+    def test_distance_does_not_hurt_saturated_client(self, fig07):
+        """The counter-intuitive result: at 4 threads, moving the
+        servers away does NOT increase the time (it may decrease)."""
+        by = {(r["group"], r["hops"]): r["elapsed_ms"]
+              for r in fig07.rows if r["group"] == "4 servers"}
+        assert by[("4 servers", 3)] <= by[("4 servers", 1)] * 1.05
+
+
+class TestFig08:
+    def test_flat_then_degrading(self, fig08):
+        rows = {r["stress_nodes"]: r["control_ns_per_access"]
+                for r in fig08.rows if r["threads_each"] in (0, 4)}
+        assert rows[1] < rows[0] * 1.35      # one stressor: nearly flat
+        assert rows[7] > rows[0] * 2.0       # heavy stress: clear knee
+
+    def test_congestion_is_at_the_server(self, fig08):
+        heavy = [r for r in fig08.rows if r["stress_nodes"] == 7][0]
+        assert heavy["server_nacks"] > 0
+
+
+class TestFig09:
+    def test_u_shape(self, fig09):
+        t = fig09.column("us_per_search")
+        fanouts = fig09.column("children")
+        best = fanouts[t.index(min(t))]
+        # optimum is an interior fanout: both extremes are worse
+        assert best not in (fanouts[0], fanouts[-1])
+        assert t[0] > min(t) * 1.2
+        assert t[-1] > min(t) * 1.2
+
+    def test_depth_decreases_with_fanout(self, fig09):
+        heights = fig09.column("height")
+        assert heights == sorted(heights, reverse=True)
+
+
+class TestFig10:
+    def test_remote_memory_grows_gently(self, fig10):
+        remote = fig10.column("remote_us_per_search")
+        assert remote == sorted(remote)
+        assert remote[-1] < remote[0] * 6  # ~log growth, not blow-up
+
+    def test_swap_blows_up(self, fig10):
+        ratio = fig10.column("swap_over_remote")
+        assert ratio[-1] > ratio[0] * 2     # divergence
+        assert ratio[-1] > 5                # thrashing regime
+
+    def test_fault_rate_rises_with_tree_size(self, fig10):
+        rates = fig10.column("swap_fault_rate")
+        assert rates == sorted(rates)
+
+
+class TestFig11:
+    def _by_name(self, fig11):
+        return {r["benchmark"]: r for r in fig11.rows}
+
+    def test_blackscholes_swap_about_2x(self, fig11):
+        r = self._by_name(fig11)["blackscholes"]
+        assert 1.3 < r["swap_over_local"] < 3.5
+
+    def test_raytrace_moderate_penalties(self, fig11):
+        r = self._by_name(fig11)["raytrace"]
+        assert r["swap_over_local"] < 8
+        assert r["remote_over_local"] < 3
+
+    def test_canneal_swap_prohibitive_remote_feasible(self, fig11):
+        r = self._by_name(fig11)["canneal"]
+        assert r["swap_over_local"] > 20
+        assert r["remote_over_local"] < 8
+
+    def test_streamcluster_no_swap_needed(self, fig11):
+        r = self._by_name(fig11)["streamcluster"]
+        assert r["swap_over_local"] < 1.5
+        assert r["remote_over_local"] > 1.2

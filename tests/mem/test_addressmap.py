@@ -1,0 +1,115 @@
+"""Tests for the node-prefix address map (Section III-B, Fig. 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError
+from repro.mem.addressmap import DEFAULT_NODE_SHIFT, NODE_BITS, AddressMap
+
+
+@pytest.fixture
+def amap():
+    return AddressMap()
+
+
+def test_default_geometry_matches_prototype(amap):
+    assert amap.window_bytes == 16 * 2**30   # 16 GiB per node
+    assert amap.address_bits == 48
+    assert amap.max_nodes == 2**14 - 1
+    assert NODE_BITS == 14
+    assert DEFAULT_NODE_SHIFT == 34
+
+
+def test_paper_example_addresses(amap):
+    """Fig. 4's worked example: node 3's range starts at 0xC00000000."""
+    assert amap.encode(3, 0x41000000) == 0xC41000000
+    assert amap.node_of(0xC41000000) == 3
+    assert amap.strip_node(0xC41000000) == 0x41000000
+
+
+def test_prefix_zero_means_local(amap):
+    assert amap.node_of(0x12345678) == 0
+    assert amap.is_local(0x12345678)
+    assert not amap.is_local(amap.encode(1, 0))
+
+
+def test_node_zero_cannot_be_encoded(amap):
+    with pytest.raises(AddressError):
+        amap.encode(0, 0x1000)
+
+
+def test_node_beyond_14_bits_rejected(amap):
+    with pytest.raises(AddressError):
+        amap.encode(2**14, 0)
+
+
+def test_local_address_must_fit_window(amap):
+    with pytest.raises(AddressError):
+        amap.encode(1, amap.window_bytes)
+    amap.encode(1, amap.window_bytes - 1)  # last byte is fine
+
+
+def test_is_remote_excludes_self_and_local(amap):
+    a2 = amap.encode(2, 0x40)
+    assert amap.is_remote(a2, local_node=1)
+    assert not amap.is_remote(a2, local_node=2)
+    assert not amap.is_remote(0x40, local_node=1)
+
+
+def test_loopback_is_the_overlapped_segment(amap):
+    own = amap.encode(5, 0x1000)
+    assert amap.is_loopback(own, local_node=5)
+    assert not amap.is_loopback(own, local_node=6)
+
+
+def test_window_range(amap):
+    lo, hi = amap.window_range(2)
+    assert lo == 2 << 34
+    assert hi - lo == amap.window_bytes
+    assert amap.node_of(lo) == 2
+    assert amap.node_of(hi - 1) == 2
+
+
+def test_out_of_map_address_rejected(amap):
+    with pytest.raises(AddressError):
+        amap.node_of(1 << 48)
+    with pytest.raises(AddressError):
+        amap.node_of(-1)
+
+
+def test_custom_shift_geometry():
+    small = AddressMap(node_shift=20)  # 1 MiB windows
+    assert small.window_bytes == 1 << 20
+    assert small.encode(2, 0x10) == (2 << 20) | 0x10
+
+
+def test_invalid_shift_rejected():
+    with pytest.raises(AddressError):
+        AddressMap(node_shift=8)
+    with pytest.raises(AddressError):
+        AddressMap(node_shift=60)
+
+
+@given(
+    node=st.integers(1, 2**14 - 1),
+    offset=st.integers(0, (1 << 34) - 1),
+)
+def test_encode_decode_roundtrip(node, offset):
+    """Property: encode/strip/node_of are exact inverses."""
+    amap = AddressMap()
+    addr = amap.encode(node, offset)
+    assert amap.node_of(addr) == node
+    assert amap.strip_node(addr) == offset
+
+
+@given(
+    a=st.tuples(st.integers(1, 100), st.integers(0, (1 << 34) - 1)),
+    b=st.tuples(st.integers(1, 100), st.integers(0, (1 << 34) - 1)),
+)
+def test_encoding_is_injective(a, b):
+    """Property: distinct (node, offset) pairs get distinct addresses."""
+    amap = AddressMap()
+    if a != b:
+        assert amap.encode(*a) != amap.encode(*b)

@@ -1,0 +1,95 @@
+"""Tests for the sparse functional backing store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AddressError
+from repro.mem.backing import BackingStore
+
+
+def test_untouched_memory_reads_zero():
+    bs = BackingStore(1 << 20)
+    assert bs.read(0x1234, 16) == bytes(16)
+
+
+def test_read_after_write():
+    bs = BackingStore(1 << 20)
+    bs.write(100, b"hello world")
+    assert bs.read(100, 11) == b"hello world"
+
+
+def test_write_spanning_chunks():
+    bs = BackingStore(1 << 20, chunk_bytes=256)
+    data = bytes(range(200)) * 3  # 600 bytes across 3+ chunks
+    bs.write(200, data)
+    assert bs.read(200, len(data)) == data
+
+
+def test_partial_overwrite():
+    bs = BackingStore(1 << 16)
+    bs.write(0, b"AAAAAAAA")
+    bs.write(2, b"BB")
+    assert bs.read(0, 8) == b"AABBAAAA"
+
+
+def test_sparse_residency():
+    bs = BackingStore(1 << 30, chunk_bytes=4096)
+    bs.write(0, b"x")
+    bs.write((1 << 30) - 1, b"y")
+    assert bs.resident_bytes == 2 * 4096
+
+
+def test_bounds_checked():
+    bs = BackingStore(1024)
+    with pytest.raises(AddressError):
+        bs.read(1020, 8)
+    with pytest.raises(AddressError):
+        bs.write(-1, b"a")
+    with pytest.raises(AddressError):
+        bs.read(0, -4)
+
+
+def test_u64_helpers():
+    bs = BackingStore(1 << 16)
+    bs.write_u64(64, 0xDEADBEEFCAFEBABE)
+    assert bs.read_u64(64) == 0xDEADBEEFCAFEBABE
+
+
+def test_array_roundtrip():
+    bs = BackingStore(1 << 20)
+    values = np.arange(1000, dtype=np.uint64)
+    bs.write_array(4096, values)
+    out = bs.read_array(4096, 1000, np.uint64)
+    assert (out == values).all()
+    out[0] = 7  # must be a copy, not a view
+    assert bs.read_u64(4096) == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(AddressError):
+        BackingStore(0)
+    with pytest.raises(AddressError):
+        BackingStore(1024, chunk_bytes=1000)  # not a power of two
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 60_000), st.binary(min_size=1, max_size=300)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_matches_reference_bytearray(writes):
+    """Property: the sparse store behaves like one flat bytearray."""
+    bs = BackingStore(1 << 16, chunk_bytes=1024)
+    ref = bytearray(1 << 16)
+    for addr, data in writes:
+        if addr + len(data) > len(ref):
+            continue
+        bs.write(addr, data)
+        ref[addr : addr + len(data)] = data
+    assert bs.read(0, len(ref)) == bytes(ref)

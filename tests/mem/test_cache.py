@@ -1,0 +1,150 @@
+"""Tests for the set-associative write-back cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.errors import CoherenceError
+from repro.mem.cache import Cache
+
+
+def small_cache(sets=4, assoc=2, line=64):
+    return Cache(
+        CacheConfig(
+            size_bytes=sets * assoc * line,
+            associativity=assoc,
+            line_bytes=line,
+        )
+    )
+
+
+def test_cold_miss_then_hit():
+    c = small_cache()
+    assert not c.access(10, is_write=False).hit
+    assert c.access(10, is_write=False).hit
+    assert c.stats.hits == 1
+    assert c.stats.misses == 1
+
+
+def test_lru_eviction_order():
+    c = small_cache(sets=1, assoc=2)
+    c.access(0, False)
+    c.access(1, False)
+    c.access(0, False)          # 0 is now MRU
+    result = c.access(2, False)  # evicts 1 (LRU)
+    assert result.evicted == 1
+    assert c.contains(0)
+    assert not c.contains(1)
+
+
+def test_dirty_eviction_requests_writeback():
+    c = small_cache(sets=1, assoc=1)
+    c.access(5, is_write=True)
+    result = c.access(6, is_write=False)
+    assert result.evicted == 5
+    assert result.writeback
+    assert c.stats.writebacks == 1
+
+
+def test_clean_eviction_no_writeback():
+    c = small_cache(sets=1, assoc=1)
+    c.access(5, is_write=False)
+    result = c.access(6, is_write=False)
+    assert result.evicted == 5
+    assert not result.writeback
+
+
+def test_write_through_never_writebacks():
+    c = Cache(
+        CacheConfig(size_bytes=128, associativity=1, line_bytes=64,
+                    write_back=False)
+    )
+    c.access(0, is_write=True)
+    result = c.access(2, is_write=False)  # same set, evicts 0
+    assert not result.writeback
+
+
+def test_write_hit_marks_dirty():
+    c = small_cache()
+    c.access(3, is_write=False)
+    c.access(3, is_write=True)
+    assert c.is_dirty(3)
+
+
+def test_set_isolation():
+    """Lines in different sets never evict each other."""
+    c = small_cache(sets=4, assoc=1)
+    for line in range(4):  # four different sets
+        assert c.access(line, False).evicted is None
+    assert c.resident_lines == 4
+
+
+def test_line_and_set_geometry():
+    c = small_cache(sets=4, assoc=2, line=64)
+    assert c.line_of(0) == 0
+    assert c.line_of(63) == 0
+    assert c.line_of(64) == 1
+    assert c.set_of(5) == 1
+    assert c.set_of(4) == 0
+
+
+def test_invalidate_returns_dirtiness():
+    c = small_cache()
+    c.access(7, is_write=True)
+    assert c.invalidate(7) is True
+    assert not c.contains(7)
+    c.access(8, is_write=False)
+    assert c.invalidate(8) is False
+
+
+def test_invalidate_missing_line_is_error():
+    with pytest.raises(CoherenceError):
+        small_cache().invalidate(42)
+
+
+def test_flush_returns_dirty_lines_and_empties():
+    c = small_cache()
+    c.access(1, is_write=True)
+    c.access(2, is_write=False)
+    c.access(3, is_write=True)
+    dirty = sorted(c.flush())
+    assert dirty == [1, 3]
+    assert c.resident_lines == 0
+    assert c.stats.flushes == 1
+
+
+def test_hit_rate():
+    c = small_cache()
+    c.access(0, False)
+    c.access(0, False)
+    c.access(0, False)
+    assert c.stats.hit_rate == pytest.approx(2 / 3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 63), st.booleans()), min_size=1, max_size=300
+    )
+)
+def test_matches_reference_lru(ops):
+    """Property: per-set residency matches a reference LRU list."""
+    assoc = 4
+    sets = 4
+    c = small_cache(sets=sets, assoc=assoc)
+    ref: dict[int, list[int]] = {s: [] for s in range(sets)}
+    for line, is_write in ops:
+        s = line % sets
+        lst = ref[s]
+        if line in lst:
+            lst.remove(line)
+        elif len(lst) >= assoc:
+            lst.pop(0)
+        lst.append(line)
+        c.access(line, is_write)
+    for s, lst in ref.items():
+        for line in lst:
+            assert c.contains(line), f"line {line} missing from set {s}"
+    assert c.resident_lines == sum(len(v) for v in ref.values())

@@ -1,0 +1,164 @@
+"""Tests for intra-node MESI coherence — including the probe-scaling
+argument the paper's whole design rests on."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.errors import CoherenceError
+from repro.mem.cache import Cache
+from repro.mem.coherence import CoherenceDomain, MESIState
+
+
+def make_domain(n=4, broadcast=True):
+    caches = [
+        Cache(CacheConfig(size_bytes=64 * 1024, associativity=4),
+              name=f"c{i}")
+        for i in range(n)
+    ]
+    return CoherenceDomain(caches, broadcast=broadcast)
+
+
+def test_first_read_is_exclusive():
+    d = make_domain()
+    assert d.read(0, line=10) is False  # miss
+    assert d.state_of(0, 10) is MESIState.EXCLUSIVE
+
+
+def test_second_reader_demotes_to_shared():
+    d = make_domain()
+    d.read(0, 10)
+    d.read(1, 10)
+    assert d.state_of(0, 10) is MESIState.SHARED
+    assert d.state_of(1, 10) is MESIState.SHARED
+
+
+def test_write_invalidates_other_copies():
+    d = make_domain()
+    d.read(0, 10)
+    d.read(1, 10)
+    d.write(2, 10)
+    assert d.state_of(2, 10) is MESIState.MODIFIED
+    assert d.state_of(0, 10) is MESIState.INVALID
+    assert d.state_of(1, 10) is MESIState.INVALID
+    assert d.stats.invalidations == 2
+
+
+def test_silent_upgrade_from_exclusive():
+    d = make_domain()
+    d.read(0, 10)
+    probes_before = d.stats.probes_sent
+    assert d.write(0, 10) is True  # E -> M without probes
+    assert d.stats.probes_sent == probes_before
+    assert d.state_of(0, 10) is MESIState.MODIFIED
+
+
+def test_read_from_modified_triggers_intervention():
+    d = make_domain()
+    d.write(0, 10)
+    d.read(1, 10)
+    assert d.stats.interventions == 1
+    assert d.state_of(0, 10) is MESIState.SHARED
+
+
+def test_write_hit_in_modified_is_silent():
+    d = make_domain()
+    d.write(0, 10)
+    probes = d.stats.probes_sent
+    d.write(0, 10)
+    assert d.stats.probes_sent == probes
+
+
+def test_broadcast_probe_count_scales_with_domain_size():
+    """The paper's central claim, quantified: snoop probes per miss grow
+    with the number of caches in the coherency domain."""
+    small = make_domain(n=4)
+    large = make_domain(n=16)
+    for d in (small, large):
+        for line in range(100):
+            d.read(0, line)
+    assert small.stats.probes_sent == 100 * 3
+    assert large.stats.probes_sent == 100 * 15
+
+
+def test_directory_mode_probes_only_sharers():
+    d = make_domain(n=8, broadcast=False)
+    d.read(0, 10)       # no sharers -> 0 probes
+    d.read(1, 10)       # 1 sharer -> 1 probe
+    d.write(2, 10)      # 2 sharers -> 2 probes
+    assert d.stats.probes_sent == 0 + 1 + 2
+
+
+def test_region_growth_does_not_grow_domain():
+    """Adding memory (more lines) never adds caches: probes per request
+    stay constant no matter how many distinct lines are touched —
+    the decoupling the paper contributes."""
+    d = make_domain(n=4)
+    for line in range(0, 50):
+        d.write(0, line)
+    few = d.stats.probes_per_request
+    for line in range(50, 5000):
+        d.write(0, line)
+    many = d.stats.probes_per_request
+    assert many == pytest.approx(few)
+
+
+def test_eviction_cleans_directory():
+    caches = [Cache(CacheConfig(size_bytes=128, associativity=1,
+                                line_bytes=64), name="tiny")]
+    d = CoherenceDomain(caches)
+    d.read(0, 0)
+    d.read(0, 2)  # same set, evicts line 0
+    assert d.sharers_of(0) == []
+    d.check_invariants()
+
+
+def test_invariants_pass_after_random_traffic():
+    d = make_domain()
+    d.read(0, 1)
+    d.write(1, 1)
+    d.read(2, 1)
+    d.write(3, 2)
+    d.check_invariants()
+
+
+def test_empty_domain_rejected():
+    with pytest.raises(CoherenceError):
+        CoherenceDomain([])
+
+
+def test_duplicate_cache_names_rejected():
+    c = Cache(CacheConfig())
+    with pytest.raises(CoherenceError):
+        CoherenceDomain([c, c])
+
+
+def test_bad_cache_index_rejected():
+    d = make_domain(2)
+    with pytest.raises(CoherenceError):
+        d.read(5, 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(0, 3),          # cache index
+            st.integers(0, 30),         # line
+            st.booleans(),              # is_write
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_swmr_invariant_under_random_ops(ops):
+    """Property: Single-Writer-Multiple-Readers holds after any op mix."""
+    d = make_domain(4)
+    for idx, line, is_write in ops:
+        if is_write:
+            d.write(idx, line)
+        else:
+            d.read(idx, line)
+        d.check_invariants()

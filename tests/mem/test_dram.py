@@ -1,0 +1,62 @@
+"""Tests for DRAM timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DRAMConfig
+from repro.mem.dram import DRAMTiming
+
+
+@pytest.fixture
+def dram():
+    return DRAMTiming(DRAMConfig(row_hit_ns=40, row_miss_ns=90,
+                                 row_bytes=8192, banks=8))
+
+
+def test_first_access_misses(dram):
+    assert dram.access_ns(0) == 90
+
+
+def test_same_row_hits(dram):
+    dram.access_ns(0)
+    assert dram.access_ns(64) == 40
+    assert dram.access_ns(8191) == 40
+
+
+def test_new_row_same_bank_misses(dram):
+    dram.access_ns(0)
+    # next row of bank 0 starts one full rotation later
+    assert dram.access_ns(8192 * 8) == 90
+
+
+def test_banks_independent(dram):
+    dram.access_ns(0)            # bank 0
+    assert dram.access_ns(8192) == 90   # bank 1, cold
+    assert dram.access_ns(64) == 40     # bank 0 row still open
+
+
+def test_bank_mapping_row_interleaved(dram):
+    assert dram.bank_of(0) == 0
+    assert dram.bank_of(8192) == 1
+    assert dram.bank_of(8192 * 8) == 0
+
+
+def test_hit_rate_tracking(dram):
+    dram.access_ns(0)
+    dram.access_ns(64)
+    dram.access_ns(128)
+    assert dram.hit_rate() == pytest.approx(2 / 3)
+
+
+def test_reset_closes_rows(dram):
+    dram.access_ns(0)
+    dram.reset()
+    assert dram.access_ns(0) == 90
+    assert dram.hit_rate() == 0.0
+
+
+def test_sequential_stream_mostly_hits(dram):
+    total = sum(dram.access_ns(a) for a in range(0, 8192, 64))
+    # one miss then 127 hits
+    assert total == 90 + 127 * 40

@@ -1,0 +1,130 @@
+"""Tests for page tables and address spaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AddressError, FaultError
+from repro.mem.addressmap import AddressMap
+from repro.mem.paging import PTE, AddressSpace, PageTable
+
+
+class TestPageTable:
+    def test_map_and_lookup(self):
+        pt = PageTable()
+        pt.map(5, PTE(phys_page=0x5000))
+        assert pt.lookup(5).phys_page == 0x5000
+        assert pt.lookup(6) is None
+
+    def test_double_map_rejected(self):
+        pt = PageTable()
+        pt.map(1, PTE(phys_page=0x1000))
+        with pytest.raises(AddressError):
+            pt.map(1, PTE(phys_page=0x2000))
+
+    def test_unaligned_frame_rejected(self):
+        with pytest.raises(AddressError):
+            PageTable().map(1, PTE(phys_page=0x1234))
+
+    def test_unmap(self):
+        pt = PageTable()
+        pt.map(1, PTE(phys_page=0x1000))
+        pte = pt.unmap(1)
+        assert pte.phys_page == 0x1000
+        assert pt.lookup(1) is None
+        with pytest.raises(AddressError):
+            pt.unmap(1)
+
+    def test_page_size_validation(self):
+        with pytest.raises(AddressError):
+            PageTable(page_bytes=1000)
+
+    def test_entries_sorted(self):
+        pt = PageTable()
+        for vpn in (5, 1, 3):
+            pt.map(vpn, PTE(phys_page=vpn << 12))
+        assert [v for v, _ in pt.entries()] == [1, 3, 5]
+
+
+class TestAddressSpace:
+    def test_translate_after_map(self):
+        aspace = AddressSpace()
+        vaddr = aspace.reserve_virtual(1)
+        aspace.map_page(vaddr, PTE(phys_page=0x40000))
+        t = aspace.translate(vaddr + 0x123)
+        assert t.phys_addr == 0x40123
+        assert not t.tlb_hit     # first touch walks the table
+        t2 = aspace.translate(vaddr + 0x456)
+        assert t2.tlb_hit
+
+    def test_unmapped_access_faults(self):
+        aspace = AddressSpace()
+        with pytest.raises(FaultError):
+            aspace.translate(0xDEAD000)
+        assert aspace.faults == 1
+
+    def test_remote_pte_prefix_survives_translation(self):
+        """The crux of Fig. 4: the page table stores a *prefixed*
+        physical address and translation just adds the offset."""
+        amap = AddressMap()
+        aspace = AddressSpace()
+        remote_frame = amap.encode(3, 0x41000000)
+        vaddr = aspace.reserve_virtual(1)
+        aspace.map_page(vaddr, PTE(phys_page=remote_frame, remote=True,
+                                   pinned=True))
+        t = aspace.translate(vaddr + 0xB0)
+        assert t.phys_addr == 0xC410000B0  # the paper's worked example
+        assert amap.node_of(t.phys_addr) == 3
+        assert t.pte.pinned
+
+    def test_virtual_ranges_do_not_overlap(self):
+        aspace = AddressSpace()
+        a = aspace.reserve_virtual(4)
+        b = aspace.reserve_virtual(2)
+        assert b >= a + 4 * aspace.page_bytes
+
+    def test_unmap_invalidates_tlb(self):
+        aspace = AddressSpace()
+        vaddr = aspace.reserve_virtual(1)
+        aspace.map_page(vaddr, PTE(phys_page=0x1000))
+        aspace.translate(vaddr)
+        aspace.unmap_page(vaddr)
+        with pytest.raises(FaultError):
+            aspace.translate(vaddr)
+
+    def test_unaligned_map_rejected(self):
+        aspace = AddressSpace()
+        with pytest.raises(AddressError):
+            aspace.map_page(0x1001, PTE(phys_page=0x1000))
+
+    def test_translate_range_spans_pages(self):
+        aspace = AddressSpace(page_bytes=4096)
+        vaddr = aspace.reserve_virtual(2)
+        aspace.map_page(vaddr, PTE(phys_page=0x10000))
+        aspace.map_page(vaddr + 4096, PTE(phys_page=0x30000))
+        parts = aspace.translate_range(vaddr + 4000, 200)
+        assert len(parts) == 2
+        assert parts[0].phys_addr == 0x10000 + 4000
+        assert parts[1].phys_addr == 0x30000
+
+    def test_translate_range_size_validated(self):
+        aspace = AddressSpace()
+        with pytest.raises(AddressError):
+            aspace.translate_range(0, 0)
+
+    def test_walk_counting(self):
+        aspace = AddressSpace(tlb_entries=1)
+        v1 = aspace.reserve_virtual(1)
+        v2 = aspace.reserve_virtual(1)
+        aspace.map_page(v1, PTE(phys_page=0x1000))
+        aspace.map_page(v2, PTE(phys_page=0x2000))
+        aspace.translate(v1)
+        aspace.translate(v2)  # evicts v1 from the 1-entry TLB
+        aspace.translate(v1)  # walks again
+        assert aspace.walks == 3
+
+    def test_zero_pages_rejected(self):
+        from repro.errors import AllocationError
+
+        with pytest.raises(AllocationError):
+            AddressSpace().reserve_virtual(0)

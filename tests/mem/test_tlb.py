@@ -1,0 +1,73 @@
+"""Tests for the TLB."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.tlb import TLB
+
+
+def test_miss_then_hit():
+    tlb = TLB(entries=4)
+    assert tlb.lookup(5) is None
+    tlb.insert(5, 0x5000)
+    assert tlb.lookup(5) == 0x5000
+    assert tlb.hits == 1
+    assert tlb.misses == 1
+
+
+def test_lru_replacement():
+    tlb = TLB(entries=2)
+    tlb.insert(1, 0x1000)
+    tlb.insert(2, 0x2000)
+    tlb.lookup(1)            # 1 becomes MRU
+    tlb.insert(3, 0x3000)    # evicts 2
+    assert tlb.lookup(1) == 0x1000
+    assert tlb.lookup(2) is None
+    assert tlb.lookup(3) == 0x3000
+
+
+def test_reinsert_updates_translation():
+    tlb = TLB(entries=4)
+    tlb.insert(1, 0x1000)
+    tlb.insert(1, 0x9000)
+    assert tlb.lookup(1) == 0x9000
+    assert len(tlb) == 1
+
+
+def test_invalidate_single_entry():
+    tlb = TLB()
+    tlb.insert(7, 0x7000)
+    tlb.invalidate(7)
+    assert tlb.lookup(7) is None
+    tlb.invalidate(99)  # idempotent on absent vpn
+
+
+def test_flush_clears_everything():
+    tlb = TLB()
+    for vpn in range(8):
+        tlb.insert(vpn, vpn << 12)
+    tlb.flush()
+    assert len(tlb) == 0
+    assert tlb.flushes == 1
+
+
+def test_hit_rate():
+    tlb = TLB()
+    tlb.lookup(0)
+    tlb.insert(0, 0)
+    tlb.lookup(0)
+    assert tlb.hit_rate == pytest.approx(0.5)
+
+
+def test_capacity_validated():
+    with pytest.raises(ConfigError):
+        TLB(entries=0)
+
+
+def test_capacity_never_exceeded():
+    tlb = TLB(entries=3)
+    for vpn in range(10):
+        tlb.insert(vpn, vpn << 12)
+    assert len(tlb) == 3

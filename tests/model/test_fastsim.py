@@ -1,0 +1,169 @@
+"""Tests for the trace-driven accessors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import AllocationError
+from repro.mem.backing import BackingStore
+from repro.model.fastsim import (
+    BumpAllocator,
+    LocalMemAccessor,
+    RemoteMemAccessor,
+    SwapAccessor,
+)
+from repro.model.latency import LatencyModel
+from repro.swap.remoteswap import RemoteSwap
+from repro.units import CACHE_LINE, PAGE_SIZE
+
+
+@pytest.fixture
+def lat():
+    return LatencyModel.from_config(ClusterConfig())
+
+
+class TestBumpAllocator:
+    def test_sequential_alignment(self):
+        arena = BumpAllocator(1024, align=16)
+        a = arena.alloc(10)
+        b = arena.alloc(10)
+        assert a == 0
+        assert b == 16
+        assert arena.used_bytes == 32
+
+    def test_exhaustion(self):
+        arena = BumpAllocator(64)
+        arena.alloc(64)
+        with pytest.raises(AllocationError):
+            arena.alloc(1)
+
+    def test_zero_rejected(self):
+        with pytest.raises(AllocationError):
+            BumpAllocator(64).alloc(0)
+
+
+class TestFunctionalBehaviour:
+    def test_read_after_write(self, lat):
+        acc = LocalMemAccessor(lat, BackingStore(1 << 20))
+        acc.write(100, b"data!")
+        assert acc.read(100, 5) == b"data!"
+
+    def test_u64_and_array_helpers(self, lat):
+        acc = RemoteMemAccessor(lat, BackingStore(1 << 20))
+        acc.write_u64(0, 999)
+        assert acc.read_u64(0) == 999
+        values = np.arange(64, dtype=np.uint64)
+        acc.write_array(512, values)
+        assert (acc.read_array(512, 64, np.uint64) == values).all()
+
+    def test_bulk_write_is_untimed(self, lat):
+        acc = LocalMemAccessor(lat, BackingStore(1 << 20))
+        acc.bulk_write(0, bytes(10_000))
+        assert acc.time_ns == 0.0
+        assert acc.read(0, 4) == bytes(4)
+
+    def test_compute_charges_time(self, lat):
+        acc = LocalMemAccessor(lat, BackingStore(1 << 20))
+        acc.compute(123.0)
+        assert acc.time_ns == 123.0
+        with pytest.raises(ValueError):
+            acc.compute(-1)
+
+    def test_zero_size_access_rejected(self, lat):
+        acc = LocalMemAccessor(lat, BackingStore(1 << 20))
+        with pytest.raises(ValueError):
+            acc.read(0, 0)
+
+
+class TestTiming:
+    def test_local_uncached_charges_local_latency(self, lat):
+        acc = LocalMemAccessor(lat, BackingStore(1 << 20), use_cache=False)
+        acc.read(0, 8)
+        assert acc.time_ns == pytest.approx(lat.local_ns)
+
+    def test_multi_line_access_charges_per_line(self, lat):
+        acc = LocalMemAccessor(lat, BackingStore(1 << 20), use_cache=False)
+        acc.read(0, 4 * CACHE_LINE)
+        assert acc.time_ns == pytest.approx(4 * lat.local_ns)
+        assert acc.accesses == 4
+
+    def test_straddling_access_touches_two_lines(self, lat):
+        acc = LocalMemAccessor(lat, BackingStore(1 << 20), use_cache=False)
+        acc.read(CACHE_LINE - 4, 8)
+        assert acc.accesses == 2
+
+    def test_cache_hits_cheaper(self, lat):
+        acc = RemoteMemAccessor(lat, BackingStore(1 << 20))
+        acc.read(0, 8)
+        first = acc.time_ns
+        acc.read(0, 8)
+        assert acc.time_ns - first == pytest.approx(lat.cache_hit_ns)
+
+    def test_remote_hops_matter(self, lat):
+        near = RemoteMemAccessor(lat, BackingStore(1 << 20), hops=1,
+                                 use_cache=False)
+        far = RemoteMemAccessor(lat, BackingStore(1 << 20), hops=3,
+                                use_cache=False)
+        near.read(0, 8)
+        far.read(0, 8)
+        assert far.time_ns > near.time_ns
+
+    def test_dirty_writeback_charged_on_eviction(self, lat):
+        from repro.config import CacheConfig
+        from repro.mem.cache import Cache
+
+        tiny = Cache(CacheConfig(size_bytes=64, associativity=1,
+                                 line_bytes=64))
+        acc = LocalMemAccessor(lat, BackingStore(1 << 20), cache=tiny)
+        acc.write(0, b"x" * 8)            # dirty line 0
+        t_before = acc.time_ns
+        acc.read(4096, 8)                 # evicts dirty line
+        assert acc.time_ns - t_before == pytest.approx(2 * lat.local_ns)
+
+    def test_swap_fault_then_residency(self, lat):
+        cfg = ClusterConfig()
+        swap = RemoteSwap(cfg.swap, resident_pages=4)
+        acc = SwapAccessor(lat, BackingStore(1 << 24), swap, use_cache=False)
+        acc.read(0, 8)
+        assert acc.time_ns == pytest.approx(
+            cfg.swap.remote_page_ns() + lat.local_ns
+        )
+        t = acc.time_ns
+        acc.read(64, 8)  # same page now resident
+        assert acc.time_ns - t == pytest.approx(lat.local_ns)
+        assert acc.fault_count == 1
+
+    def test_reset_clock(self, lat):
+        acc = LocalMemAccessor(lat, BackingStore(1 << 20))
+        acc.read(0, 8)
+        acc.reset_clock()
+        assert acc.time_ns == 0.0
+        assert acc.accesses == 0
+
+
+class TestScenarioOrdering:
+    def test_random_workload_ordering(self, lat):
+        """For a locality-poor random workload the paper's ordering must
+        hold: local < remote << swap."""
+        cfg = ClusterConfig()
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(0, 4000, size=800) * PAGE_SIZE
+
+        def run(acc):
+            for a in addrs:
+                acc.read(int(a), 8)
+            return acc.time_ns
+
+        t_local = run(LocalMemAccessor(lat, BackingStore(1 << 26)))
+        t_remote = run(RemoteMemAccessor(lat, BackingStore(1 << 26)))
+        t_swap = run(
+            SwapAccessor(
+                lat,
+                BackingStore(1 << 26),
+                RemoteSwap(cfg.swap, resident_pages=256),
+            )
+        )
+        assert t_local < t_remote < t_swap
+        assert t_swap > 10 * t_remote

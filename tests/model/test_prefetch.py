@@ -1,0 +1,126 @@
+"""Tests for the stream prefetcher (the paper's Section VI extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.mem.backing import BackingStore
+from repro.model.fastsim import RemoteMemAccessor
+from repro.model.latency import LatencyModel
+from repro.model.prefetch import PrefetchConfig, StreamPrefetcher
+from repro.units import CACHE_LINE, mib
+
+
+@pytest.fixture
+def lat():
+    return LatencyModel.from_config(ClusterConfig())
+
+
+class TestStateMachine:
+    def test_single_miss_is_not_a_stream(self):
+        pf = StreamPrefetcher(PrefetchConfig())
+        assert pf.access(100) is False
+        assert pf.issued == 0
+
+    def test_two_consecutive_misses_confirm_stream(self):
+        pf = StreamPrefetcher(PrefetchConfig(depth=4))
+        pf.access(100)
+        pf.access(101)
+        assert pf.issued == 4  # lines 102..105
+
+    def test_covered_lines_hit_and_extend(self):
+        pf = StreamPrefetcher(PrefetchConfig(depth=4))
+        pf.access(100)
+        pf.access(101)
+        # the prefetched run is covered, and the stream keeps rolling
+        for line in range(102, 120):
+            assert pf.access(line) is True
+        assert pf.covered == 18
+
+    def test_non_sequential_misses_never_prefetch(self):
+        pf = StreamPrefetcher(PrefetchConfig())
+        for line in (10, 50, 90, 130):
+            assert pf.access(line) is False
+        assert pf.issued == 0
+
+    def test_multiple_interleaved_streams(self):
+        pf = StreamPrefetcher(PrefetchConfig(streams=2, depth=2))
+        # interleave two streams at 1000+ and 5000+
+        pf.access(1000)
+        pf.access(5000)
+        pf.access(1001)
+        pf.access(5001)
+        assert pf.issued == 4
+        assert pf.access(1002) is True
+        assert pf.access(5002) is True
+
+    def test_stream_table_lru_eviction(self):
+        pf = StreamPrefetcher(PrefetchConfig(streams=1))
+        pf.access(1000)
+        pf.access(5000)   # evicts the 1000 head
+        assert pf.access(1001) is False
+        assert pf.issued == 0
+
+    def test_wasted_prefetches_counted(self):
+        pf = StreamPrefetcher(PrefetchConfig(streams=1, depth=2))
+        # confirm many disjoint streams; old prefetches age out
+        for base in range(0, 600, 100):
+            pf.access(base)
+            pf.access(base + 1)
+        assert pf.wasted > 0
+        assert 0 <= pf.accuracy <= 1
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            PrefetchConfig(streams=0)
+        with pytest.raises(ConfigError):
+            PrefetchConfig(depth=0)
+        with pytest.raises(ConfigError):
+            PrefetchConfig(covered_ns=-1)
+
+
+class TestIntegration:
+    def test_sequential_scan_approaches_local(self, lat):
+        """The paper's Section VI claim: prefetching brings remote
+        performance close(r) to local memory on streaming patterns."""
+        from repro.apps.streams import stream_scan
+        from repro.model.fastsim import LocalMemAccessor
+
+        plain = RemoteMemAccessor(lat, BackingStore(mib(8)), use_cache=False)
+        pf = RemoteMemAccessor(
+            lat, BackingStore(mib(8)), use_cache=False,
+            prefetch=PrefetchConfig(depth=8),
+        )
+        local = LocalMemAccessor(lat, BackingStore(mib(8)), use_cache=False)
+        t_plain = stream_scan(plain, size_bytes=mib(2)).time_ns
+        t_pf = stream_scan(pf, size_bytes=mib(2)).time_ns
+        t_local = stream_scan(local, size_bytes=mib(2)).time_ns
+        assert t_pf < 0.4 * t_plain          # big win on streams
+        assert t_pf < 2.5 * t_local          # close to local
+
+    def test_random_access_unaffected(self, lat):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, mib(4) // 4096, size=500) * 4096
+        plain = RemoteMemAccessor(lat, BackingStore(mib(8)), use_cache=False)
+        pf = RemoteMemAccessor(
+            lat, BackingStore(mib(8)), use_cache=False,
+            prefetch=PrefetchConfig(),
+        )
+        for a in addrs:
+            plain.read(int(a), 8)
+            pf.read(int(a), 8)
+        assert pf.time_ns == pytest.approx(plain.time_ns, rel=0.05)
+
+    def test_covered_cost_used(self, lat):
+        cfg = PrefetchConfig(depth=2, covered_ns=100.0)
+        acc = RemoteMemAccessor(lat, BackingStore(mib(1)), use_cache=False,
+                                prefetch=cfg)
+        acc.read(0, CACHE_LINE)
+        acc.read(CACHE_LINE, CACHE_LINE)      # confirms the stream
+        t0 = acc.time_ns
+        acc.read(2 * CACHE_LINE, CACHE_LINE)  # covered
+        assert acc.time_ns - t0 == pytest.approx(100.0)

@@ -1,0 +1,106 @@
+"""Tests for fabric traffic analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.randbench import RandomAccessBenchmark
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, NetworkConfig
+from repro.noc.fabricstats import FabricStats, LinkLoad, collect, mesh_heatmap
+from repro.units import mib
+
+
+@pytest.fixture(scope="module")
+def loaded_cluster():
+    """A 3x3 mesh with real traffic: node 1 hammers node 9."""
+    cluster = Cluster(
+        ClusterConfig(network=NetworkConfig(topology="mesh", dims=(3, 3)))
+    )
+    bench = RandomAccessBenchmark(cluster, seed=4, buffer_bytes=mib(2))
+    bench.run_client(1, [9], threads=2, accesses_per_thread=60)
+    return cluster
+
+
+def test_collect_counts_real_traffic(loaded_cluster):
+    stats = collect(loaded_cluster.network)
+    assert stats.total_packets > 0
+    busiest = stats.busiest_link
+    assert busiest is not None
+    assert busiest.packets > 0
+    assert 0.0 <= stats.max_utilization <= 1.0
+
+
+def test_traffic_follows_the_route(loaded_cluster):
+    """X-Y routing from 1 (0,0) to 9 (2,2): requests use 1->2->3->6->9."""
+    stats = collect(loaded_cluster.network)
+    loads = {(l.src, l.dst): l.packets for l in stats.links}
+    for edge in [(1, 2), (2, 3), (3, 6), (6, 9)]:
+        assert loads[edge] > 0, f"no traffic on request edge {edge}"
+    # responses route 9 (2,2) -> 8 -> 7 -> 4 -> 1
+    for edge in [(9, 8), (8, 7), (7, 4), (4, 1)]:
+        assert loads[edge] > 0, f"no traffic on response edge {edge}"
+    # an edge on no route stays idle
+    assert loads[(5, 2)] == 0
+
+
+def test_switch_counters(loaded_cluster):
+    stats = collect(loaded_cluster.network)
+    # node 9's switch delivered every arriving request
+    assert stats.switch_delivered[9] > 0
+    # transit switches forwarded without delivering
+    assert stats.switch_forwarded[2] > 0
+    assert stats.switch_delivered[5] == 0
+
+
+def test_gini_reflects_imbalance(loaded_cluster):
+    stats = collect(loaded_cluster.network)
+    # one hot path through an otherwise idle mesh: strong imbalance
+    assert stats.gini() > 0.5
+
+
+def test_gini_zero_on_idle_network(sim):
+    from repro.noc.network import Network
+
+    net = Network(sim, NetworkConfig(topology="mesh", dims=(2, 2)))
+    assert collect(net).gini() == 0.0
+    assert collect(net).busiest_link.packets == 0
+
+
+def test_hot_links_sorted(loaded_cluster):
+    stats = collect(loaded_cluster.network)
+    hot = stats.hot_links(threshold=0.0)
+    utils = [l.utilization for l in hot]
+    assert utils == sorted(utils, reverse=True)
+
+
+def test_heatmap_renders(loaded_cluster):
+    text = mesh_heatmap(loaded_cluster.network)
+    assert "fabric heat map" in text
+    # all nine node ids appear
+    for n in range(1, 10):
+        assert f"{n:>3}" in text or f" {n}" in text
+    # the busiest glyph appears somewhere
+    assert "@" in text
+
+
+def test_heatmap_rejects_non_mesh(sim):
+    from repro.noc.network import Network
+
+    net = Network(sim, NetworkConfig(topology="line", dims=(3, 1)))
+    with pytest.raises(ValueError):
+        mesh_heatmap(net)
+
+
+def test_linkload_is_value_object():
+    a = LinkLoad(1, 2, 10, 100, 0.5)
+    b = LinkLoad(1, 2, 10, 100, 0.5)
+    assert a == b
+
+
+def test_stats_on_empty_stats_object():
+    s = FabricStats(links=[], switch_forwarded={}, switch_delivered={})
+    assert s.total_packets == 0
+    assert s.busiest_link is None
+    assert s.max_utilization == 0.0
+    assert s.gini() == 0.0

@@ -1,0 +1,110 @@
+"""Tests for the assembled fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import LinkConfig, NetworkConfig
+from repro.errors import TopologyError
+from repro.ht.packet import make_ctrl, make_read_req
+from repro.noc.network import Network
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, NetworkConfig(topology="mesh", dims=(3, 3)))
+
+
+def test_one_switch_per_node_two_links_per_edge(net):
+    assert len(net.switches) == 9
+    # 3x3 mesh: 12 undirected edges -> 24 directed links
+    assert len(net.links) == 24
+
+
+def test_packet_delivered_to_endpoint(sim, net):
+    got = []
+    net.attach(9, got.append)
+    pkt = make_read_req(1, 9, 0, 8, tag=1)
+    net.inject(1, pkt)
+    sim.run()
+    assert [p.tag for p in got] == [1]
+
+
+def test_hops_counted_on_packet(sim, net):
+    got = []
+    net.attach(9, got.append)
+    pkt = make_read_req(1, 9, 0, 8, tag=1)
+    net.inject(1, pkt)
+    sim.run()
+    # node 1 (0,0) -> node 9 (2,2): 4 switch-to-switch hops
+    assert got[0].hops == 4
+    assert net.hops(1, 9) == 4
+
+
+def test_delivery_latency_scales_with_distance(sim, net):
+    t_near, t_far = [], []
+    net.attach(2, lambda p: t_near.append(sim.now))
+    net.attach(9, lambda p: t_far.append(sim.now))
+    net.inject(1, make_read_req(1, 2, 0, 8, tag=1))
+    sim.run()
+    net.inject(1, make_read_req(1, 9, 0, 8, tag=2))
+    start = sim.now
+    sim.run()
+    assert (t_far[0] - start) > t_near[0]
+
+
+def test_inject_to_self_rejected(net):
+    with pytest.raises(TopologyError):
+        net.inject(3, make_read_req(3, 3, 0, 8, tag=1))
+
+
+def test_delivery_without_endpoint_raises(sim, net):
+    net.inject(1, make_ctrl(1, 5, tag=1))
+    with pytest.raises(TopologyError, match="no endpoint"):
+        sim.run()
+
+
+def test_ctrl_and_memory_traffic_share_fabric(sim, net):
+    got = []
+    net.attach(3, got.append)
+    net.inject(1, make_ctrl(1, 3, tag=1, kind="reserve"))
+    net.inject(1, make_read_req(1, 3, 0, 8, tag=2))
+    sim.run()
+    assert len(got) == 2
+
+
+def test_link_utilization_reported(sim, net):
+    net.attach(2, lambda p: None)
+    net.inject(1, make_read_req(1, 2, 0, 8, tag=1))
+    sim.run()
+    util = net.link_utilization()
+    assert util[(1, 2)] >= 0.0
+    assert util[(2, 1)] == 0.0  # nothing flowed back
+
+
+def test_unknown_switch_rejected(net):
+    with pytest.raises(TopologyError):
+        net.inject(99, make_read_req(99, 1, 0, 8, tag=1))
+
+
+def test_congestion_slows_shared_link():
+    """Many flows over one link take longer than the same flows on
+    disjoint links."""
+    def run_with(dst_nodes):
+        sim = Simulator()
+        cfg = NetworkConfig(
+            topology="line", dims=(3, 1),
+            link=LinkConfig(bandwidth_Bpns=0.05),  # slow, easily congested
+        )
+        net = Network(sim, cfg)
+        done = []
+        for d in set(dst_nodes):
+            net.attach(d, lambda p: done.append(sim.now))
+        for i, d in enumerate(dst_nodes):
+            net.inject(1, make_read_req(1, d, 0, 8, tag=i + 1))
+        sim.run()
+        return max(done)
+
+    shared = run_with([3, 3, 3, 3])   # all cross link 2->3
+    assert shared > run_with([2, 2, 2, 2]) * 0.99

@@ -1,0 +1,106 @@
+"""Tests for dimension-order routing."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NetworkConfig
+from repro.errors import TopologyError
+from repro.noc.routing import RoutingTable
+from repro.noc.topology import Topology
+
+
+def _table(kind="mesh", dims=(4, 4)):
+    topo = Topology.build(NetworkConfig(topology=kind, dims=dims))
+    return RoutingTable(topo)
+
+
+def test_next_hop_is_a_neighbor():
+    rt = _table()
+    for src, dst in itertools.permutations(range(1, 17), 2):
+        nxt = rt.next_hop(src, dst)
+        assert nxt in rt.topology.neighbors(src)
+
+
+def test_paths_are_minimal_on_mesh():
+    rt = _table()
+    for src, dst in itertools.permutations(range(1, 17), 2):
+        assert rt.hops(src, dst) == rt.topology.hops(src, dst)
+
+
+def test_xy_order_corrects_x_first():
+    rt = _table()
+    # node 1 (0,0) -> node 16 (3,3): first three hops move along x
+    path = rt.path(1, 16)
+    assert path == [1, 2, 3, 4, 8, 12, 16]
+
+
+def test_self_route_rejected():
+    rt = _table()
+    with pytest.raises(TopologyError):
+        rt.next_hop(3, 3)
+
+
+def test_paths_are_minimal_on_torus():
+    rt = _table("torus", (4, 4))
+    for src, dst in itertools.permutations(range(1, 17), 2):
+        assert rt.hops(src, dst) == rt.topology.hops(src, dst)
+
+
+def test_torus_uses_wraparound():
+    rt = _table("torus", (4, 4))
+    assert rt.hops(1, 4) == 1  # wrap, not 3 hops across the row
+
+
+def test_ring_takes_shorter_arc():
+    rt = _table("ring", (6, 1))
+    assert rt.path(1, 6) == [1, 6]
+    assert rt.path(1, 3) == [1, 2, 3]
+
+
+def test_line_routes_along_the_line():
+    rt = _table("line", (5, 1))
+    assert rt.path(1, 5) == [1, 2, 3, 4, 5]
+    assert rt.path(4, 2) == [4, 3, 2]
+
+
+def test_mesh_dor_is_deadlock_free():
+    """X-Y routing on a mesh cannot create a cyclic channel dependency:
+    verify no route ever turns from Y back to X."""
+    rt = _table()
+    topo = rt.topology
+    for src, dst in itertools.permutations(range(1, 17), 2):
+        path = rt.path(src, dst)
+        moved_y = False
+        for a, b in zip(path, path[1:]):
+            ax, ay = topo.coords(a)
+            bx, by = topo.coords(b)
+            if ay != by:
+                moved_y = True
+            elif moved_y:
+                pytest.fail(f"route {path} turned from Y back to X")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    kind=st.sampled_from(["mesh", "torus"]),
+    w=st.integers(2, 6),
+    h=st.integers(2, 6),
+    data=st.data(),
+)
+def test_every_packet_terminates(kind, w, h, data):
+    """Property: routing always reaches the destination (no loops)."""
+    if kind == "torus" and (w == 2 or h == 2):
+        w, h = max(w, 3), max(h, 3)
+    rt = _table(kind, (w, h))
+    n = w * h
+    src = data.draw(st.integers(1, n))
+    dst = data.draw(st.integers(1, n))
+    if src == dst:
+        return
+    path = rt.path(src, dst)
+    assert path[0] == src and path[-1] == dst
+    assert len(path) <= n

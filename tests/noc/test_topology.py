@@ -1,0 +1,98 @@
+"""Tests for topology builders."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.config import NetworkConfig
+from repro.errors import TopologyError
+from repro.noc.topology import Topology
+
+
+def _topo(kind, dims):
+    return Topology.build(NetworkConfig(topology=kind, dims=dims))
+
+
+class TestMesh:
+    def test_node_count_and_ids_one_based(self):
+        t = _topo("mesh", (4, 4))
+        assert t.num_nodes == 16
+        assert sorted(t.graph.nodes) == list(range(1, 17))
+        assert 0 not in t.graph  # a node 0 must never exist
+
+    def test_edge_count(self):
+        # 4x4 mesh: 2 * 4 * 3 = 24 edges
+        assert _topo("mesh", (4, 4)).graph.number_of_edges() == 24
+
+    def test_coords_roundtrip(self):
+        t = _topo("mesh", (4, 4))
+        for n in range(1, 17):
+            x, y = t.coords(n)
+            assert t.node_at(x, y) == n
+
+    def test_corner_and_interior_degree(self):
+        t = _topo("mesh", (4, 4))
+        assert len(t.neighbors(1)) == 2    # corner
+        assert len(t.neighbors(6)) == 4    # interior
+
+    def test_hops_manhattan(self):
+        t = _topo("mesh", (4, 4))
+        assert t.hops(1, 16) == 6
+        assert t.hops(1, 2) == 1
+        assert t.hops(6, 6) == 0
+
+    def test_nodes_at_distance(self):
+        t = _topo("mesh", (4, 4))
+        assert t.nodes_at_distance(6, 1) == [2, 5, 7, 10]
+        assert len(t.nodes_at_distance(6, 2)) >= 4
+
+    def test_connected(self):
+        assert nx.is_connected(_topo("mesh", (5, 3)).graph)
+
+
+class TestTorus:
+    def test_wraparound_edges(self):
+        t = _topo("torus", (4, 4))
+        assert t.graph.has_edge(1, 4)    # row wrap
+        assert t.graph.has_edge(1, 13)   # column wrap
+
+    def test_uniform_degree(self):
+        t = _topo("torus", (4, 4))
+        assert all(len(t.neighbors(n)) == 4 for n in range(1, 17))
+
+    def test_diameter_halved_vs_mesh(self):
+        mesh = _topo("mesh", (4, 4))
+        torus = _topo("torus", (4, 4))
+        assert torus.hops(1, 16) < mesh.hops(1, 16)
+
+
+class TestRingAndLine:
+    def test_line_nodes_and_endpoints(self):
+        t = _topo("line", (5, 1))
+        assert t.num_nodes == 5
+        assert len(t.neighbors(1)) == 1
+        assert len(t.neighbors(3)) == 2
+
+    def test_ring_closes(self):
+        t = _topo("ring", (5, 1))
+        assert t.graph.has_edge(5, 1)
+        assert all(len(t.neighbors(n)) == 2 for n in range(1, 6))
+
+    def test_tiny_ring_rejected(self):
+        with pytest.raises(TopologyError):
+            _topo("ring", (2, 1))
+
+    def test_line_hops(self):
+        t = _topo("line", (6, 1))
+        assert t.hops(1, 6) == 5
+
+
+def test_unknown_node_queries_rejected():
+    t = _topo("mesh", (2, 2))
+    with pytest.raises(TopologyError):
+        t.coords(99)
+    with pytest.raises(TopologyError):
+        t.hops(1, 99)
+    with pytest.raises(TopologyError):
+        t.node_at(5, 5)

@@ -1,0 +1,54 @@
+"""Tests for reproducible random-stream derivation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import derive_seed, stream
+
+
+def test_same_path_same_seed():
+    assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+
+def test_different_roots_differ():
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_different_paths_differ():
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a", 0) != derive_seed(1, "a", 1)
+
+
+def test_type_distinguished_in_path():
+    """The int 1 and the string '1' must hash differently."""
+    assert derive_seed(0, 1) != derive_seed(0, "1")
+
+
+def test_path_concatenation_not_ambiguous():
+    """('ab',) and ('a', 'b') must not collide."""
+    assert derive_seed(0, "ab") != derive_seed(0, "a", "b")
+
+
+def test_invalid_key_type_rejected():
+    with pytest.raises(TypeError):
+        derive_seed(0, 1.5)  # type: ignore[arg-type]
+
+
+def test_stream_reproducible():
+    a = stream(7, "workload", 3).integers(0, 1000, size=16)
+    b = stream(7, "workload", 3).integers(0, 1000, size=16)
+    assert (a == b).all()
+
+
+def test_streams_independent():
+    a = stream(7, "x").integers(0, 1_000_000, size=64)
+    b = stream(7, "y").integers(0, 1_000_000, size=64)
+    assert (a != b).any()
+
+
+@given(st.integers(0, 2**63), st.text(max_size=20), st.integers(-100, 100))
+def test_seed_in_64bit_range(root, s, i):
+    seed = derive_seed(root, s, i)
+    assert 0 <= seed < 2**64

@@ -1,0 +1,124 @@
+"""Tests for the Section II alternative memory-expansion approaches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SwapConfig
+from repro.errors import ConfigError
+from repro.swap.alternatives import (
+    CompressedMemory,
+    FlashSwap,
+    OSMemoryServer,
+)
+from repro.swap.remoteswap import RemoteSwap
+
+
+@pytest.fixture
+def cfg():
+    return SwapConfig()
+
+
+class TestOSMemoryServer:
+    def test_flat_per_access_cost(self):
+        srv = OSMemoryServer(access_ns_const=3_000.0)
+        assert srv.access_ns(0) == 3_000.0
+        assert srv.access_ns(0) == 3_000.0  # no residency: every access pays
+        assert srv.accesses == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OSMemoryServer(access_ns_const=0)
+
+
+class TestFlashSwap:
+    def test_fault_then_resident(self, cfg):
+        flash = FlashSwap(cfg, resident_pages=4)
+        first = flash.access_ns(0)
+        assert first == pytest.approx(cfg.os_fault_ns + flash.read_page_ns)
+        assert flash.access_ns(64) == 0.0  # page now resident
+
+    def test_slower_than_remote_swap_faster_than_disk(self, cfg):
+        flash = FlashSwap(cfg, resident_pages=1)
+        remote = RemoteSwap(cfg, resident_pages=1)
+        assert flash.fault_service_ns() > remote.fault_service_ns()
+        assert flash.fault_service_ns() < cfg.disk_page_ns()
+
+    def test_dirty_eviction_pays_program_cost(self, cfg):
+        flash = FlashSwap(cfg, resident_pages=1)
+        flash.access_ns(0, is_write=True)
+        cost = flash.access_ns(cfg.page_bytes)
+        assert cost == pytest.approx(
+            flash.fault_service_ns() + flash.write_page_ns
+        )
+
+    def test_validation(self, cfg):
+        with pytest.raises(ConfigError):
+            FlashSwap(cfg, resident_pages=4, read_page_ns=0)
+
+
+class TestCompressedMemory:
+    def test_effective_capacity_exceeds_dram(self, cfg):
+        cm = CompressedMemory(cfg, dram_pages=100, ratio=2.5)
+        assert cm.effective_pages > 100
+
+    def test_hot_zone_access_is_free(self, cfg):
+        cm = CompressedMemory(cfg, dram_pages=16)
+        cm.access_ns(0)
+        assert cm.access_ns(100) == 0.0  # same page, hot
+
+    def test_compressed_page_pays_decompression(self, cfg):
+        cm = CompressedMemory(cfg, dram_pages=4, uncompressed_fraction=0.5,
+                              ratio=4.0)
+        # fill the 2-page hot zone, then push page 0 into the cold zone
+        cm.access_ns(0 * cfg.page_bytes)
+        cm.access_ns(1 * cfg.page_bytes)
+        cm.access_ns(2 * cfg.page_bytes)  # evicts 0 -> compressed
+        cost = cm.access_ns(0)            # decompression fault
+        assert cost >= cm.decompress_ns
+        assert cost < cfg.remote_page_ns()
+
+    def test_overflow_falls_back_to_remote_cost(self, cfg):
+        cm = CompressedMemory(cfg, dram_pages=4, ratio=1.0)
+        # a page never seen before and not in the compressed zone
+        cost = cm.access_ns(50 * cfg.page_bytes)
+        assert cost >= cfg.remote_page_ns()
+        assert cm.overflow_faults == 1
+
+    def test_cheaper_than_plain_swap_when_it_fits(self, cfg):
+        """Compression wins when the footprint clearly exceeds DRAM but
+        stays within the effective (compressed) capacity — the regime
+        the Section II proposals target."""
+        dram = 64
+        footprint_pages = 150  # > 64 DRAM, < 32 + 32*4 = 160 effective
+        cm = CompressedMemory(cfg, dram_pages=dram, ratio=4.0)
+        rs = RemoteSwap(cfg, resident_pages=dram)
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        pages = rng.integers(0, footprint_pages, size=3000)
+        t_cm = sum(cm.access_ns(int(p) * cfg.page_bytes) for p in pages)
+        t_rs = sum(rs.access_ns(int(p) * cfg.page_bytes) for p in pages)
+        assert t_cm < t_rs
+
+    def test_validation(self, cfg):
+        with pytest.raises(ConfigError):
+            CompressedMemory(cfg, dram_pages=1)
+        with pytest.raises(ConfigError):
+            CompressedMemory(cfg, dram_pages=10, ratio=0.5)
+        with pytest.raises(ConfigError):
+            CompressedMemory(cfg, dram_pages=10, uncompressed_fraction=0.0)
+
+
+def test_extB_experiment_ordering():
+    """The related-work ranking the paper argues from."""
+    from repro.harness import run_experiment
+
+    result = run_experiment("extB", accesses=6_000)
+    times = {r["approach"]: r["ns_per_access"] for r in result.rows}
+    ours = times["remote memory (this paper)"]
+    assert times["local DRAM (reference)"] < ours
+    assert ours < times["OS memory server"]
+    assert times["OS memory server"] < times["remote swap"]
+    assert times["remote swap"] < times["flash swap"]
+    assert times["flash swap"] < times["disk swap"]

@@ -1,0 +1,96 @@
+"""Tests for the paper's equations (1) and (2), including the
+cross-check against the trace-driven models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ClusterConfig, SwapConfig
+from repro.errors import ConfigError
+from repro.mem.backing import BackingStore
+from repro.model.fastsim import RemoteMemAccessor, SwapAccessor
+from repro.model.latency import LatencyModel
+from repro.swap.analytic import (
+    crossover_accesses_per_page,
+    remote_memory_time_ns,
+    remote_swap_time_ns,
+)
+from repro.swap.remoteswap import RemoteSwap
+from repro.units import CACHE_LINE, PAGE_SIZE
+
+
+def test_equation_1_terms():
+    # 1000 accesses, 10 per page, 100 ns local, 50 us swap
+    t = remote_swap_time_ns(1000, 10, 100.0, 50_000.0)
+    assert t == pytest.approx(1000 * 100 + 100 * 50_000)
+
+
+def test_equation_2_linear():
+    assert remote_memory_time_ns(1000, 900.0) == pytest.approx(900_000.0)
+    assert remote_memory_time_ns(2000, 900.0) == 2 * remote_memory_time_ns(
+        1000, 900.0
+    )
+
+
+def test_locality_insensitivity_of_remote_memory():
+    """The structural claim: A_page appears in (1) but not (2)."""
+    sparse = remote_swap_time_ns(1000, 1.0, 100, 50_000)
+    dense = remote_swap_time_ns(1000, 1000.0, 100, 50_000)
+    assert sparse > 100 * dense  # swap collapses without locality
+    assert remote_memory_time_ns(1000, 900) == remote_memory_time_ns(
+        1000, 900
+    )
+
+
+def test_crossover():
+    a_star = crossover_accesses_per_page(100.0, 50_000.0, 900.0)
+    assert a_star == pytest.approx(50_000 / 800)
+    # on either side, the predicted winner flips
+    swap_good = remote_swap_time_ns(1000, a_star * 10, 100, 50_000)
+    swap_bad = remote_swap_time_ns(1000, max(1.0, a_star / 10), 100, 50_000)
+    remote = remote_memory_time_ns(1000, 900)
+    assert swap_good < remote < swap_bad
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        remote_swap_time_ns(-1, 10, 100, 1000)
+    with pytest.raises(ConfigError):
+        remote_swap_time_ns(10, 0.5, 100, 1000)
+    with pytest.raises(ConfigError):
+        remote_memory_time_ns(-5, 100)
+    with pytest.raises(ConfigError):
+        crossover_accesses_per_page(900, 1000, 900)
+
+
+def test_equation_2_matches_trace_driven_accessor():
+    """Eq. (2) == the RemoteMemAccessor with caching disabled."""
+    lat = LatencyModel.from_config(ClusterConfig())
+    acc = RemoteMemAccessor(lat, BackingStore(1 << 24), hops=1,
+                            use_cache=False)
+    n = 500
+    for i in range(n):
+        acc.read(i * PAGE_SIZE, 8)  # one line each
+    assert acc.time_ns == pytest.approx(
+        remote_memory_time_ns(n, lat.remote_1hop_ns)
+    )
+
+
+def test_equation_1_matches_trace_driven_accessor():
+    """Eq. (1) == the SwapAccessor on a pure streaming pattern."""
+    cfg = ClusterConfig()
+    lat = LatencyModel.from_config(cfg)
+    swap = RemoteSwap(cfg.swap, resident_pages=8)  # stream >> resident
+    acc = SwapAccessor(lat, BackingStore(1 << 26), swap, use_cache=False)
+    pages = 200
+    per_page = PAGE_SIZE // CACHE_LINE  # one access per line
+    for p in range(pages):
+        for line in range(per_page):
+            acc.read(p * PAGE_SIZE + line * CACHE_LINE, 8)
+    expected = remote_swap_time_ns(
+        pages * per_page,
+        per_page,
+        lat.local_ns,
+        cfg.swap.remote_page_ns(),
+    )
+    assert acc.time_ns == pytest.approx(expected, rel=0.01)

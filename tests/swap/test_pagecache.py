@@ -1,0 +1,124 @@
+"""Tests for the LRU page cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.swap.pagecache import LRUPageCache
+
+
+def test_miss_installs_page():
+    pc = LRUPageCache(4)
+    fault = pc.access(7)
+    assert fault is not None
+    assert fault.page == 7
+    assert fault.evicted is None
+    assert pc.resident(7)
+    assert pc.access(7) is None  # now a hit
+
+
+def test_lru_victim_selection():
+    pc = LRUPageCache(2)
+    pc.access(1)
+    pc.access(2)
+    pc.access(1)           # 1 is MRU
+    fault = pc.access(3)   # evicts 2
+    assert fault.evicted == 2
+    assert pc.resident(1)
+    assert not pc.resident(2)
+
+
+def test_dirty_eviction_flagged():
+    pc = LRUPageCache(1)
+    pc.access(1, is_write=True)
+    fault = pc.access(2)
+    assert fault.evicted == 1
+    assert fault.evicted_dirty
+    assert pc.stats.dirty_writebacks == 1
+
+
+def test_clean_eviction_not_flagged():
+    pc = LRUPageCache(1)
+    pc.access(1, is_write=False)
+    fault = pc.access(2)
+    assert not fault.evicted_dirty
+
+
+def test_write_hit_dirties_page():
+    pc = LRUPageCache(2)
+    pc.access(1)
+    pc.access(1, is_write=True)
+    pc.access(2)
+    fault = pc.access(3)  # evicts 1
+    assert fault.evicted == 1
+    assert fault.evicted_dirty
+
+
+def test_stats_and_fault_rate():
+    pc = LRUPageCache(8)
+    for p in (1, 2, 1, 1, 3):
+        pc.access(p)
+    assert pc.stats.hits == 2
+    assert pc.stats.faults == 3
+    assert pc.stats.fault_rate == pytest.approx(3 / 5)
+
+
+def test_capacity_never_exceeded():
+    pc = LRUPageCache(3)
+    for p in range(10):
+        pc.access(p)
+    assert len(pc) == 3
+
+
+def test_clear():
+    pc = LRUPageCache(3)
+    pc.access(1)
+    pc.clear()
+    assert len(pc) == 0
+    assert not pc.resident(1)
+
+
+def test_capacity_validated():
+    with pytest.raises(ConfigError):
+        LRUPageCache(0)
+
+
+def test_working_set_within_capacity_never_refaults():
+    pc = LRUPageCache(10)
+    for _ in range(5):
+        for p in range(10):
+            pc.access(p)
+    assert pc.stats.faults == 10  # only cold misses
+
+
+def test_cyclic_overflow_thrashes():
+    """The classic LRU pathology behind Fig. 10's blow-up: a cyclic scan
+    one page larger than memory faults on every access."""
+    pc = LRUPageCache(10)
+    for _ in range(3):
+        for p in range(11):
+            pc.access(p)
+    assert pc.stats.hits == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pages=st.lists(st.integers(0, 30), min_size=1, max_size=300),
+    capacity=st.integers(1, 10),
+)
+def test_matches_reference_lru(pages, capacity):
+    """Property: residency always equals the last `capacity` distinct
+    pages in recency order."""
+    pc = LRUPageCache(capacity)
+    recency: list[int] = []
+    for p in pages:
+        pc.access(p)
+        if p in recency:
+            recency.remove(p)
+        recency.append(p)
+        expected = recency[-capacity:]
+        for q in expected:
+            assert pc.resident(q)
+        assert len(pc) == len(expected)

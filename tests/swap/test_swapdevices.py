@@ -1,0 +1,69 @@
+"""Tests for the remote-swap and disk-swap cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SwapConfig
+from repro.swap.diskswap import DiskSwap
+from repro.swap.remoteswap import RemoteSwap
+
+
+@pytest.fixture
+def cfg():
+    return SwapConfig()
+
+
+def test_resident_access_is_free(cfg):
+    swap = RemoteSwap(cfg, resident_pages=4)
+    assert swap.access_ns(0) > 0          # cold fault
+    assert swap.access_ns(100) == 0.0     # same page resident
+
+
+def test_fault_cost_matches_config(cfg):
+    swap = RemoteSwap(cfg, resident_pages=4)
+    assert swap.access_ns(0) == pytest.approx(cfg.remote_page_ns())
+
+
+def test_dirty_eviction_adds_writeback(cfg):
+    swap = RemoteSwap(cfg, resident_pages=1)
+    swap.access_ns(0, is_write=True)
+    cost = swap.access_ns(cfg.page_bytes)  # evicts dirty page 0
+    assert cost == pytest.approx(
+        swap.fault_service_ns() + swap.writeback_service_ns()
+    )
+
+
+def test_clean_eviction_no_writeback(cfg):
+    swap = RemoteSwap(cfg, resident_pages=1)
+    swap.access_ns(0, is_write=False)
+    cost = swap.access_ns(cfg.page_bytes)
+    assert cost == pytest.approx(swap.fault_service_ns())
+
+
+def test_page_of_uses_configured_page_size():
+    cfg = SwapConfig(page_bytes=8192)
+    swap = RemoteSwap(cfg, resident_pages=2)
+    assert swap.page_of(8191) == 0
+    assert swap.page_of(8192) == 1
+
+
+def test_disk_much_slower_than_remote_swap(cfg):
+    disk = DiskSwap(cfg, resident_pages=1)
+    remote = RemoteSwap(cfg, resident_pages=1)
+    assert disk.fault_service_ns() > 20 * remote.fault_service_ns()
+
+
+def test_fault_time_accumulates(cfg):
+    swap = RemoteSwap(cfg, resident_pages=1)
+    for p in range(5):
+        swap.access_ns(p * cfg.page_bytes)
+    assert swap.fault_time_ns == pytest.approx(5 * swap.fault_service_ns())
+    assert swap.stats.faults == 5
+
+
+def test_disk_swap_same_interface(cfg):
+    disk = DiskSwap(cfg, resident_pages=2)
+    assert disk.access_ns(0) == pytest.approx(cfg.disk_page_ns())
+    assert disk.access_ns(1) == 0.0
+    assert disk.stats.faults == 1

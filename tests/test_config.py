@@ -1,0 +1,133 @@
+"""Tests for configuration dataclasses and paper defaults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    ClusterConfig,
+    CoreConfig,
+    DRAMConfig,
+    LinkConfig,
+    NetworkConfig,
+    NodeConfig,
+    RMCConfig,
+    SwapConfig,
+    paper_prototype,
+)
+from repro.errors import ConfigError
+from repro.units import GIB
+
+
+class TestPaperPrototype:
+    """Section IV-B: the defaults must describe the built prototype."""
+
+    def test_sixteen_nodes_on_4x4_mesh(self):
+        cfg = paper_prototype()
+        assert cfg.num_nodes == 16
+        assert cfg.network.topology == "mesh"
+        assert cfg.network.dims == (4, 4)
+
+    def test_node_shape(self):
+        node = paper_prototype().node
+        assert node.sockets == 4
+        assert node.cores_per_socket == 4
+        assert node.num_cores == 16
+        assert node.total_memory_bytes == 16 * GIB
+
+    def test_memory_split_8_8(self):
+        node = paper_prototype().node
+        assert node.private_memory_bytes == 8 * GIB
+        assert node.donated_memory_bytes == 8 * GIB
+
+    def test_shared_pool_is_128_gib(self):
+        assert paper_prototype().shared_pool_bytes == 128 * GIB
+
+    def test_outstanding_limits(self):
+        core = paper_prototype().node.core
+        assert core.local_outstanding == 8   # Opteron
+        assert core.remote_outstanding == 1  # RMC as I/O unit
+
+
+class TestValidation:
+    def test_link_bandwidth_positive(self):
+        with pytest.raises(ConfigError):
+            LinkConfig(bandwidth_Bpns=0)
+
+    def test_network_topology_known(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(topology="hypercube")
+
+    def test_network_dims_positive(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(dims=(0, 4))
+
+    def test_dram_row_hit_le_miss(self):
+        with pytest.raises(ConfigError):
+            DRAMConfig(row_hit_ns=100, row_miss_ns=50)
+
+    def test_cache_geometry_must_divide(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000, associativity=16, line_bytes=64)
+
+    def test_cache_line_power_of_two(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(line_bytes=48)
+
+    def test_core_outstanding_positive(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(local_outstanding=0)
+
+    def test_node_private_fraction_range(self):
+        with pytest.raises(ConfigError):
+            NodeConfig(private_fraction=0.0)
+        with pytest.raises(ConfigError):
+            NodeConfig(private_fraction=1.5)
+
+    def test_rmc_validation(self):
+        with pytest.raises(ConfigError):
+            RMCConfig(processing_ns=0)
+        with pytest.raises(ConfigError):
+            RMCConfig(buffer_entries=0)
+        with pytest.raises(ConfigError):
+            RMCConfig(congestion_cap=0.5)
+
+    def test_swap_page_size(self):
+        with pytest.raises(ConfigError):
+            SwapConfig(page_bytes=100)
+
+
+class TestDerived:
+    def test_cache_geometry(self):
+        cache = CacheConfig(size_bytes=2 * 1024 * 1024, associativity=16,
+                            line_bytes=64)
+        assert cache.num_sets == 2048
+        assert cache.num_lines == 32768
+
+    def test_link_serialization(self):
+        link = LinkConfig(bandwidth_Bpns=2.0, header_bytes=8)
+        assert link.serialization_ns(56) == pytest.approx(32.0)
+
+    def test_rmc_table_ablation_cost(self):
+        base = RMCConfig()
+        tabled = RMCConfig(use_translation_table=True)
+        assert tabled.per_op_ns() == base.per_op_ns() + tabled.table_lookup_ns
+        assert tabled.server_per_op_ns() > base.server_per_op_ns()
+
+    def test_swap_fault_costs_ordered(self):
+        swap = SwapConfig()
+        # disk faults must dwarf remote-swap faults (Section II)
+        assert swap.disk_page_ns() > 10 * swap.remote_page_ns()
+
+    def test_with_nodes_line(self):
+        cfg = ClusterConfig().with_nodes(5)
+        assert cfg.num_nodes == 5
+        assert cfg.network.topology == "line"
+
+    def test_with_nodes_validation(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig().with_nodes(0)
+
+    def test_network_num_nodes_ring(self):
+        assert NetworkConfig(topology="ring", dims=(6, 1)).num_nodes == 6

@@ -1,0 +1,52 @@
+"""Tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    for name in errors.__all__:
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError)
+
+
+def test_value_errors_are_value_errors():
+    """Config and address mistakes should be catchable as ValueError."""
+    assert issubclass(errors.ConfigError, ValueError)
+    assert issubclass(errors.AddressError, ValueError)
+
+
+def test_memory_hierarchy():
+    for exc in (
+        errors.AllocationError,
+        errors.RegionError,
+        errors.ReservationError,
+        errors.FaultError,
+        errors.CoherenceError,
+    ):
+        assert issubclass(exc, errors.MemoryError_)
+
+
+def test_memory_error_does_not_shadow_builtin():
+    assert errors.MemoryError_ is not MemoryError
+    assert not issubclass(errors.MemoryError_, MemoryError)
+
+
+def test_single_except_catches_library_failures():
+    """The advertised catch-all actually works across subsystems."""
+    from repro.mem.addressmap import AddressMap
+    from repro.swap.analytic import remote_memory_time_ns
+
+    caught = 0
+    for trigger in (
+        lambda: AddressMap().encode(0, 0),
+        lambda: remote_memory_time_ns(-1, 100),
+    ):
+        try:
+            trigger()
+        except errors.ReproError:
+            caught += 1
+    assert caught == 2

@@ -1,0 +1,52 @@
+"""Tests for units helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+def test_time_constants_consistent():
+    assert units.us(1) == 1000 * units.NS
+    assert units.ms(1) == 1000 * units.US
+    assert units.seconds(1) == 1000 * units.MS
+
+
+def test_size_helpers():
+    assert units.kib(1) == 1024
+    assert units.mib(2) == 2 * 1024 * 1024
+    assert units.gib(1) == 1024**3
+
+
+def test_fmt_time_scales():
+    assert units.fmt_time(500) == "500.0 ns"
+    assert units.fmt_time(1500) == "1.500 us"
+    assert units.fmt_time(2_500_000) == "2.500 ms"
+    assert units.fmt_time(3e9) == "3.000 s"
+
+
+def test_fmt_time_negative():
+    assert units.fmt_time(-1500) == "-1.500 us"
+
+
+def test_fmt_size_scales():
+    assert units.fmt_size(512) == "512 B"
+    assert units.fmt_size(4096) == "4.0 KiB"
+    assert units.fmt_size(3 * 1024 * 1024) == "3.0 MiB"
+    assert units.fmt_size(2 * 1024**3) == "2.00 GiB"
+
+
+def test_bandwidth_time():
+    # 64 bytes at 1.6 B/ns -> 40 ns
+    assert units.bandwidth_time(64, 1.6) == pytest.approx(40.0)
+
+
+def test_bandwidth_requires_positive():
+    with pytest.raises(ValueError):
+        units.bandwidth_time(64, 0)
+
+
+def test_cache_line_and_page_defaults():
+    assert units.CACHE_LINE == 64
+    assert units.PAGE_SIZE == 4096
