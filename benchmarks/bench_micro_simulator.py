@@ -101,6 +101,22 @@ def test_fast_tier_access_rate(benchmark):
     benchmark(run)
 
 
+def test_fast_tier_span_read_rate(benchmark):
+    """Page-sized (64-line) reads per wall-second — the vectorized
+    span path of ``Cache.access_span``."""
+    lat = LatencyModel.from_config(ClusterConfig())
+    acc = RemoteMemAccessor(lat, BackingStore(mib(64)))
+    rng = np.random.default_rng(3)
+    addrs = rng.integers(0, mib(32) // 4096, size=4_096) * 4096
+    counter = {"i": 0}
+
+    def run():
+        counter["i"] = (counter["i"] + 1) % len(addrs)
+        acc.read(int(addrs[counter["i"]]), 4096)
+
+    benchmark(run)
+
+
 def test_btree_search_rate(benchmark):
     """Timed b-tree searches per wall-second (the Fig. 9/10 inner loop)."""
     from repro.apps.btree import BTree

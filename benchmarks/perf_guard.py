@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Fast-tier performance guard.
+
+Measures the fast-tier micro-bench paths (the same workloads as
+``bench_micro_simulator.py``, timed with plain ``perf_counter`` loops so
+no plugin is needed), records the rates in ``BENCH_fasttier.json`` at
+the repository root, and **exits non-zero if any path regressed more
+than 30%** against the committed ``baseline_ops_per_sec`` — run it
+before committing changes that touch ``mem/`` or ``model/``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_guard.py              # check
+    PYTHONPATH=src python benchmarks/perf_guard.py --update-baseline
+
+``--update-baseline`` promotes the fresh measurement to the committed
+baseline (do this when a deliberate change moves the numbers; commit
+the resulting JSON). The file also keeps ``seed_ops_per_sec`` — the
+rates of the original per-line scalar implementation — so the speedup
+of the vectorized data path stays visible (``speedup_vs_seed``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_fasttier.json"
+REGRESSION_TOLERANCE = 0.30
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import ClusterConfig  # noqa: E402
+from repro.mem.backing import BackingStore  # noqa: E402
+from repro.model.fastsim import LocalMemAccessor, RemoteMemAccessor  # noqa: E402
+from repro.model.latency import LatencyModel  # noqa: E402
+from repro.units import PAGE_SIZE, mib  # noqa: E402
+
+
+def _rate(fn, ops: int, repeats: int = 3) -> float:
+    """Best ops/sec over *repeats* runs (min wall time wins)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return ops / best
+
+
+def _page_addrs(n: int, seed: int = 0) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [int(a) * PAGE_SIZE for a in rng.integers(0, 4000, size=n)]
+
+
+def bench_fast_tier_read_8B() -> float:
+    lat = LatencyModel.from_config(ClusterConfig())
+    addrs = _page_addrs(20_000)
+    acc = LocalMemAccessor(lat, BackingStore(mib(64)))
+
+    def run():
+        read = acc.read
+        for a in addrs:
+            read(a, 8)
+
+    return _rate(run, len(addrs))
+
+
+def bench_fast_tier_read_u64() -> float:
+    lat = LatencyModel.from_config(ClusterConfig())
+    addrs = _page_addrs(20_000, seed=1)
+    acc = LocalMemAccessor(lat, BackingStore(mib(64)))
+
+    def run():
+        read = acc.read_u64
+        for a in addrs:
+            read(a)
+
+    return _rate(run, len(addrs))
+
+
+def bench_fast_tier_read_4K() -> float:
+    """Page-sized reads: 64 lines per op through the span path."""
+    lat = LatencyModel.from_config(ClusterConfig())
+    addrs = _page_addrs(4_000, seed=2)
+    acc = RemoteMemAccessor(lat, BackingStore(mib(64)))
+
+    def run():
+        read = acc.read
+        for a in addrs:
+            read(a, PAGE_SIZE)
+
+    return _rate(run, len(addrs))
+
+
+def bench_btree_search() -> float:
+    from repro.apps.btree import BTree
+
+    lat = LatencyModel.from_config(ClusterConfig())
+    acc = RemoteMemAccessor(lat, BackingStore(1 << 28))
+    tree = BTree(acc, children=168)
+    tree.bulk_load(np.arange(1, 200_001, dtype=np.uint64))
+    rng = np.random.default_rng(3)
+    queries = [int(q) for q in rng.integers(1, 200_001, size=4_000)]
+
+    def run():
+        search = tree.search
+        for q in queries:
+            search(q)
+
+    return _rate(run, len(queries))
+
+
+def bench_backing_read_8B() -> float:
+    bs = BackingStore(mib(64))
+    bs.write(0, bytes(mib(1)))
+    addrs = [a % mib(1) for a in _page_addrs(20_000, seed=4)]
+
+    def run():
+        read = bs.read
+        for a in addrs:
+            read(a, 8)
+
+    return _rate(run, len(addrs))
+
+
+BENCHES = {
+    "fast_tier_read_8B": bench_fast_tier_read_8B,
+    "fast_tier_read_u64": bench_fast_tier_read_u64,
+    "fast_tier_read_4K": bench_fast_tier_read_4K,
+    "btree_search": bench_btree_search,
+    "backing_read_8B": bench_backing_read_8B,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="promote this run's rates to the committed baseline",
+    )
+    args = parser.parse_args()
+
+    doc = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else {}
+    baseline = doc.get("baseline_ops_per_sec", {})
+    seed = doc.get("seed_ops_per_sec", {})
+
+    measured = {}
+    print(f"{'path':<22} {'ops/sec':>12} {'baseline':>12} {'vs seed':>9}")
+    failures = []
+    for name, fn in BENCHES.items():
+        rate = fn()
+        measured[name] = round(rate, 1)
+        base = baseline.get(name)
+        speedup = rate / seed[name] if name in seed else float("nan")
+        flag = ""
+        if base and rate < base * (1.0 - REGRESSION_TOLERANCE):
+            failures.append((name, rate, base))
+            flag = "  << REGRESSION"
+        print(f"{name:<22} {rate:>12,.0f} "
+              f"{base or float('nan'):>12,.0f} {speedup:>8.2f}x{flag}")
+
+    doc["seed_ops_per_sec"] = seed
+    doc["measured_ops_per_sec"] = measured
+    doc["speedup_vs_seed"] = {
+        k: round(v / seed[k], 2) for k, v in measured.items() if k in seed
+    }
+    if args.update_baseline or not baseline:
+        doc["baseline_ops_per_sec"] = measured
+        print("baseline updated")
+    BENCH_FILE.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BENCH_FILE.relative_to(REPO_ROOT)}")
+
+    if failures:
+        for name, rate, base in failures:
+            print(
+                f"FAIL: {name} at {rate:,.0f} ops/s is "
+                f"{(1 - rate / base) * 100:.0f}% below baseline {base:,.0f}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

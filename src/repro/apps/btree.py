@@ -23,6 +23,12 @@ is full and the last level fills left to right — the paper's "best
 case for the remote swap technique". A classic top-down
 :meth:`BTree.insert` with node splits is provided for API completeness
 and is exercised by the unit tests.
+
+Bulk node accesses (the ``read_array``/``write_array`` key and child
+moves, and the multi-line node reads on the search path) are charged
+through the accessors' vectorized span path
+(:meth:`repro.mem.cache.Cache.access_span`) — timing identical to the
+per-line walk, computed in one pass per node.
 """
 
 from __future__ import annotations

@@ -15,7 +15,13 @@ from repro.mem.addressmap import AddressMap
 from repro.mem.backing import BackingStore
 from repro.mem.dram import DRAMTiming
 from repro.mem.controller import MemoryController
-from repro.mem.cache import Cache, CacheStats
+from repro.mem.cache import (
+    AccessResult,
+    BlockResult,
+    Cache,
+    CacheStats,
+    ReferenceCache,
+)
 from repro.mem.coherence import CoherenceDomain, MESIState
 from repro.mem.tlb import TLB
 from repro.mem.paging import AddressSpace, PageTable
@@ -25,8 +31,11 @@ __all__ = [
     "BackingStore",
     "DRAMTiming",
     "MemoryController",
+    "AccessResult",
+    "BlockResult",
     "Cache",
     "CacheStats",
+    "ReferenceCache",
     "CoherenceDomain",
     "MESIState",
     "TLB",

@@ -6,6 +6,22 @@ bytes. To avoid allocating gigabytes of host RAM for a 16 GiB window,
 the store is **chunk-sparse**: 64 KiB NumPy chunks materialize on first
 touch and untouched chunks read as zeros (matching zero-initialized
 DRAM semantics in the model).
+
+The data plane is zero-copy where the API allows (the Arrow-style
+argument of arXiv:2404.03030 — move views over contiguous buffers, not
+per-element Python objects):
+
+* each chunk carries a cached :class:`memoryview` and a ``uint64``
+  view, so reads that stay inside one chunk (the overwhelmingly common
+  case — accesses are line- or page-grained and chunks are 64 KiB)
+  build their result straight off the chunk with no ``bytearray``
+  staging loop;
+* :meth:`read_u64` / :meth:`write_u64` go through the cached ``uint64``
+  view instead of ``int.from_bytes`` round-trips;
+* :meth:`read_array` / :meth:`write_array` slice the chunk ndarray
+  directly instead of bouncing through ``bytes``. Returned arrays are
+  fresh copies — callers must never observe later writes through a
+  previously returned buffer (see the aliasing tests).
 """
 
 from __future__ import annotations
@@ -31,54 +47,130 @@ class BackingStore:
             )
         self.capacity = capacity
         self.chunk_bytes = chunk_bytes
+        self._shift = chunk_bytes.bit_length() - 1
+        self._mask = chunk_bytes - 1
+        self._u64_ok = chunk_bytes >= 8
         self._chunks: dict[int, np.ndarray] = {}
+        #: cached memoryview per chunk (zero-copy byte reads)
+        self._views: dict[int, memoryview] = {}
+        #: cached uint64 reinterpretation per chunk (typed fast path)
+        self._u64: dict[int, np.ndarray] = {}
+
+    def _materialize(self, cidx: int) -> np.ndarray:
+        chunk = np.zeros(self.chunk_bytes, dtype=np.uint8)
+        self._chunks[cidx] = chunk
+        self._views[cidx] = memoryview(chunk)  # type: ignore[arg-type]
+        if self._u64_ok:
+            self._u64[cidx] = chunk.view(np.uint64)
+        return chunk
 
     # -- byte interface -------------------------------------------------------
     def read(self, addr: int, size: int) -> bytes:
         """Read *size* bytes starting at *addr*."""
-        self._check_range(addr, size)
+        if size < 0 or addr < 0 or addr + size > self.capacity:
+            self._check_range(addr, size)
+        off = addr & self._mask
+        if off + size <= self.chunk_bytes:
+            view = self._views.get(addr >> self._shift)
+            if view is None:
+                return bytes(size)
+            return bytes(view[off : off + size])
         out = bytearray(size)
         pos = 0
         while pos < size:
-            cidx, off = divmod(addr + pos, self.chunk_bytes)
+            cidx = (addr + pos) >> self._shift
+            off = (addr + pos) & self._mask
             take = min(size - pos, self.chunk_bytes - off)
-            chunk = self._chunks.get(cidx)
-            if chunk is not None:
-                out[pos : pos + take] = chunk[off : off + take].tobytes()
+            view = self._views.get(cidx)
+            if view is not None:
+                out[pos : pos + take] = view[off : off + take]
             pos += take
         return bytes(out)
 
     def write(self, addr: int, data: bytes) -> None:
         """Write *data* starting at *addr*."""
         size = len(data)
-        self._check_range(addr, size)
+        if size < 0 or addr < 0 or addr + size > self.capacity:
+            self._check_range(addr, size)
+        if size == 0:
+            return
+        off = addr & self._mask
+        if off + size <= self.chunk_bytes:
+            cidx = addr >> self._shift
+            chunk = self._chunks.get(cidx)
+            if chunk is None:
+                chunk = self._materialize(cidx)
+            chunk[off : off + size] = np.frombuffer(data, dtype=np.uint8)
+            return
         view = np.frombuffer(data, dtype=np.uint8)
         pos = 0
         while pos < size:
-            cidx, off = divmod(addr + pos, self.chunk_bytes)
+            cidx = (addr + pos) >> self._shift
+            off = (addr + pos) & self._mask
             take = min(size - pos, self.chunk_bytes - off)
             chunk = self._chunks.get(cidx)
             if chunk is None:
-                chunk = np.zeros(self.chunk_bytes, dtype=np.uint8)
-                self._chunks[cidx] = chunk
+                chunk = self._materialize(cidx)
             chunk[off : off + take] = view[pos : pos + take]
             pos += take
 
     # -- typed convenience (used by workloads) ----------------------------
     def read_u64(self, addr: int) -> int:
+        if addr & 7 == 0 and self._u64_ok:
+            if addr < 0 or addr + 8 > self.capacity:
+                self._check_range(addr, 8)
+            u64 = self._u64.get(addr >> self._shift)
+            if u64 is None:
+                return 0
+            return int(u64[(addr & self._mask) >> 3])
         return int.from_bytes(self.read(addr, 8), "little")
 
     def write_u64(self, addr: int, value: int) -> None:
+        if addr & 7 == 0 and self._u64_ok and 0 <= value < (1 << 64):
+            if addr < 0 or addr + 8 > self.capacity:
+                self._check_range(addr, 8)
+            cidx = addr >> self._shift
+            u64 = self._u64.get(cidx)
+            if u64 is None:
+                self._materialize(cidx)
+                u64 = self._u64[cidx]
+            u64[(addr & self._mask) >> 3] = value
+            return
         self.write(addr, int(value).to_bytes(8, "little", signed=False))
 
     def read_array(self, addr: int, count: int, dtype: np.dtype) -> np.ndarray:
         """Read *count* elements of *dtype* as a fresh array."""
         dt = np.dtype(dtype)
-        raw = self.read(addr, count * dt.itemsize)
+        size = count * dt.itemsize
+        if size < 0 or addr < 0 or addr + size > self.capacity:
+            self._check_range(addr, size)
+        off = addr & self._mask
+        if off + size <= self.chunk_bytes:
+            chunk = self._chunks.get(addr >> self._shift)
+            if chunk is None:
+                return np.zeros(count, dtype=dt)
+            # reinterpret the chunk slice in place, then copy out — one
+            # copy total instead of slice->bytes->frombuffer->copy
+            return chunk[off : off + size].view(dt).copy()
+        raw = self.read(addr, size)
         return np.frombuffer(raw, dtype=dt).copy()
 
     def write_array(self, addr: int, values: np.ndarray) -> None:
-        self.write(addr, np.ascontiguousarray(values).tobytes())
+        values = np.ascontiguousarray(values)
+        size = values.nbytes
+        if addr < 0 or addr + size > self.capacity:
+            self._check_range(addr, size)
+        if size == 0:
+            return
+        off = addr & self._mask
+        if off + size <= self.chunk_bytes:
+            cidx = addr >> self._shift
+            chunk = self._chunks.get(cidx)
+            if chunk is None:
+                chunk = self._materialize(cidx)
+            chunk[off : off + size] = values.reshape(-1).view(np.uint8)
+            return
+        self.write(addr, values.tobytes())
 
     # -- introspection ---------------------------------------------------------
     @property

@@ -6,9 +6,24 @@ timing plus write-back traffic. This is the standard decomposition for
 trace-driven simulators — functional state in one place, locality state
 in another — and keeps the model fast enough for 10^8-access workloads.
 
-LRU is exact, implemented with per-set ordered dicts (move-to-end on
-touch). Lines are identified by *line address* (byte address //
-line size); callers that have full addresses use :meth:`line_of`.
+Two engines live here:
+
+* :class:`Cache` — the production engine. Exact LRU is kept in per-set
+  recency queues (C-speed ordered dicts mapping line -> way slot), and
+  a NumPy tag array mirrors the way assignment so that
+  :meth:`Cache.access_block` / :meth:`Cache.access_span` can classify
+  a whole span of lines as hits/misses/write-backs in one vectorized
+  pass. The tag array is materialized lazily on the first batched
+  access, so caches that only ever see scalar traffic (the packet
+  tier) pay nothing for it.
+* :class:`ReferenceCache` — the original per-set ``OrderedDict`` model,
+  kept verbatim as the executable specification. The differential
+  property tests in ``tests/mem/test_cache.py`` drive identical traces
+  through both engines and require bit-identical stats, residency and
+  dirtiness.
+
+Lines are identified by *line address* (byte address // line size);
+callers that have full addresses use :meth:`Cache.line_of`.
 """
 
 from __future__ import annotations
@@ -17,10 +32,18 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from repro.config import CacheConfig
 from repro.errors import CoherenceError
 
-__all__ = ["Cache", "CacheStats", "AccessResult"]
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "AccessResult",
+    "BlockResult",
+    "ReferenceCache",
+]
 
 
 @dataclass
@@ -43,15 +66,368 @@ class CacheStats:
         return self.hits / self.accesses if self.accesses else 0.0
 
 
-@dataclass(frozen=True)
 class AccessResult:
-    """Outcome of one cache access."""
+    """Outcome of one cache access.
 
-    hit: bool
-    #: line address evicted to make room, if any
-    evicted: Optional[int] = None
-    #: True if the evicted line was dirty (must be written back)
-    writeback: bool = False
+    A plain ``__slots__`` class rather than a dataclass: one of these
+    is produced per scalar miss on the hot path, and hits all share the
+    module-level ``_HIT`` singleton.
+    """
+
+    __slots__ = ("hit", "evicted", "writeback")
+
+    def __init__(
+        self,
+        hit: bool,
+        evicted: Optional[int] = None,
+        writeback: bool = False,
+    ) -> None:
+        self.hit = hit
+        self.evicted = evicted
+        self.writeback = writeback
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"AccessResult(hit={self.hit}, evicted={self.evicted}, "
+            f"writeback={self.writeback})"
+        )
+
+
+_HIT = AccessResult(True)
+
+
+@dataclass(frozen=True)
+class BlockResult:
+    """Outcome of one batched access over a span of lines."""
+
+    hits: int
+    misses: int
+    #: dirty evictions triggered while installing the span's misses
+    writebacks: int
+    #: line addresses that missed, in input order (prefetcher feed)
+    miss_lines: np.ndarray
+    #: per-input-line hit flags, aligned with the request's lines
+    hit_mask: np.ndarray
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+
+def _empty_block() -> BlockResult:
+    return BlockResult(
+        hits=0,
+        misses=0,
+        writebacks=0,
+        miss_lines=np.empty(0, dtype=np.int64),
+        hit_mask=np.empty(0, dtype=bool),
+    )
+
+
+class Cache:
+    """One cache (modeled at the L2 / last-level-per-core granularity)."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        self._nsets = config.num_sets
+        self._ways = config.associativity
+        self._wb = config.write_back
+        #: per-set recency queue: line -> way slot, LRU-first order
+        self._sets: list[OrderedDict[int, int]] = [
+            OrderedDict() for _ in range(self._nsets)
+        ]
+        #: per-set free way slots (popped LIFO on install)
+        self._free: list[list[int]] = [
+            list(range(self._ways - 1, -1, -1)) for _ in range(self._nsets)
+        ]
+        #: dirty line addresses (resident lines only)
+        self._dirty: set[int] = set()
+        #: lazy NumPy mirror of the tag array, (num_sets, ways), -1 =
+        #: invalid way; materialized by the first batched access
+        self._tags: Optional[np.ndarray] = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Cache(name={self.name!r}, config={self.config!r})"
+
+    # -- geometry -------------------------------------------------------------
+    def line_of(self, addr: int) -> int:
+        """Line address containing byte address *addr*."""
+        return addr // self.config.line_bytes
+
+    def set_of(self, line: int) -> int:
+        return line % self._nsets
+
+    # -- core operation ----------------------------------------------------
+    def access(self, line: int, is_write: bool) -> AccessResult:
+        """Touch *line*; returns hit/miss and any eviction.
+
+        On a miss the line is installed (fetch is the caller's job) and
+        the LRU victim of the set, if the set was full, is evicted —
+        with ``writeback=True`` if it was dirty.
+        """
+        si = line % self._nsets
+        s = self._sets[si]
+        w = s.get(line)
+        if w is not None:
+            s.move_to_end(line)
+            if is_write:
+                self._dirty.add(line)
+            self.stats.hits += 1
+            return _HIT
+
+        st = self.stats
+        st.misses += 1
+        evicted: Optional[int] = None
+        writeback = False
+        free = self._free[si]
+        if free:
+            w = free.pop()
+        else:
+            evicted, w = s.popitem(last=False)
+            st.evictions += 1
+            if evicted in self._dirty:
+                self._dirty.discard(evicted)
+                if self._wb:
+                    writeback = True
+                    st.writebacks += 1
+        s[line] = w
+        if is_write and self._wb:
+            self._dirty.add(line)
+        if self._tags is not None:
+            self._tags[si, w] = line
+        return AccessResult(False, evicted, writeback)
+
+    # -- batched operation -------------------------------------------------
+    def access_span(self, first_line: int, count: int, is_write: bool) -> BlockResult:
+        """Touch the *count* consecutive lines starting at *first_line*.
+
+        Semantically identical to *count* ascending :meth:`access`
+        calls, but hits/misses/write-backs for the whole span are
+        classified in one vectorized pass against the tag array.
+        """
+        if count <= 0:
+            return _empty_block()
+        nsets = self._nsets
+        if count <= nsets:
+            lines = np.arange(first_line, first_line + count, dtype=np.int64)
+            return self._block_unique_sets(lines, lines % nsets, is_write)
+        # A span longer than the set count revisits sets; process it in
+        # set-count chunks, each of which maps to all-distinct sets.
+        parts = []
+        pos, remaining = first_line, count
+        while remaining:
+            take = min(remaining, nsets)
+            lines = np.arange(pos, pos + take, dtype=np.int64)
+            parts.append(self._block_unique_sets(lines, lines % nsets, is_write))
+            pos += take
+            remaining -= take
+        return _combine_blocks(parts)
+
+    def access_block(self, lines, is_write: bool) -> BlockResult:
+        """Touch every line in *lines* (array-like of line addresses).
+
+        Equivalent to scalar :meth:`access` calls in input order. Spans
+        and other batches whose lines fall into distinct sets take the
+        vectorized pass; batches with intra-set conflicts (duplicate
+        lines, or more lines than sets) are replayed scalar to preserve
+        exact LRU order.
+        """
+        arr = np.ascontiguousarray(lines, dtype=np.int64)
+        n = int(arr.size)
+        if n == 0:
+            return _empty_block()
+        if n == 1:
+            r = self.access(int(arr[0]), is_write)
+            hit_mask = np.array([r.hit])
+            return BlockResult(
+                hits=int(r.hit),
+                misses=1 - int(r.hit),
+                writebacks=int(r.writeback),
+                miss_lines=arr[~hit_mask],
+                hit_mask=hit_mask,
+            )
+        first = int(arr[0])
+        if int(arr[-1]) - first == n - 1 and bool((arr[1:] > arr[:-1]).all()):
+            # strictly increasing with matching extent ⇒ consecutive span
+            return self.access_span(first, n, is_write)
+        sets = arr % self._nsets
+        if np.unique(sets).size == n:
+            return self._block_unique_sets(arr, sets, is_write)
+        # Conflicting sets: exact scalar replay in input order.
+        hit_mask = np.empty(n, dtype=bool)
+        writebacks = 0
+        access = self.access
+        for i, line in enumerate(arr.tolist()):
+            r = access(line, is_write)
+            hit_mask[i] = r.hit
+            if r.writeback:
+                writebacks += 1
+        hits = int(hit_mask.sum())
+        return BlockResult(
+            hits=hits,
+            misses=n - hits,
+            writebacks=writebacks,
+            miss_lines=arr[~hit_mask],
+            hit_mask=hit_mask,
+        )
+
+    def _block_unique_sets(
+        self, lines: np.ndarray, sets: np.ndarray, is_write: bool
+    ) -> BlockResult:
+        """Vectorized pass for a batch whose lines map to distinct sets.
+
+        With distinct sets, no line in the batch can hit, evict, or
+        reorder another — the outcome is order-independent, so hit
+        classification runs as one array comparison while LRU/dirty
+        bookkeeping stays exact.
+        """
+        if self._tags is None:
+            self._materialize_tags()
+        tags = self._tags
+        hit_mask = (tags[sets] == lines[:, None]).any(axis=1)
+        miss_idx = np.nonzero(~hit_mask)[0]
+        n = lines.size
+        nmiss = int(miss_idx.size)
+        nhits = n - nmiss
+        st = self.stats
+        st.hits += nhits
+        st.misses += nmiss
+
+        sets_l = sets.tolist()
+        lines_l = lines.tolist()
+        set_list = self._sets
+        dirty = self._dirty
+        if nhits:
+            hit_it = (
+                range(n) if nmiss == 0 else np.nonzero(hit_mask)[0].tolist()
+            )
+            if is_write:
+                for i in hit_it:
+                    line = lines_l[i]
+                    set_list[sets_l[i]].move_to_end(line)
+                    dirty.add(line)
+            else:
+                for i in hit_it:
+                    set_list[sets_l[i]].move_to_end(lines_l[i])
+
+        writebacks = 0
+        if nmiss:
+            free_list = self._free
+            wb_enabled = self._wb
+            install_dirty = is_write and wb_enabled
+            evictions = 0
+            flat_idx: list[int] = []
+            ways = self._ways
+            for i in miss_idx.tolist():
+                si = sets_l[i]
+                line = lines_l[i]
+                s = set_list[si]
+                fr = free_list[si]
+                if fr:
+                    w = fr.pop()
+                else:
+                    victim, w = s.popitem(last=False)
+                    evictions += 1
+                    if victim in dirty:
+                        dirty.discard(victim)
+                        if wb_enabled:
+                            writebacks += 1
+                s[line] = w
+                if install_dirty:
+                    dirty.add(line)
+                flat_idx.append(si * ways + w)
+            st.evictions += evictions
+            st.writebacks += writebacks
+            tags.ravel()[flat_idx] = lines[miss_idx]
+
+        return BlockResult(
+            hits=nhits,
+            misses=nmiss,
+            writebacks=writebacks,
+            miss_lines=lines[miss_idx],
+            hit_mask=hit_mask,
+        )
+
+    def _materialize_tags(self) -> None:
+        tags = np.full((self._nsets, self._ways), -1, dtype=np.int64)
+        for si, s in enumerate(self._sets):
+            for line, w in s.items():
+                tags[si, w] = line
+        self._tags = tags
+
+    # -- coherence hooks ---------------------------------------------------
+    def contains(self, line: int) -> bool:
+        return line in self._sets[line % self._nsets]
+
+    def is_dirty(self, line: int) -> bool:
+        return line in self._dirty
+
+    def invalidate(self, line: int) -> bool:
+        """Drop *line* (coherence probe). Returns True if it was dirty.
+
+        A dirty invalidation means the probe also triggered a data
+        transfer — the expensive case the paper's architecture avoids
+        across nodes.
+        """
+        si = line % self._nsets
+        w = self._sets[si].pop(line, None)
+        if w is None:
+            raise CoherenceError(
+                f"{self.name}: invalidate of non-resident line {line:#x}"
+            )
+        self._free[si].append(w)
+        if self._tags is not None:
+            self._tags[si, w] = -1
+        self.stats.invalidations_received += 1
+        was_dirty = line in self._dirty
+        self._dirty.discard(line)
+        return was_dirty
+
+    def flush(self) -> list[int]:
+        """Write back and drop every dirty line; return their addresses.
+
+        Models the explicit cache flush the prototype performs between
+        a write phase and a parallel read-only phase (Section IV-B).
+        """
+        dirty_set = self._dirty
+        dirty: list[int] = []
+        for si, s in enumerate(self._sets):
+            if dirty_set:
+                for line in s:
+                    if line in dirty_set:
+                        dirty.append(line)
+            if s:
+                s.clear()
+                self._free[si] = list(range(self._ways - 1, -1, -1))
+        dirty_set.clear()
+        if self._tags is not None:
+            self._tags.fill(-1)
+        self.stats.flushes += 1
+        self.stats.writebacks += len(dirty)
+        return dirty
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+def _combine_blocks(parts: list[BlockResult]) -> BlockResult:
+    if len(parts) == 1:
+        return parts[0]
+    return BlockResult(
+        hits=sum(p.hits for p in parts),
+        misses=sum(p.misses for p in parts),
+        writebacks=sum(p.writebacks for p in parts),
+        miss_lines=np.concatenate([p.miss_lines for p in parts]),
+        hit_mask=np.concatenate([p.hit_mask for p in parts]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reference model
+# ---------------------------------------------------------------------------
 
 
 @dataclass
@@ -62,8 +438,14 @@ class _Line:
 
 
 @dataclass
-class Cache:
-    """One cache (modeled at the L2 / last-level-per-core granularity)."""
+class ReferenceCache:
+    """The original per-set ``OrderedDict`` engine, kept as the
+    executable specification of exact-LRU semantics.
+
+    The production :class:`Cache` must behave identically access for
+    access; ``tests/mem/test_cache.py`` enforces this with randomized
+    differential traces. Not used on any hot path.
+    """
 
     config: CacheConfig
     name: str = "cache"
@@ -76,7 +458,6 @@ class Cache:
 
     # -- geometry -------------------------------------------------------------
     def line_of(self, addr: int) -> int:
-        """Line address containing byte address *addr*."""
         return addr // self.config.line_bytes
 
     def set_of(self, line: int) -> int:
@@ -84,12 +465,6 @@ class Cache:
 
     # -- core operation ----------------------------------------------------
     def access(self, line: int, is_write: bool) -> AccessResult:
-        """Touch *line*; returns hit/miss and any eviction.
-
-        On a miss the line is installed (fetch is the caller's job) and
-        the LRU victim of the set, if the set was full, is evicted —
-        with ``writeback=True`` if it was dirty.
-        """
         s = self._sets[self.set_of(line)]
         entry = s.get(line)
         if entry is not None:
@@ -121,12 +496,6 @@ class Cache:
         return bool(entry and entry.dirty)
 
     def invalidate(self, line: int) -> bool:
-        """Drop *line* (coherence probe). Returns True if it was dirty.
-
-        A dirty invalidation means the probe also triggered a data
-        transfer — the expensive case the paper's architecture avoids
-        across nodes.
-        """
         s = self._sets[self.set_of(line)]
         entry = s.pop(line, None)
         if entry is None:
@@ -137,11 +506,6 @@ class Cache:
         return entry.dirty
 
     def flush(self) -> list[int]:
-        """Write back and drop every dirty line; return their addresses.
-
-        Models the explicit cache flush the prototype performs between
-        a write phase and a parallel read-only phase (Section IV-B).
-        """
         dirty: list[int] = []
         for s in self._sets:
             for line, entry in list(s.items()):

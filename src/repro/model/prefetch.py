@@ -85,6 +85,22 @@ class StreamPrefetcher:
             self._set_head(line)  # a potential new stream
         return False
 
+    def access_block(self, lines) -> int:
+        """Feed a batch of cache-missing demand lines in order.
+
+        Returns how many of them a prefetch covered. Equivalent to
+        calling :meth:`access` per line — the stream state machine is
+        inherently sequential, so the batch entry point exists to keep
+        the accessor's vectorized path free of per-line branching, not
+        to vectorize the prefetcher itself.
+        """
+        access = self.access
+        covered = 0
+        for line in lines:
+            if access(int(line)):
+                covered += 1
+        return covered
+
     # -- internals ----------------------------------------------------------
     def _set_head(self, line: int) -> None:
         self._heads[line] = None

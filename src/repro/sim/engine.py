@@ -396,6 +396,10 @@ class Simulator:
 
     def step(self) -> None:
         """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError(
+                "no events scheduled: step() on an empty event heap"
+            )
         when, _, event = heapq.heappop(self._heap)
         self._now = when
         event._fire()

@@ -57,6 +57,36 @@ class DiskSwap:
         self.fault_time_ns += cost
         return cost
 
+    def access_span_ns(
+        self, addr: int, nlines: int, line_bytes: int, is_write: bool = False
+    ) -> tuple[float, list[int]]:
+        """Batched :meth:`access_ns` over *nlines* consecutive lines.
+
+        Same contract as :meth:`RemoteSwap.access_span_ns`: one page-
+        pool touch per page instead of per line, returning
+        ``(total_extra_ns, fault_line_indices)``.
+        """
+        pb = self.config.page_bytes
+        total = 0.0
+        faults: list[int] = []
+        i = 0
+        page = addr // pb
+        while i < nlines:
+            span_end = min(nlines, ((page + 1) * pb - 1 - addr) // line_bytes + 1)
+            fault = self.cache.access(page, is_write)
+            if fault is not None:
+                cost = self.fault_service_ns()
+                if fault.evicted_dirty:
+                    cost += self.writeback_service_ns()
+                self.fault_time_ns += cost
+                total += cost
+                faults.append(i)
+            if span_end - i > 1:
+                self.cache.touch_extra(page, span_end - i - 1, is_write)
+            i = span_end
+            page += 1
+        return total, faults
+
     @property
     def stats(self):
         return self.cache.stats

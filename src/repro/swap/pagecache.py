@@ -82,6 +82,19 @@ class LRUPageCache:
         self._frames[page] = is_write
         return PageFault(page=page, evicted=evicted, evicted_dirty=evicted_dirty)
 
+    def touch_extra(self, page: int, count: int, is_write: bool = False) -> None:
+        """Account *count* additional hits on a just-accessed page.
+
+        Batched equivalent of *count* further :meth:`access` calls to a
+        page that is guaranteed resident (the caller touched it this
+        instant); used by the swap devices' span entry point so a run
+        of cache lines inside one page costs one dict operation.
+        """
+        self._frames.move_to_end(page)
+        if is_write:
+            self._frames[page] = True
+        self.stats.hits += count
+
     def resident(self, page: int) -> bool:
         return page in self._frames
 

@@ -75,6 +75,7 @@ def test_determinism_same_seed(lat):
     assert a.time_ns == b.time_ns
 
 
+@pytest.mark.slow
 def test_fig11_orderings(lat):
     """The qualitative Fig. 11 claims, in miniature."""
     cfg = ClusterConfig()

@@ -67,6 +67,7 @@ def test_hot_add_of_unknown_range_rejected(os1):
         os1.hot_add_donation(0xDEAD000)
 
 
+@pytest.mark.slow
 def test_malloc_through_reclaimed_memory_end_to_end(small_cluster):
     """A process can actually use hot-removed memory via malloc."""
     app = small_cluster.session(1)

@@ -36,6 +36,7 @@ def test_remote_malloc_maps_prefixed_pinned_frames(app, small_cluster):
     assert t.pte.pinned
 
 
+@pytest.mark.slow
 def test_auto_placement_spills_to_remote(app, small_cluster):
     app.borrow_remote(2, mib(32))
     private = small_cluster.config.node.private_memory_bytes

@@ -50,6 +50,7 @@ class TestCustomSweeps:
         )
         assert r.column("keys") == [8_000, 16_000]
 
+    @pytest.mark.slow
     def test_fig11_small_local_memory(self):
         from repro.units import mib
 

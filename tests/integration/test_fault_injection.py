@@ -54,6 +54,7 @@ def test_failed_reservation_leaves_no_partial_state(small_cluster):
     cluster.regions.check_invariants()
 
 
+@pytest.mark.slow
 def test_local_exhaustion_spills_then_fails_loudly(small_cluster):
     app = small_cluster.session(1)
     private = small_cluster.config.node.private_memory_bytes

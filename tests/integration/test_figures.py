@@ -72,6 +72,7 @@ class TestFig06:
         assert d2 == pytest.approx(d1, rel=0.3)
 
 
+@pytest.mark.slow
 class TestFig07:
     def test_two_threads_halve_time(self, fig07):
         by = {(r["group"], r["threads"], r["hops"]): r["elapsed_ms"]
@@ -102,6 +103,7 @@ class TestFig07:
         assert by[("4 servers", 3)] <= by[("4 servers", 1)] * 1.05
 
 
+@pytest.mark.slow
 class TestFig08:
     def test_flat_then_degrading(self, fig08):
         rows = {r["stress_nodes"]: r["control_ns_per_access"]
@@ -145,6 +147,7 @@ class TestFig10:
         assert rates == sorted(rates)
 
 
+@pytest.mark.slow
 class TestFig11:
     def _by_name(self, fig11):
         return {r["benchmark"]: r for r in fig11.rows}

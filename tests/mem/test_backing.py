@@ -75,6 +75,73 @@ def test_capacity_validation():
         BackingStore(1024, chunk_bytes=1000)  # not a power of two
 
 
+class TestZeroCopyAliasing:
+    """The zero-copy fast paths must never leak mutable views.
+
+    Single-chunk reads are built from cached memoryviews over the chunk
+    ndarrays; the API contract is that everything handed out is a fresh
+    snapshot, immune to later writes (and vice versa for inputs).
+    """
+
+    def test_read_bytes_snapshot_survives_later_writes(self):
+        bs = BackingStore(1 << 16)
+        bs.write(0, b"before!!")
+        snap = bs.read(0, 8)
+        bs.write(0, b"after!!!")
+        assert snap == b"before!!"
+
+    def test_read_array_snapshot_survives_later_writes(self):
+        bs = BackingStore(1 << 16)
+        bs.write_array(0, np.arange(16, dtype=np.uint64))
+        snap = bs.read_array(0, 16, np.uint64)
+        bs.write_array(0, np.zeros(16, dtype=np.uint64))
+        assert (snap == np.arange(16)).all()
+
+    def test_mutating_write_array_input_after_call(self):
+        bs = BackingStore(1 << 16)
+        values = np.arange(8, dtype=np.uint64)
+        bs.write_array(64, values)
+        values[:] = 99
+        assert (bs.read_array(64, 8, np.uint64) == np.arange(8)).all()
+
+    def test_multi_chunk_read_matches_single_chunk(self):
+        bs = BackingStore(1 << 16, chunk_bytes=256)
+        data = bytes(range(256)) * 4
+        bs.write(128, data)  # straddles several chunks
+        assert bs.read(128, len(data)) == data
+
+    def test_unaligned_u64_falls_back_correctly(self):
+        bs = BackingStore(1 << 16)
+        bs.write(3, (0x0102030405060708).to_bytes(8, "little"))
+        assert bs.read_u64(3) == 0x0102030405060708
+        bs.write_u64(5, 0xAABBCCDD)
+        assert bs.read_u64(5) == 0xAABBCCDD
+
+    def test_u64_across_chunk_boundary(self):
+        bs = BackingStore(1 << 16, chunk_bytes=64)
+        bs.write_u64(60, 0x1122334455667788)  # spans two chunks
+        assert bs.read_u64(60) == 0x1122334455667788
+
+    def test_u64_overflow_still_raises(self):
+        bs = BackingStore(1 << 16)
+        with pytest.raises(OverflowError):
+            bs.write_u64(0, 1 << 64)
+        with pytest.raises(OverflowError):
+            bs.write_u64(0, -1)
+
+    def test_zero_size_write_keeps_store_sparse(self):
+        bs = BackingStore(1 << 20)
+        bs.write(4096, b"")
+        bs.write_array(8192, np.empty(0, dtype=np.uint64))
+        assert bs.resident_bytes == 0
+
+    def test_array_read_of_untouched_memory_is_zeros(self):
+        bs = BackingStore(1 << 20)
+        assert (bs.read_array(0, 32, np.uint64) == 0).all()
+        assert bs.read_u64(512) == 0
+        assert bs.resident_bytes == 0  # reads never materialize
+
+
 @settings(max_examples=50, deadline=None)
 @given(
     writes=st.lists(

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.config import ClusterConfig
-from repro.errors import AllocationError
+from repro.errors import AddressError, AllocationError, SimulationError
 from repro.mem.backing import BackingStore
 from repro.model.fastsim import (
     BumpAllocator,
@@ -68,11 +68,15 @@ class TestFunctionalBehaviour:
         acc = LocalMemAccessor(lat, BackingStore(1 << 20))
         acc.compute(123.0)
         assert acc.time_ns == 123.0
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             acc.compute(-1)
 
     def test_zero_size_access_rejected(self, lat):
         acc = LocalMemAccessor(lat, BackingStore(1 << 20))
+        # AddressError subclasses ValueError, so callers that caught the
+        # old error type keep working
+        with pytest.raises(AddressError):
+            acc.read(0, 0)
         with pytest.raises(ValueError):
             acc.read(0, 0)
 

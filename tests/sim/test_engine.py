@@ -273,6 +273,16 @@ def test_peek_reports_next_event_time(sim):
     assert sim.peek() == 12.0
 
 
+def test_step_on_empty_heap_raises_simulation_error(sim):
+    with pytest.raises(SimulationError, match="empty event heap"):
+        sim.step()
+    # after draining, too
+    sim.timeout(1.0)
+    sim.run()
+    with pytest.raises(SimulationError, match="empty event heap"):
+        sim.step()
+
+
 def test_callback_after_processed_runs_immediately(sim):
     evt = sim.timeout(1.0, value="x")
     sim.run()
