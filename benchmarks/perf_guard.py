@@ -1,28 +1,34 @@
 #!/usr/bin/env python
-"""Fast-tier performance guard.
+"""Simulator performance guard: fast tier AND packet tier.
 
-Measures the fast-tier micro-bench paths (the same workloads as
-``bench_micro_simulator.py``, timed with plain ``perf_counter`` loops so
-no plugin is needed), records the rates in ``BENCH_fasttier.json`` at
-the repository root, and **exits non-zero if any path regressed more
+Measures host-side simulation throughput on the hot paths of both
+simulation tiers (plain ``perf_counter`` loops, no plugin needed),
+records the rates in ``BENCH_fasttier.json`` / ``BENCH_packettier.json``
+at the repository root, and **exits non-zero if any path regressed more
 than 30%** against the committed ``baseline_ops_per_sec`` — run it
-before committing changes that touch ``mem/`` or ``model/``.
+before committing changes that touch ``mem/``, ``model/``, ``ht/``,
+``rmc/`` or ``cluster/``.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_guard.py              # check
+    PYTHONPATH=src python benchmarks/perf_guard.py                # check both
     PYTHONPATH=src python benchmarks/perf_guard.py --update-baseline
+    PYTHONPATH=src python benchmarks/perf_guard.py --update-baseline packettier
 
-``--update-baseline`` promotes the fresh measurement to the committed
-baseline (do this when a deliberate change moves the numbers; commit
-the resulting JSON). The file also keeps ``seed_ops_per_sec`` — the
-rates of the original per-line scalar implementation — so the speedup
-of the vectorized data path stays visible (``speedup_vs_seed``).
+``--update-baseline`` promotes this run's rates to the committed
+baseline for both suites, or for just the named one (do this when a
+deliberate change moves the numbers; commit the resulting JSON). Each
+file also keeps ``seed_ops_per_sec`` — the rates of the original
+per-line scalar implementation — so the speedup of the batched data
+path stays visible (``speedup_vs_seed``). For the packet tier the seed
+is the live ``batch=False`` scalar path: it is measured and recorded
+the first time the suite runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 import time
@@ -31,12 +37,13 @@ from pathlib import Path
 import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_FILE = REPO_ROOT / "BENCH_fasttier.json"
 REGRESSION_TOLERANCE = 0.30
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.config import ClusterConfig  # noqa: E402
+from repro.cluster.cluster import Cluster  # noqa: E402
+from repro.cluster.malloc import Placement  # noqa: E402
+from repro.config import ClusterConfig, NetworkConfig  # noqa: E402
 from repro.mem.backing import BackingStore  # noqa: E402
 from repro.model.fastsim import LocalMemAccessor, RemoteMemAccessor  # noqa: E402
 from repro.model.latency import LatencyModel  # noqa: E402
@@ -56,6 +63,11 @@ def _rate(fn, ops: int, repeats: int = 3) -> float:
 def _page_addrs(n: int, seed: int = 0) -> list[int]:
     rng = np.random.default_rng(seed)
     return [int(a) * PAGE_SIZE for a in rng.integers(0, 4000, size=n)]
+
+
+# ---------------------------------------------------------------------------
+# Fast tier
+# ---------------------------------------------------------------------------
 
 
 def bench_fast_tier_read_8B() -> float:
@@ -129,32 +141,165 @@ def bench_backing_read_8B() -> float:
     return _rate(run, len(addrs))
 
 
-BENCHES = {
-    "fast_tier_read_8B": bench_fast_tier_read_8B,
-    "fast_tier_read_u64": bench_fast_tier_read_u64,
-    "fast_tier_read_4K": bench_fast_tier_read_4K,
-    "btree_search": bench_btree_search,
-    "backing_read_8B": bench_backing_read_8B,
+# ---------------------------------------------------------------------------
+# Packet tier
+# ---------------------------------------------------------------------------
+
+
+def _packet_session():
+    cfg = ClusterConfig(network=NetworkConfig(topology="line", dims=(2, 1)))
+    cluster = Cluster(cfg)
+    return cluster, cluster.session(1)
+
+
+def bench_packet_cached_read_4K(batch: bool = True) -> float:
+    """Cold page-sized cached reads: 64-line miss bursts per op."""
+    _, app = _packet_session()
+    npages = 192
+    regions = [
+        app.malloc(npages * PAGE_SIZE, Placement.LOCAL) for _ in range(4)
+    ]
+    it = iter(regions)
+
+    def run():
+        base = next(it)
+        read = app.read
+        for i in range(npages):
+            read(base + i * PAGE_SIZE, PAGE_SIZE, batch=batch)
+
+    return _rate(run, npages)
+
+
+def bench_packet_coherent_read_4K(batch: bool = True) -> float:
+    """Cold page-sized reads through the MESI domain's span path."""
+    _, app = _packet_session()
+    npages = 192
+    regions = [
+        app.malloc(npages * PAGE_SIZE, Placement.LOCAL) for _ in range(4)
+    ]
+    it = iter(regions)
+
+    def run():
+        base = next(it)
+        read = app.coherent_read
+        for i in range(npages):
+            read(base + i * PAGE_SIZE, PAGE_SIZE, batch=batch)
+
+    return _rate(run, npages)
+
+
+class _SessionAccessor:
+    """Accessor-protocol adapter: a B-tree over the packet tier."""
+
+    def __init__(self, app, batch: bool) -> None:
+        self.app = app
+        self.batch = batch
+
+    def read(self, addr: int, size: int) -> bytes:
+        return self.app.read(addr, size, batch=self.batch)
+
+    def write(self, addr: int, data: bytes) -> None:
+        self.app.write(addr, data, batch=self.batch)
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, int(value).to_bytes(8, "little"))
+
+    def read_array(self, addr: int, count: int, dtype) -> np.ndarray:
+        dt = np.dtype(dtype)
+        return np.frombuffer(self.read(addr, count * dt.itemsize), dt).copy()
+
+    def write_array(self, addr: int, values: np.ndarray) -> None:
+        self.write(addr, np.ascontiguousarray(values).tobytes())
+
+    def bulk_write(self, addr: int, data) -> None:
+        self.app.bulk_write(addr, bytes(data))
+
+    def compute(self, ns: float) -> None:
+        pass  # search paths charge no compute
+
+
+def bench_packet_btree_search(batch: bool = True) -> float:
+    """Database-style point lookups with every byte moved through real
+    packets; nodes cache quickly, so this guards the single-line path."""
+    from repro.apps.btree import BTree
+    from repro.model.fastsim import BumpAllocator
+
+    _, app = _packet_session()
+    base = app.malloc(mib(2), Placement.LOCAL)
+    acc = _SessionAccessor(app, batch)
+    tree = BTree(acc, children=168, arena=BumpAllocator(mib(2), base=base))
+    tree.bulk_load(np.arange(1, 20_001, dtype=np.uint64))
+    rng = np.random.default_rng(5)
+    queries = [int(q) for q in rng.integers(1, 20_001, size=1_000)]
+
+    def run():
+        search = tree.search
+        for q in queries:
+            search(q)
+
+    return _rate(run, len(queries))
+
+
+# ---------------------------------------------------------------------------
+# Suite driver
+# ---------------------------------------------------------------------------
+
+#: suite -> (json file, {bench name: measured fn}, {bench name: seed fn})
+#: A seed fn measures the scalar reference path; it runs only when the
+#: suite file does not already record a seed for that bench.
+SUITES: dict = {
+    "fasttier": (
+        REPO_ROOT / "BENCH_fasttier.json",
+        {
+            "fast_tier_read_8B": bench_fast_tier_read_8B,
+            "fast_tier_read_u64": bench_fast_tier_read_u64,
+            "fast_tier_read_4K": bench_fast_tier_read_4K,
+            "btree_search": bench_btree_search,
+            "backing_read_8B": bench_backing_read_8B,
+        },
+        {},
+    ),
+    "packettier": (
+        REPO_ROOT / "BENCH_packettier.json",
+        {
+            "cached_read_4K": bench_packet_cached_read_4K,
+            "coherent_read_4K": bench_packet_coherent_read_4K,
+            "btree_packet_search": bench_packet_btree_search,
+        },
+        {
+            "cached_read_4K": functools.partial(
+                bench_packet_cached_read_4K, batch=False
+            ),
+            "coherent_read_4K": functools.partial(
+                bench_packet_coherent_read_4K, batch=False
+            ),
+            "btree_packet_search": functools.partial(
+                bench_packet_btree_search, batch=False
+            ),
+        },
+    ),
 }
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--update-baseline",
-        action="store_true",
-        help="promote this run's rates to the committed baseline",
-    )
-    args = parser.parse_args()
-
-    doc = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else {}
+def run_suite(suite: str, update: bool) -> list[tuple[str, float, float]]:
+    bench_file, benches, seed_fns = SUITES[suite]
+    doc = json.loads(bench_file.read_text()) if bench_file.exists() else {}
     baseline = doc.get("baseline_ops_per_sec", {})
     seed = doc.get("seed_ops_per_sec", {})
 
+    for name, fn in seed_fns.items():
+        if name not in seed:
+            print(f"[{suite}] measuring scalar seed for {name} ...")
+            seed[name] = round(fn(), 1)
+
     measured = {}
-    print(f"{'path':<22} {'ops/sec':>12} {'baseline':>12} {'vs seed':>9}")
     failures = []
-    for name, fn in BENCHES.items():
+    print(f"-- {suite} " + "-" * (58 - len(suite)))
+    print(f"{'path':<22} {'ops/sec':>12} {'baseline':>12} {'vs seed':>9}")
+    for name, fn in benches.items():
         rate = fn()
         measured[name] = round(rate, 1)
         base = baseline.get(name)
@@ -171,11 +316,30 @@ def main() -> int:
     doc["speedup_vs_seed"] = {
         k: round(v / seed[k], 2) for k, v in measured.items() if k in seed
     }
-    if args.update_baseline or not baseline:
+    if update or not baseline:
         doc["baseline_ops_per_sec"] = measured
-        print("baseline updated")
-    BENCH_FILE.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {BENCH_FILE.relative_to(REPO_ROOT)}")
+        print(f"[{suite}] baseline updated")
+    bench_file.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {bench_file.relative_to(REPO_ROOT)}")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-baseline",
+        nargs="?",
+        const="all",
+        choices=["all", *SUITES],
+        help="promote this run's rates to the committed baseline, for "
+        "both suites (no value / 'all') or just the named one",
+    )
+    args = parser.parse_args()
+
+    failures = []
+    for suite in SUITES:
+        update = args.update_baseline in ("all", suite)
+        failures += run_suite(suite, update)
 
     if failures:
         for name, rate, base in failures:

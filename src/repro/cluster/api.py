@@ -95,6 +95,7 @@ class Session:
         size: int,
         core: int = 0,
         cached: bool = True,
+        batch: bool = True,
     ) -> Generator:
         """Load *size* bytes at virtual *vaddr* via core *core*."""
         c = self._core(core)
@@ -105,7 +106,7 @@ class Session:
                 yield self.sim.timeout(TLB_WALK_NS)
             self._check(core, trans.phys_addr, part_size, False, cached)
             if cached:
-                data = yield from c.cached_read(trans.phys_addr, part_size)
+                data = yield from c.cached_read(trans.phys_addr, part_size, batch=batch)
             else:
                 data = yield from c.read(trans.phys_addr, part_size)
             chunks.append(data)
@@ -117,6 +118,7 @@ class Session:
         data: bytes,
         core: int = 0,
         cached: bool = True,
+        batch: bool = True,
     ) -> Generator:
         """Store *data* at virtual *vaddr* via core *core*."""
         c = self._core(core)
@@ -128,13 +130,15 @@ class Session:
             part = data[offset : offset + part_size]
             self._check(core, trans.phys_addr, len(part), True, cached)
             if cached:
-                yield from c.cached_write(trans.phys_addr, part)
+                yield from c.cached_write(trans.phys_addr, part, batch=batch)
             else:
                 yield from c.write(trans.phys_addr, part)
             offset += part_size
         return None
 
-    def g_coherent_read(self, vaddr: int, size: int, core: int = 0) -> Generator:
+    def g_coherent_read(
+        self, vaddr: int, size: int, core: int = 0, batch: bool = True
+    ) -> Generator:
         """Load shared intra-node data through the MESI domain.
 
         Only valid for locally-backed allocations: the prototype keeps
@@ -146,11 +150,13 @@ class Session:
             trans = self.aspace.translate(part_vaddr)
             if not trans.tlb_hit:
                 yield self.sim.timeout(TLB_WALK_NS)
-            data = yield from c.coherent_read(trans.phys_addr, part_size)
+            data = yield from c.coherent_read(trans.phys_addr, part_size, batch=batch)
             chunks.append(data)
         return b"".join(chunks)
 
-    def g_coherent_write(self, vaddr: int, data: bytes, core: int = 0) -> Generator:
+    def g_coherent_write(
+        self, vaddr: int, data: bytes, core: int = 0, batch: bool = True
+    ) -> Generator:
         """Store shared intra-node data through the MESI domain."""
         c = self._core(core)
         offset = 0
@@ -159,32 +165,52 @@ class Session:
             if not trans.tlb_hit:
                 yield self.sim.timeout(TLB_WALK_NS)
             yield from c.coherent_write(
-                trans.phys_addr, data[offset : offset + part_size]
+                trans.phys_addr, data[offset : offset + part_size], batch=batch
             )
             offset += part_size
         return None
 
-    def coherent_read(self, vaddr: int, size: int, core: int = 0) -> bytes:
-        return self.sim.run_process(self.g_coherent_read(vaddr, size, core))
+    def coherent_read(
+        self, vaddr: int, size: int, core: int = 0, batch: bool = True
+    ) -> bytes:
+        return self.sim.run_process(
+            self.g_coherent_read(vaddr, size, core, batch)
+        )
 
-    def coherent_write(self, vaddr: int, data: bytes, core: int = 0) -> None:
-        self.sim.run_process(self.g_coherent_write(vaddr, data, core))
+    def coherent_write(
+        self, vaddr: int, data: bytes, core: int = 0, batch: bool = True
+    ) -> None:
+        self.sim.run_process(self.g_coherent_write(vaddr, data, core, batch))
 
-    def g_flush(self, core: int = 0) -> Generator:
+    def g_flush(self, core: int = 0, batch: bool = True) -> Generator:
         """Flush the core's cache (before a parallel read-only phase)."""
-        yield from self._core(core).flush_cache()
+        yield from self._core(core).flush_cache(batch=batch)
         if self.discipline is not None:
             self.discipline.on_flush(core)
         return None
 
     # -- synchronous convenience --------------------------------------------
-    def read(self, vaddr: int, size: int, core: int = 0, cached: bool = True) -> bytes:
-        return self.sim.run_process(self.g_read(vaddr, size, core, cached))
+    def read(
+        self,
+        vaddr: int,
+        size: int,
+        core: int = 0,
+        cached: bool = True,
+        batch: bool = True,
+    ) -> bytes:
+        return self.sim.run_process(
+            self.g_read(vaddr, size, core, cached, batch)
+        )
 
     def write(
-        self, vaddr: int, data: bytes, core: int = 0, cached: bool = True
+        self,
+        vaddr: int,
+        data: bytes,
+        core: int = 0,
+        cached: bool = True,
+        batch: bool = True,
     ) -> None:
-        self.sim.run_process(self.g_write(vaddr, data, core, cached))
+        self.sim.run_process(self.g_write(vaddr, data, core, cached, batch))
 
     def read_u64(self, vaddr: int, core: int = 0, cached: bool = True) -> int:
         return int.from_bytes(self.read(vaddr, 8, core, cached), "little")
@@ -195,6 +221,20 @@ class Session:
         self.write(
             vaddr, int(value).to_bytes(8, "little", signed=False), core, cached
         )
+
+    def bulk_write(self, vaddr: int, data: bytes, core: int = 0) -> None:
+        """Untimed functional write — for population/setup phases that
+        benchmarks deliberately leave unmeasured (accessor protocol of
+        the packet-tier workloads)."""
+        data = bytes(data)
+        c = self._core(core)
+        offset = 0
+        for part_vaddr, part_size in self._split(vaddr, len(data)):
+            trans = self.aspace.translate(part_vaddr)
+            self.cluster.fn_write(
+                c._prefixed(trans.phys_addr), data[offset : offset + part_size]
+            )
+            offset += part_size
 
     def write_array(self, vaddr: int, values: np.ndarray, core: int = 0) -> None:
         self.write(vaddr, np.ascontiguousarray(values).tobytes(), core)

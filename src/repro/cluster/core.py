@@ -23,6 +23,16 @@ that moves no data. Remote ranges are cacheable in the prototype, but
 coherence is not maintained for I/O memory; the workloads honor the
 prototype's discipline (single writer, or parallel read-only phases
 after an explicit flush).
+
+Batching: multi-line cached/coherent accesses classify the whole span
+in one pass (:meth:`Cache.access_span` / the coherence domain's span
+operations), charge pure latency arithmetically, and coalesce
+contiguous misses into burst packets that every timed component
+charges in one event. ``batch=False`` on any accessor forces the
+scalar per-line reference path; the two are equivalent in sim time,
+stats, and data (enforced by ``tests/cluster/test_core_batch.py``).
+Bursts never cross ``burst_align_bytes`` windows, so each burst stays
+within one memory controller's slice.
 """
 
 from __future__ import annotations
@@ -36,6 +46,8 @@ from repro.ht.packet import (
     Packet,
     PacketType,
     TagAllocator,
+    make_burst_read_req,
+    make_burst_write_req,
     make_read_req,
     make_write_req,
 )
@@ -79,6 +91,7 @@ class Core:
         functional_mem: Optional[FunctionalMemory] = None,
         coherence: Optional["CoherenceDomain"] = None,
         coherence_idx: int = 0,
+        burst_align_bytes: int = 0,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -92,6 +105,11 @@ class Core:
         self.functional_mem = functional_mem
         self.coherence = coherence
         self.coherence_idx = coherence_idx
+        #: burst packets may not cross multiples of this (the memory
+        #: interleave granularity / per-socket slice size); 0 = no limit
+        self.burst_align_bytes = burst_align_bytes
+        #: timing-only writes move no data; zero buffers are reused
+        self._zero_payloads: dict[int, bytes] = {}
         self.name = f"n{node_id}c{core_id}"
         self._local_slots = Resource(
             sim, config.local_outstanding, name=f"{self.name}.lslots"
@@ -126,30 +144,32 @@ class Core:
         return None
 
     # -- cached operations -----------------------------------------------
-    def cached_read(self, paddr: int, size: int) -> Generator:
+    def cached_read(self, paddr: int, size: int, batch: bool = True) -> Generator:
         """Load through this core's write-back cache.
 
         Misses fetch whole lines; dirty evictions write back (timing
         only) before the demand fetch. The returned bytes are always
-        the authoritative backing-store contents.
+        the authoritative backing-store contents. ``batch=False``
+        forces the scalar per-line reference path (same sim time, same
+        stats — enforced by the equivalence tests).
         """
         if self.cache is None or self.functional_mem is None:
             return (yield from self.read(paddr, size))
         self.loads.add()
-        yield from self._touch_lines(paddr, size, is_write=False)
+        yield from self._touch_lines(paddr, size, is_write=False, batch=batch)
         return self.functional_mem.fn_read(self._prefixed(paddr), size)
 
-    def cached_write(self, paddr: int, data: bytes) -> Generator:
+    def cached_write(self, paddr: int, data: bytes, batch: bool = True) -> Generator:
         """Store through the write-back cache (data lands functionally)."""
         if self.cache is None or self.functional_mem is None:
             return (yield from self.write(paddr, data))
         self.stores.add()
-        yield from self._touch_lines(paddr, len(data), is_write=True)
+        yield from self._touch_lines(paddr, len(data), is_write=True, batch=batch)
         self.functional_mem.fn_write(self._prefixed(paddr), data)
         return None
 
     # -- coherent operations (intra-node shared memory) --------------------
-    def coherent_read(self, paddr: int, size: int) -> Generator:
+    def coherent_read(self, paddr: int, size: int, batch: bool = True) -> Generator:
         """Load through the node's MESI domain — valid for shared,
         intra-node data only.
 
@@ -159,14 +179,14 @@ class Core:
         """
         self._require_coherent(paddr)
         self.loads.add()
-        yield from self._coherent_lines(paddr, size, is_write=False)
+        yield from self._coherent_lines(paddr, size, is_write=False, batch=batch)
         return self.functional_mem.fn_read(self._prefixed(paddr), size)
 
-    def coherent_write(self, paddr: int, data: bytes) -> Generator:
+    def coherent_write(self, paddr: int, data: bytes, batch: bool = True) -> Generator:
         """Store through the node's MESI domain (intra-node only)."""
         self._require_coherent(paddr)
         self.stores.add()
-        yield from self._coherent_lines(paddr, len(data), is_write=True)
+        yield from self._coherent_lines(paddr, len(data), is_write=True, batch=batch)
         self.functional_mem.fn_write(self._prefixed(paddr), data)
         return None
 
@@ -182,30 +202,51 @@ class Core:
                 "RMC-mapped range (Section IV-B)"
             )
 
-    def _coherent_lines(self, paddr: int, size: int, is_write: bool) -> Generator:
+    def _coherent_lines(
+        self, paddr: int, size: int, is_write: bool, batch: bool = True
+    ) -> Generator:
         assert self.cache is not None and self.coherence is not None
         cfg = self.config
         line_bytes = self.cache.config.line_bytes
         first = paddr // line_bytes
         last = (paddr + size - 1) // line_bytes
+        count = last - first + 1
         domain = self.coherence
-        for line in range(first, last + 1):
-            interventions = domain.stats.interventions
-            if is_write:
-                hit = domain.write(self.coherence_idx, line)
-            else:
-                hit = domain.read(self.coherence_idx, line)
-            if hit:
-                yield self.sim.timeout(self.cache.config.hit_ns)
-                continue
-            # miss: the snoop broadcast window always applies; data
-            # comes cache-to-cache if a peer held it Modified,
-            # otherwise from local DRAM
-            yield self.sim.timeout(cfg.snoop_ns)
-            if domain.stats.interventions > interventions:
-                yield self.sim.timeout(cfg.cache2cache_ns)
-            else:
-                yield from self._timing_read(line * line_bytes, line_bytes)
+        if not batch or count == 1:
+            for line in range(first, last + 1):
+                interventions = domain.stats.interventions
+                if is_write:
+                    hit = domain.write(self.coherence_idx, line)
+                else:
+                    hit = domain.read(self.coherence_idx, line)
+                if hit:
+                    yield self.sim.timeout(self.cache.config.hit_ns)
+                    continue
+                # miss: the snoop broadcast window always applies; data
+                # comes cache-to-cache if a peer held it Modified,
+                # otherwise from local DRAM
+                yield self.sim.timeout(cfg.snoop_ns)
+                if domain.stats.interventions > interventions:
+                    yield self.sim.timeout(cfg.cache2cache_ns)
+                else:
+                    yield from self._timing_read(line * line_bytes, line_bytes)
+            return
+        op = domain.write_span if is_write else domain.read_span
+        span = op(self.coherence_idx, first, count)
+        # pure latency (hit windows, snoop windows, cache-to-cache
+        # transfers) collapses into one event; only memory fetches
+        # remain as packet traffic
+        latency = (
+            span.hits * self.cache.config.hit_ns
+            + span.misses * cfg.snoop_ns
+            + span.interventions * cfg.cache2cache_ns
+        )
+        if latency:
+            yield self.sim.timeout(latency)
+        if span.fetch_lines:
+            align = self._align_lines(line_bytes)
+            for start, n in self._runs(span.fetch_lines, align):
+                yield from self._timing_read_burst(start, n, line_bytes)
 
     def _timing_read(self, paddr: int, size: int) -> Generator:
         """A read that charges full packet timing; data is discarded
@@ -215,15 +256,22 @@ class Core:
         )
         yield from self._issue(request)
 
-    def flush_cache(self) -> Generator:
+    def flush_cache(self, batch: bool = True) -> Generator:
         """Write back every dirty line (prototype: done before parallel
         read-only phases, Section IV-B). Data is already authoritative
-        in the backing store, so flushes are timing-only writes."""
+        in the backing store, so flushes are timing-only writes;
+        contiguous dirty runs coalesce into burst write-backs."""
         if self.cache is None:
             return None
         line_bytes = self.cache.config.line_bytes
-        for line in self.cache.flush():
-            yield from self._timing_write(line * line_bytes, line_bytes)
+        dirty = self.cache.flush()
+        if not batch:
+            for line in dirty:
+                yield from self._timing_write(line * line_bytes, line_bytes)
+            return None
+        align = self._align_lines(line_bytes)
+        for start, n in self._runs(dirty, align):
+            yield from self._timing_write_burst(start, n, line_bytes)
         return None
 
     # -- internals ----------------------------------------------------------
@@ -234,28 +282,131 @@ class Core:
             return paddr
         return self.amap.encode(self.node_id, paddr)
 
-    def _touch_lines(self, paddr: int, size: int, is_write: bool) -> Generator:
+    def _touch_lines(
+        self, paddr: int, size: int, is_write: bool, batch: bool = True
+    ) -> Generator:
         assert self.cache is not None
-        line_bytes = self.cache.config.line_bytes
+        cache = self.cache
+        line_bytes = cache.config.line_bytes
+        hit_ns = cache.config.hit_ns
         first = paddr // line_bytes
         last = (paddr + size - 1) // line_bytes
-        for line in range(first, last + 1):
-            result = self.cache.access(line, is_write)
-            if result.hit:
-                yield self.sim.timeout(self.cache.config.hit_ns)
+        count = last - first + 1
+        if not batch or count == 1:
+            for line in range(first, last + 1):
+                result = cache.access(line, is_write)
+                if result.hit:
+                    yield self.sim.timeout(hit_ns)
+                    continue
+                if result.writeback and result.evicted is not None:
+                    yield from self._timing_write(
+                        result.evicted * line_bytes, line_bytes
+                    )
+                # demand fetch of the whole line (timed; data discarded —
+                # the functional copy is read separately)
+                yield from self._timing_read(line * line_bytes, line_bytes)
+            return
+        result = cache.access_span(first, count, is_write)
+        if result.hits:
+            # hits are pure latency — charge them all in one event
+            yield self.sim.timeout(result.hits * hit_ns)
+        if result.misses:
+            yield from self._miss_traffic(result, line_bytes)
+
+    def _miss_traffic(self, result, line_bytes: int) -> Generator:
+        """Replay a span's miss traffic with burst coalescing.
+
+        Write-backs stay at their scalar positions (DRAM row-buffer
+        state makes the transaction order matter) while the contiguous
+        demand-fetch runs between them collapse into burst reads.
+        """
+        miss = result.miss_lines.tolist()
+        align = self._align_lines(line_bytes)
+        seg_start = 0
+        for victim, k in zip(
+            result.wb_lines.tolist(), result.wb_miss_idx.tolist()
+        ):
+            for start, n in self._runs(miss[seg_start:k], align):
+                yield from self._timing_read_burst(start, n, line_bytes)
+            seg_start = k
+            yield from self._timing_write(victim * line_bytes, line_bytes)
+        for start, n in self._runs(miss[seg_start:], align):
+            yield from self._timing_read_burst(start, n, line_bytes)
+
+    def _align_lines(self, line_bytes: int) -> int:
+        """Burst alignment window expressed in lines (0 = unbounded)."""
+        if not self.burst_align_bytes:
+            return 0
+        return max(self.burst_align_bytes // line_bytes, 1)
+
+    @staticmethod
+    def _runs(lines, align: int):
+        """Split ascending line addresses into maximal consecutive runs
+        that never cross an *align*-line window boundary."""
+        if not lines:
+            return
+        start = prev = lines[0]
+        for line in lines[1:]:
+            if line == prev + 1 and (align == 0 or line % align):
+                prev = line
                 continue
-            if result.writeback and result.evicted is not None:
-                yield from self._timing_write(
-                    result.evicted * line_bytes, line_bytes
-                )
-            # demand fetch of the whole line (timed; data discarded —
-            # the functional copy is read separately)
-            yield from self.read(line * line_bytes, line_bytes)
+            yield start, prev - start + 1
+            start = prev = line
+        yield start, prev - start + 1
+
+    def _timing_read_burst(
+        self, first_line: int, count: int, line_bytes: int
+    ) -> Generator:
+        """Fetch *count* consecutive lines as one burst packet; a single
+        line takes the scalar path (no burst framing to amortize)."""
+        if count == 1:
+            yield from self._timing_read(first_line * line_bytes, line_bytes)
+            return
+        request = make_burst_read_req(
+            self.node_id,
+            self.node_id,
+            first_line * line_bytes,
+            line_bytes,
+            count,
+            self.tags.next(),
+        )
+        yield from self._issue(request)
+
+    def _timing_write_burst(
+        self, first_line: int, count: int, line_bytes: int
+    ) -> Generator:
+        """Write back *count* consecutive lines as one timing-only burst."""
+        if count == 1:
+            yield from self._timing_write(first_line * line_bytes, line_bytes)
+            return
+        request = make_burst_write_req(
+            self.node_id,
+            self.node_id,
+            first_line * line_bytes,
+            self._zero_payload(count * line_bytes),
+            count,
+            self.tags.next(),
+        )
+        request.meta["timing_only"] = True
+        yield from self._issue(request)
+
+    def _zero_payload(self, size: int) -> bytes:
+        """Placeholder payload for timing-only writes, cached per size
+        (the packet path never reads it — no per-eviction allocation)."""
+        buf = self._zero_payloads.get(size)
+        if buf is None:
+            buf = bytes(size)
+            self._zero_payloads[size] = buf
+        return buf
 
     def _timing_write(self, paddr: int, size: int) -> Generator:
         """A write that charges full packet timing but moves no data."""
         request = make_write_req(
-            self.node_id, self.node_id, paddr, bytes(size), self.tags.next()
+            self.node_id,
+            self.node_id,
+            paddr,
+            self._zero_payload(size),
+            self.tags.next(),
         )
         request.meta["timing_only"] = True
         yield from self._issue(request)

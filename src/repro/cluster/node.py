@@ -102,6 +102,12 @@ class Node:
                 functional_mem=functional_mem,
                 coherence=self.coherence,
                 coherence_idx=i,
+                # bursts must stay within one controller's slice: the
+                # interleave stripe if striping is on, else the
+                # per-socket contiguous slice
+                burst_align_bytes=(
+                    config.interleave_bytes or config.dram.capacity_bytes
+                ),
             )
             for i in range(config.num_cores)
         ]

@@ -96,9 +96,10 @@ class Crossbar:
         grant = self._links.request()
         yield grant
         try:
-            yield self.sim.timeout(self.latency_ns)
+            # a coalesced burst pays one traversal per line it replaces
+            yield self.sim.timeout(self.latency_ns * packet.line_count)
             target.deliver(packet)
-            self.routed += 1
+            self.routed += packet.line_count
         finally:
             self._links.release(grant)
         done.succeed()

@@ -54,6 +54,7 @@ def hnc_encapsulate(packet: Packet, amap: AddressMap, local_node: int) -> Packet
             hops=packet.hops,
             issue_ns=packet.issue_ns,
             meta=dict(packet.meta),
+            line_count=packet.line_count,
         )
     if packet.ptype.is_response or packet.ptype is PacketType.CTRL:
         # Responses/control already carry explicit fabric src/dst.

@@ -57,19 +57,25 @@ class Link:
         """
         now = self.sim.now
         start = max(now, self._busy_until)
-        # wire_bytes already includes the command header
+        # wire_bytes already includes the command header(s); for a burst
+        # it covers one header per coalesced line, so serialization
+        # equals that of the scalar packets the burst replaces
         ser = packet.wire_bytes / self.config.bandwidth_Bpns
         self._busy_until = start + ser
-        self.packets.add()
+        self.packets.add(packet.line_count)
         self.bytes.add(packet.wire_bytes)
         self.occupancy.adjust(+1, now)
 
         done = self.sim.event()
+        # the scalar packets a burst stands for fly strictly back to
+        # back (the issuer waits out each response), so each one pays
+        # propagation on the critical path — charge all of them
+        propagation = self.config.propagation_ns * packet.line_count
 
         def _serialized(_evt: Event) -> None:
             self.occupancy.adjust(-1, self.sim.now)
             # schedule delivery after propagation
-            deliver = self.sim.timeout(self.config.propagation_ns)
+            deliver = self.sim.timeout(propagation)
             deliver.add_callback(lambda _e: self.sink.put(packet))
             done.succeed()
 

@@ -17,6 +17,16 @@ share the fabric with memory traffic).
 
 Packets carry the *physical address including the 14-bit node prefix*;
 the RMC rewrites the prefix when bridging (see :mod:`repro.rmc.rmc`).
+
+**Bursts.** A packet with ``line_count`` = N > 1 is a *coalesced burst*:
+it stands for N back-to-back line transactions to consecutive
+addresses, carried as one simulator object. Every timed component
+(crossbar, link, switch, RMC pipelines, memory controller) charges a
+burst exactly N times its per-packet cost in a single event, so a burst
+takes the same simulated time as the N scalar packets it replaces — the
+win is host-side throughput, not modeled time. ``wire_bytes`` therefore
+counts one header per line. A NACK rejects the whole burst at once
+(one decode), and the retry re-sends the whole burst under its tag.
 """
 
 from __future__ import annotations
@@ -36,6 +46,8 @@ __all__ = [
     "make_read_resp",
     "make_write_req",
     "make_write_ack",
+    "make_burst_read_req",
+    "make_burst_write_req",
     "make_nack",
     "make_ctrl",
 ]
@@ -85,10 +97,20 @@ class Packet:
     hops: int = 0
     issue_ns: float = 0.0
     meta: dict[str, Any] = field(default_factory=dict)
+    #: number of consecutive line transactions this packet coalesces;
+    #: 1 == an ordinary scalar packet
+    line_count: int = 1
 
     def __post_init__(self) -> None:
         if self.size < 0:
             raise ProtocolError(f"negative packet size {self.size}")
+        if self.line_count < 1:
+            raise ProtocolError(f"line_count must be >= 1, got {self.line_count}")
+        if self.line_count > 1 and self.size % self.line_count:
+            raise ProtocolError(
+                f"burst size {self.size} is not a whole number of "
+                f"{self.line_count} lines"
+            )
         if self.payload is not None and len(self.payload) != self.size:
             raise ProtocolError(
                 f"payload length {len(self.payload)} != declared size {self.size}"
@@ -99,11 +121,15 @@ class Packet:
 
     @property
     def wire_bytes(self) -> int:
-        """Bytes this packet occupies on a link (header + data)."""
+        """Bytes this packet occupies on a link (headers + data).
+
+        A burst carries one command header per coalesced line, so its
+        wire footprint equals that of the scalar packets it replaces.
+        """
         data = self.size if self.ptype in (
             PacketType.READ_RESP, PacketType.WRITE_REQ
         ) else 0
-        return _HEADER_BYTES + data
+        return self.line_count * _HEADER_BYTES + data
 
     def response_to(self, **overrides: Any) -> "Packet":
         """Build the matching response packet (src/dst swapped, same tag)."""
@@ -121,14 +147,18 @@ class Packet:
             size=self.size if rtype is PacketType.READ_RESP else 0,
             tag=self.tag,
             payload=None,
+            # responses to a burst are themselves bursts: every hop on
+            # the way back must charge the coalesced per-line costs too
+            line_count=self.line_count,
         )
         kwargs.update(overrides)
         return Packet(**kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        burst = f" x{self.line_count}" if self.line_count > 1 else ""
         return (
             f"<Pkt {self.ptype.value} tag={self.tag} {self.src}->{self.dst} "
-            f"addr={self.addr:#x} size={self.size}>"
+            f"addr={self.addr:#x} size={self.size}{burst}>"
         )
 
 
@@ -170,6 +200,37 @@ def make_write_ack(req: Packet) -> Packet:
     if req.ptype is not PacketType.WRITE_REQ:
         raise ProtocolError(f"write ack requires a WRITE_REQ, got {req.ptype}")
     return req.response_to()
+
+
+def make_burst_read_req(
+    src: int, dst: int, addr: int, line_bytes: int, line_count: int, tag: int
+) -> Packet:
+    """A read request coalescing *line_count* consecutive lines."""
+    return Packet(
+        PacketType.READ_REQ,
+        src,
+        dst,
+        addr,
+        line_bytes * line_count,
+        tag,
+        line_count=line_count,
+    )
+
+
+def make_burst_write_req(
+    src: int, dst: int, addr: int, payload: bytes, line_count: int, tag: int
+) -> Packet:
+    """A write request coalescing *line_count* consecutive lines."""
+    return Packet(
+        PacketType.WRITE_REQ,
+        src,
+        dst,
+        addr,
+        len(payload),
+        tag,
+        payload=payload,
+        line_count=line_count,
+    )
 
 
 def make_nack(req: Packet, at_node: int) -> Packet:

@@ -96,6 +96,10 @@ class AccessResult:
 _HIT = AccessResult(True)
 
 
+def _empty_i64() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
 @dataclass(frozen=True)
 class BlockResult:
     """Outcome of one batched access over a span of lines."""
@@ -108,6 +112,16 @@ class BlockResult:
     miss_lines: np.ndarray
     #: per-input-line hit flags, aligned with the request's lines
     hit_mask: np.ndarray
+    #: every victim line evicted by a miss install, in miss order
+    #: (coherence directories drop their sharer entries from this)
+    evicted_lines: np.ndarray = field(default_factory=_empty_i64)
+    #: the dirty subset of ``evicted_lines`` — lines that owe a
+    #: write-back, still in miss order
+    wb_lines: np.ndarray = field(default_factory=_empty_i64)
+    #: for each entry of ``wb_lines``, the index into ``miss_lines`` of
+    #: the install that displaced it; a scalar replay performs the
+    #: write-back immediately before fetching that miss
+    wb_miss_idx: np.ndarray = field(default_factory=_empty_i64)
 
     @property
     def accesses(self) -> int:
@@ -241,12 +255,22 @@ class Cache:
         if n == 1:
             r = self.access(int(arr[0]), is_write)
             hit_mask = np.array([r.hit])
+            victims = (
+                np.array([r.evicted], dtype=np.int64)
+                if r.evicted is not None
+                else _empty_i64()
+            )
             return BlockResult(
                 hits=int(r.hit),
                 misses=1 - int(r.hit),
                 writebacks=int(r.writeback),
                 miss_lines=arr[~hit_mask],
                 hit_mask=hit_mask,
+                evicted_lines=victims,
+                wb_lines=victims if r.writeback else _empty_i64(),
+                wb_miss_idx=(
+                    np.zeros(1, dtype=np.int64) if r.writeback else _empty_i64()
+                ),
             )
         first = int(arr[0])
         if int(arr[-1]) - first == n - 1 and bool((arr[1:] > arr[:-1]).all()):
@@ -258,19 +282,33 @@ class Cache:
         # Conflicting sets: exact scalar replay in input order.
         hit_mask = np.empty(n, dtype=bool)
         writebacks = 0
+        evicted_l: list[int] = []
+        wb_lines_l: list[int] = []
+        wb_idx_l: list[int] = []
+        nmiss = 0
         access = self.access
         for i, line in enumerate(arr.tolist()):
             r = access(line, is_write)
             hit_mask[i] = r.hit
-            if r.writeback:
-                writebacks += 1
-        hits = int(hit_mask.sum())
+            if r.hit:
+                continue
+            if r.evicted is not None:
+                evicted_l.append(r.evicted)
+                if r.writeback:
+                    writebacks += 1
+                    wb_lines_l.append(r.evicted)
+                    wb_idx_l.append(nmiss)
+            nmiss += 1
+        hits = n - nmiss
         return BlockResult(
             hits=hits,
-            misses=n - hits,
+            misses=nmiss,
             writebacks=writebacks,
             miss_lines=arr[~hit_mask],
             hit_mask=hit_mask,
+            evicted_lines=np.array(evicted_l, dtype=np.int64),
+            wb_lines=np.array(wb_lines_l, dtype=np.int64),
+            wb_miss_idx=np.array(wb_idx_l, dtype=np.int64),
         )
 
     def _block_unique_sets(
@@ -313,6 +351,9 @@ class Cache:
                     set_list[sets_l[i]].move_to_end(lines_l[i])
 
         writebacks = 0
+        evicted_l: list[int] = []
+        wb_lines_l: list[int] = []
+        wb_idx_l: list[int] = []
         if nmiss:
             free_list = self._free
             wb_enabled = self._wb
@@ -320,7 +361,7 @@ class Cache:
             evictions = 0
             flat_idx: list[int] = []
             ways = self._ways
-            for i in miss_idx.tolist():
+            for k, i in enumerate(miss_idx.tolist()):
                 si = sets_l[i]
                 line = lines_l[i]
                 s = set_list[si]
@@ -330,10 +371,13 @@ class Cache:
                 else:
                     victim, w = s.popitem(last=False)
                     evictions += 1
+                    evicted_l.append(victim)
                     if victim in dirty:
                         dirty.discard(victim)
                         if wb_enabled:
                             writebacks += 1
+                            wb_lines_l.append(victim)
+                            wb_idx_l.append(k)
                 s[line] = w
                 if install_dirty:
                     dirty.add(line)
@@ -348,6 +392,9 @@ class Cache:
             writebacks=writebacks,
             miss_lines=lines[miss_idx],
             hit_mask=hit_mask,
+            evicted_lines=np.array(evicted_l, dtype=np.int64),
+            wb_lines=np.array(wb_lines_l, dtype=np.int64),
+            wb_miss_idx=np.array(wb_idx_l, dtype=np.int64),
         )
 
     def _materialize_tags(self) -> None:
@@ -416,12 +463,25 @@ class Cache:
 def _combine_blocks(parts: list[BlockResult]) -> BlockResult:
     if len(parts) == 1:
         return parts[0]
+    # wb_miss_idx entries index each part's own miss list; shift them by
+    # the miss count of the preceding parts to index the merged list.
+    wb_idx_parts = []
+    miss_base = 0
+    for p in parts:
+        if p.wb_miss_idx.size:
+            wb_idx_parts.append(p.wb_miss_idx + miss_base)
+        miss_base += p.misses
     return BlockResult(
         hits=sum(p.hits for p in parts),
         misses=sum(p.misses for p in parts),
         writebacks=sum(p.writebacks for p in parts),
         miss_lines=np.concatenate([p.miss_lines for p in parts]),
         hit_mask=np.concatenate([p.hit_mask for p in parts]),
+        evicted_lines=np.concatenate([p.evicted_lines for p in parts]),
+        wb_lines=np.concatenate([p.wb_lines for p in parts]),
+        wb_miss_idx=(
+            np.concatenate(wb_idx_parts) if wb_idx_parts else _empty_i64()
+        ),
     )
 
 

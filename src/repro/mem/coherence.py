@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 from repro.errors import CoherenceError
 from repro.mem.cache import Cache
 
-__all__ = ["MESIState", "CoherenceStats", "CoherenceDomain"]
+__all__ = [
+    "MESIState",
+    "CoherenceStats",
+    "SpanResult",
+    "CoherenceDomain",
+]
 
 
 class MESIState(enum.Enum):
@@ -48,6 +53,28 @@ class CoherenceStats:
     def probes_per_request(self) -> float:
         total = self.read_requests + self.write_requests
         return self.probes_sent / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class SpanResult:
+    """Outcome of one grouped coherent operation over consecutive lines.
+
+    Produced by :meth:`CoherenceDomain.read_span` /
+    :meth:`CoherenceDomain.write_span` so a core can charge the whole
+    span's latency arithmetically instead of per line.
+    """
+
+    hits: int
+    misses: int
+    #: misses served cache-to-cache (a peer held the line Modified)
+    interventions: int
+    #: miss lines whose data comes from memory, in ascending line order
+    #: (the requester coalesces contiguous runs into burst fetches)
+    fetch_lines: list[int] = field(default_factory=list)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
 
 
 class CoherenceDomain:
@@ -145,6 +172,75 @@ class CoherenceDomain:
         sharers[cache_idx] = MESIState.MODIFIED
         self._install(cache_idx, line, is_write=True)
         return hit
+
+    # -- grouped span operations -------------------------------------------
+    def read_span(self, cache_idx: int, first_line: int, count: int) -> SpanResult:
+        """Coherent read of *count* consecutive lines by *cache_idx*.
+
+        Semantically identical to *count* ascending :meth:`read` calls
+        (same final directory/cache state, same stats), but a span that
+        is cold in the whole domain is classified and installed in bulk.
+        """
+        return self._span(cache_idx, first_line, count, is_write=False)
+
+    def write_span(self, cache_idx: int, first_line: int, count: int) -> SpanResult:
+        """Coherent write of *count* consecutive lines by *cache_idx*;
+        the grouped counterpart of ascending :meth:`write` calls."""
+        return self._span(cache_idx, first_line, count, is_write=True)
+
+    def _span(
+        self, cache_idx: int, first_line: int, count: int, is_write: bool
+    ) -> SpanResult:
+        self._check_idx(cache_idx)
+        if count <= 0:
+            return SpanResult(0, 0, 0, [])
+        directory = self._directory
+        lines = range(first_line, first_line + count)
+        if all(line not in directory for line in lines):
+            # Cold span: no cache anywhere holds any of these lines, so
+            # every line is a miss served from memory, probes fan out
+            # only under broadcast, and the requester installs the whole
+            # run in one vectorized pass.
+            st = self.stats
+            if is_write:
+                st.write_requests += count
+            else:
+                st.read_requests += count
+            if self.broadcast:
+                st.probes_sent += (self.num_caches - 1) * count
+            newstate = MESIState.MODIFIED if is_write else MESIState.EXCLUSIVE
+            result = self.caches[cache_idx].access_span(
+                first_line, count, is_write
+            )
+            for line in lines:
+                directory[line] = {cache_idx: newstate}
+            # Drop victims after installing every span state: a span
+            # line evicted by a later install within the same span must
+            # end up absent, exactly as the scalar order leaves it.
+            for victim in result.evicted_lines.tolist():
+                sharers = directory.get(victim)
+                if sharers is not None:
+                    sharers.pop(cache_idx, None)
+                    if not sharers:
+                        del directory[victim]
+            return SpanResult(0, count, 0, list(lines))
+        # Warm span: replay through the scalar reference operations.
+        op = self.write if is_write else self.read
+        interventions0 = self.stats.interventions
+        hits = 0
+        fetch: list[int] = []
+        for line in lines:
+            before = self.stats.interventions
+            if op(cache_idx, line):
+                hits += 1
+            elif self.stats.interventions == before:
+                fetch.append(line)
+        return SpanResult(
+            hits=hits,
+            misses=count - hits,
+            interventions=self.stats.interventions - interventions0,
+            fetch_lines=fetch,
+        )
 
     # -- queries used by tests and the fast model -------------------------
     def state_of(self, cache_idx: int, line: int) -> MESIState:

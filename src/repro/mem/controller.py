@@ -110,21 +110,40 @@ class MemoryController(HTDevice):
             raise AddressError(
                 f"{self.name}: does not own address {packet.addr:#x}"
             )
+        n = packet.line_count
+        if n > 1 and not self.owns(packet.addr + packet.size - packet.size // n):
+            raise AddressError(
+                f"{self.name}: burst [{packet.addr:#x}, "
+                f"{packet.addr + packet.size:#x}) crosses ownership boundary"
+            )
         t0 = self.sim.now
         offset = self._local_offset(packet.addr)
         bank = self._banks[self.timing.bank_of(offset)]
         grant = bank.request()
         yield grant
         try:
-            yield self.sim.timeout(
-                self.config.controller_ns + self.timing.access_ns(offset)
-            )
+            if n == 1:
+                service = self.config.controller_ns + self.timing.access_ns(offset)
+            else:
+                # A burst stands for n back-to-back line transactions;
+                # walk them in address order so the row-buffer state
+                # evolves exactly as the scalar sequence would, then
+                # charge the whole span in one event.
+                line_bytes = packet.size // n
+                service = sum(
+                    self.config.controller_ns
+                    + self.timing.access_ns(
+                        self._local_offset(packet.addr + k * line_bytes)
+                    )
+                    for k in range(n)
+                )
+            yield self.sim.timeout(service)
             if packet.ptype is PacketType.READ_REQ:
-                self.reads.add()
+                self.reads.add(n)
                 data = self.backing.read(packet.addr, packet.size)
                 response = make_read_resp(packet, data)
             else:
-                self.writes.add()
+                self.writes.add(n)
                 # ``timing_only`` writes (cache write-backs/flushes whose
                 # data is already authoritative in the backing store)
                 # charge full timing but move no bytes.

@@ -82,9 +82,12 @@ class Switch:
     def _forward_loop(self) -> Generator:
         while True:
             packet: Packet = yield self.ingress.get()
-            yield self.sim.timeout(self.config.switch_latency_ns)
+            # bursts pay one arbitration+traversal per coalesced line
+            yield self.sim.timeout(
+                self.config.switch_latency_ns * packet.line_count
+            )
             if packet.dst == self.node_id:
-                self.delivered.add()
+                self.delivered.add(packet.line_count)
                 if self._endpoint is None:
                     raise TopologyError(
                         f"switch {self.node_id}: packet arrived but no "
@@ -100,7 +103,7 @@ class Switch:
                     f"switch {self.node_id}: no link toward {nxt}"
                 ) from None
             packet.hops += 1
-            self.forwarded.add()
+            self.forwarded.add(packet.line_count)
             # Wait for serialization (this is where link contention and
             # back-pressure arise); propagation is pipelined inside Link.
             yield link.send(packet)

@@ -180,7 +180,10 @@ class RMC:
             if self.config.prefetch_depth:
                 line_addr = packet.addr & ~(_LINE - 1)
                 if packet.ptype is PacketType.WRITE_REQ:
-                    self._prefetch_data.pop(line_addr, None)
+                    # a burst write dirties every line it covers
+                    last_line = (packet.addr + packet.size - 1) & ~(_LINE - 1)
+                    for la in range(line_addr, last_line + _LINE, _LINE):
+                        self._prefetch_data.pop(la, None)
                 elif (
                     packet.ptype is PacketType.READ_REQ
                     and line_addr in self._prefetch_data
@@ -213,9 +216,13 @@ class RMC:
                 continue
             slot = self._slots.request()
             yield slot  # immediate: capacity was checked above
-            self.client_requests.add()
+            self.client_requests.add(packet.line_count)
             self.inflight.adjust(+1, self.sim.now)
-            yield from self._pipe_service(self._client_pipe, cfg.per_op_ns())
+            # a burst pays the decode/tag-match pipeline once per
+            # coalesced line, folded into a single service event
+            yield from self._pipe_service(
+                self._client_pipe, cfg.per_op_ns() * packet.line_count
+            )
             fabric_meta = dict(packet.meta)
             fabric_meta.pop("reply_to", None)  # stores never cross nodes
             to_send = Packet(
@@ -228,6 +235,7 @@ class RMC:
                 payload=packet.payload,
                 issue_ns=self.sim.now,
                 meta=fabric_meta,
+                line_count=packet.line_count,
             )
             fabric_pkt = self.bridge.to_fabric(to_send)
             self.outstanding.add(
@@ -283,14 +291,15 @@ class RMC:
             return
         slot = self._server_slots.request()
         yield slot
-        self.server_requests.add()
+        self.server_requests.add(packet.line_count)
         self.sim.process(
             self._serve_request(packet, slot), name=f"{self.name}.serve"
         )
 
     def _serve_request(self, packet: Packet, slot) -> Generator:
         yield from self._pipe_service(
-            self._server_pipe, self.config.server_per_op_ns()
+            self._server_pipe,
+            self.config.server_per_op_ns() * packet.line_count,
         )
         local = self.bridge.from_fabric(packet)
         local.meta["reply_to"] = self._mc_resp
@@ -303,14 +312,15 @@ class RMC:
             slot = response.meta.pop("server_slot")
             response.meta.pop("reply_to", None)
             yield from self._pipe_service(
-                self._server_pipe, self.config.server_per_op_ns()
+                self._server_pipe,
+                self.config.server_per_op_ns() * response.line_count,
             )
             self._server_slots.release(slot)
             yield self.network.inject(self.node_id, response)
 
     def _complete_client_op(self, packet: Packet) -> Generator:
         yield from self._pipe_service(
-            self._client_pipe, self.config.per_op_ns()
+            self._client_pipe, self.config.per_op_ns() * packet.line_count
         )
         op = self.outstanding.complete(packet.tag)
         assert op.slot is not None and op.reply_to is not None
@@ -388,8 +398,10 @@ class RMC:
         self.retransmissions.add()
         self.outstanding.note_retry(nack.tag)
         yield self.sim.timeout(self.config.retry_backoff_ns)
-        yield from self._pipe_service(
-            self._client_pipe, self.config.per_op_ns()
-        )
         op = self.outstanding.get(nack.tag)
+        # a NACKed burst is re-sent whole, under its original tag
+        yield from self._pipe_service(
+            self._client_pipe,
+            self.config.per_op_ns() * op.request.line_count,
+        )
         yield self.network.inject(self.node_id, op.request)

@@ -9,6 +9,8 @@ from repro.ht.packet import (
     Packet,
     PacketType,
     TagAllocator,
+    make_burst_read_req,
+    make_burst_write_req,
     make_ctrl,
     make_nack,
     make_read_req,
@@ -125,3 +127,43 @@ def test_tag_allocator_unique_and_positive():
     seen = [tags.next() for _ in range(100)]
     assert len(set(seen)) == 100
     assert min(seen) >= 1
+
+
+# -- bursts -----------------------------------------------------------------
+
+
+def test_burst_read_req_wire_bytes_match_scalar_packets():
+    scalar = make_read_req(1, 2, 0x1000, 64, tag=5)
+    burst = make_burst_read_req(1, 2, 0x1000, 64, 8, tag=5)
+    assert burst.line_count == 8
+    assert burst.size == 8 * 64
+    assert burst.wire_bytes == 8 * scalar.wire_bytes
+
+
+def test_burst_write_req_wire_bytes_match_scalar_packets():
+    scalar = make_write_req(1, 2, 0x1000, bytes(64), tag=5)
+    burst = make_burst_write_req(1, 2, 0x1000, bytes(8 * 64), 8, tag=5)
+    assert burst.wire_bytes == 8 * scalar.wire_bytes
+
+
+def test_burst_responses_propagate_line_count():
+    read = make_burst_read_req(1, 2, 0x0, 64, 4, tag=9)
+    resp = make_read_resp(read, bytes(256))
+    assert resp.line_count == 4
+    assert resp.wire_bytes == 4 * 8 + 256
+    write = make_burst_write_req(1, 2, 0x0, bytes(256), 4, tag=10)
+    ack = make_write_ack(write)
+    assert ack.line_count == 4          # the return path charges x4 too
+    assert ack.size == 0
+
+
+def test_burst_validation():
+    with pytest.raises(ProtocolError, match="line_count"):
+        Packet(PacketType.READ_REQ, 1, 2, 0, 64, tag=1, line_count=0)
+    with pytest.raises(ProtocolError, match="whole number"):
+        Packet(PacketType.READ_REQ, 1, 2, 0, 100, tag=1, line_count=3)
+
+
+def test_single_line_burst_is_scalar():
+    assert make_burst_read_req(1, 2, 0x0, 64, 1, tag=3).line_count == 1
+    assert "x" not in repr(make_burst_read_req(1, 2, 0x0, 64, 1, tag=3)).split("size")[1]

@@ -165,3 +165,69 @@ class TestBatchEquivalence:
         assert res.misses == 1 and res.miss_lines.tolist() == [7]
         res = cache.access_block([7], False)
         assert res.hits == 1 and res.hit_mask.tolist() == [True]
+
+
+class TestEvictionInfo:
+    """``BlockResult``'s ordered eviction fields vs a scalar replay.
+
+    The batched miss path replays ``evicted_lines`` / ``wb_lines`` /
+    ``wb_miss_idx`` to keep coherence directories and DRAM transaction
+    order exact, so they must reproduce the per-access eviction record
+    of the reference model, in miss order.
+    """
+
+    @staticmethod
+    def _replay(ref: ReferenceCache, lines, is_write):
+        evicted, wb_lines, wb_idx = [], [], []
+        nmiss = 0
+        for line in lines:
+            r = ref.access(int(line), is_write)
+            if r.hit:
+                continue
+            if r.evicted is not None:
+                evicted.append(r.evicted)
+                if r.writeback:
+                    wb_lines.append(r.evicted)
+                    wb_idx.append(nmiss)
+            nmiss += 1
+        return evicted, wb_lines, wb_idx
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_block_eviction_fields_match_scalar(self, seed):
+        cfg = _tiny(ways=2, sets=8)
+        cache, ref = Cache(cfg), ReferenceCache(cfg)
+        rng = np.random.default_rng(40 + seed)
+        for _ in range(80):
+            kind = rng.integers(0, 3)
+            is_write = bool(rng.random() < 0.5)
+            if kind == 0:  # consecutive span (may exceed the set count)
+                first = int(rng.integers(0, 40))
+                count = int(rng.integers(1, 24))
+                lines = list(range(first, first + count))
+                result = cache.access_span(first, count, is_write)
+            elif kind == 1:  # scattered block, distinct sets likely
+                lines = rng.integers(0, 60, size=rng.integers(1, 8)).tolist()
+                result = cache.access_block(lines, is_write)
+            else:  # single-line block
+                lines = [int(rng.integers(0, 60))]
+                result = cache.access_block(lines, is_write)
+            evicted, wb_lines, wb_idx = self._replay(ref, lines, is_write)
+            assert result.evicted_lines.tolist() == evicted
+            assert result.wb_lines.tolist() == wb_lines
+            assert result.wb_miss_idx.tolist() == wb_idx
+            assert result.writebacks == len(wb_lines)
+        assert cache.stats == ref.stats
+
+    def test_wb_miss_idx_points_at_displacing_miss(self):
+        """Dirty victims pair with the exact install that displaced
+        them: replaying write-back k immediately before fetch
+        ``wb_miss_idx[k]`` reproduces the scalar transaction order."""
+        cfg = _tiny(ways=1, sets=4)
+        cache = Cache(cfg)
+        cache.access_span(0, 4, is_write=True)   # dirty lines 0..3
+        r = cache.access_span(4, 8, is_write=False)
+        # every install evicts one dirty line from the same set
+        assert r.misses == 8
+        assert r.evicted_lines.tolist() == [0, 1, 2, 3, 4, 5, 6, 7]
+        assert r.wb_lines.tolist() == [0, 1, 2, 3]  # 4..7 were clean
+        assert r.wb_miss_idx.tolist() == [0, 1, 2, 3]

@@ -1,0 +1,157 @@
+"""Differential tests: span coherence ops vs the scalar MESI spec.
+
+``read_span`` / ``write_span`` must leave a domain in exactly the state
+that the equivalent ascending scalar ``read`` / ``write`` calls produce
+— directory states, cache contents, domain stats, cache stats — and
+must report hit/miss/intervention/fetch classifications consistent with
+what the scalar calls observed. Twin domains are driven with the same
+trace, one through spans, one through scalars, and diffed after every
+operation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.mem.cache import Cache
+from repro.mem.coherence import CoherenceDomain, MESIState, SpanResult
+
+
+def _domain(n=3, broadcast=True, size=16 * 1024, assoc=2):
+    caches = [
+        Cache(CacheConfig(size_bytes=size, associativity=assoc), name=f"c{i}")
+        for i in range(n)
+    ]
+    return CoherenceDomain(caches, broadcast=broadcast)
+
+
+def _scalar_span(domain, idx, first, count, is_write) -> SpanResult:
+    """The executable spec: ascending scalar ops, classified per line."""
+    op = domain.write if is_write else domain.read
+    hits = 0
+    fetch = []
+    iv0 = domain.stats.interventions
+    for line in range(first, first + count):
+        before = domain.stats.interventions
+        if op(idx, line):
+            hits += 1
+        elif domain.stats.interventions == before:
+            fetch.append(line)
+    return SpanResult(
+        hits, count - hits, domain.stats.interventions - iv0, fetch
+    )
+
+
+def _assert_same_state(a: CoherenceDomain, b: CoherenceDomain, lines) -> None:
+    for line in lines:
+        assert a.sharers_of(line) == b.sharers_of(line)
+        for idx in range(a.num_caches):
+            assert a.state_of(idx, line) is b.state_of(idx, line), (
+                f"line {line} cache {idx}"
+            )
+            assert a.caches[idx].contains(line) == b.caches[idx].contains(line)
+            assert a.caches[idx].is_dirty(line) == b.caches[idx].is_dirty(line)
+    assert vars(a.stats) == vars(b.stats)
+    for ca, cb in zip(a.caches, b.caches):
+        assert vars(ca.stats) == vars(cb.stats)
+
+
+def _run_differential(trace, **domain_kw):
+    spans = _domain(**domain_kw)
+    scalars = _domain(**domain_kw)
+    touched = set()
+    for idx, first, count, is_write in trace:
+        op = spans.write_span if is_write else spans.read_span
+        got = op(idx, first, count)
+        want = _scalar_span(scalars, idx, first, count, is_write)
+        assert got == want, f"span result diverged on {(idx, first, count)}"
+        touched.update(range(first, first + count))
+        _assert_same_state(spans, scalars, touched)
+        spans.check_invariants()
+
+
+def test_cold_span_installs_exclusive():
+    d = _domain()
+    r = d.read_span(0, 100, 8)
+    assert r == SpanResult(0, 8, 0, list(range(100, 108)))
+    for line in range(100, 108):
+        assert d.state_of(0, line) is MESIState.EXCLUSIVE
+    assert d.stats.read_requests == 8
+    assert d.stats.probes_sent == (d.num_caches - 1) * 8
+
+
+def test_cold_write_span_installs_modified():
+    d = _domain()
+    r = d.write_span(1, 100, 4)
+    assert r == SpanResult(0, 4, 0, list(range(100, 104)))
+    for line in range(100, 104):
+        assert d.state_of(1, line) is MESIState.MODIFIED
+        assert d.caches[1].is_dirty(line)
+
+
+def test_cold_directory_probing_sends_no_probes():
+    d = _domain(broadcast=False)
+    d.read_span(0, 50, 16)
+    assert d.stats.probes_sent == 0
+
+
+def test_warm_span_reports_interventions():
+    d = _domain()
+    d.write_span(0, 10, 4)  # cache 0 holds 10..13 Modified
+    r = d.read_span(1, 10, 6)
+    assert r.hits == 0 and r.misses == 6
+    assert r.interventions == 4            # 10..13 come cache-to-cache
+    assert r.fetch_lines == [14, 15]       # the cold tail hits memory
+    assert d.stats.interventions == 4
+
+
+def test_span_after_own_writes_hits():
+    d = _domain()
+    d.write_span(0, 10, 4)
+    r = d.read_span(0, 8, 8)
+    assert r.hits == 4 and r.misses == 4
+    assert r.fetch_lines == [8, 9, 14, 15]
+
+
+def test_cold_span_with_self_eviction():
+    """A span longer than one way's worth of a tiny cache evicts its own
+    earlier lines; the victims must vanish from the directory exactly as
+    the scalar order leaves them."""
+    kw = dict(n=2, size=1024, assoc=2)  # 8 sets x 2 ways = 16 lines
+    _run_differential([(0, 0, 40, True)], **kw)
+    _run_differential([(0, 0, 40, False), (1, 8, 24, False)], **kw)
+
+
+def test_randomized_traces_match_scalar_spec():
+    rng = random.Random(99)
+    for _ in range(20):
+        trace = [
+            (
+                rng.randrange(3),
+                rng.randrange(0, 64),
+                rng.randrange(1, 20),
+                rng.random() < 0.5,
+            )
+            for _ in range(12)
+        ]
+        _run_differential(trace, n=3, size=4096, assoc=2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    trace=st.lists(
+        st.tuples(
+            st.integers(0, 1),
+            st.integers(0, 31),
+            st.integers(1, 12),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_property_span_equals_scalar(trace):
+    _run_differential(trace, n=2, size=2048, assoc=2)
