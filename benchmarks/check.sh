@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Pre-merge gate: tier-1 tests, simcheck static analysis, ruff (when
+# installed), and the perf regression guard. Run from anywhere; the
+# script cds to the repo root. Sanitizers are forced OFF for the perf
+# guard so BENCH baselines stay comparable.
+set -u
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src:tools${PYTHONPATH:+:$PYTHONPATH}"
+failures=0
+
+step() {
+    local label=$1
+    shift
+    echo
+    echo "==> $label"
+    if "$@"; then
+        echo "ok: $label"
+    else
+        echo "FAILED: $label ($*)"
+        failures=$((failures + 1))
+    fi
+}
+
+step "tier-1 test suite" python -m pytest -x -q
+
+step "simcheck (SIM001-SIM006)" python -m simcheck src tests
+
+if command -v ruff >/dev/null 2>&1; then
+    step "ruff lint" ruff check src tools tests
+else
+    echo
+    echo "==> ruff lint"
+    echo "skipped: ruff not installed (config lives in pyproject.toml)"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    step "mypy (repro.sim, repro.mem)" mypy
+else
+    echo
+    echo "==> mypy"
+    echo "skipped: mypy not installed (config lives in pyproject.toml)"
+fi
+
+# guard against a sanitizer-polluted environment skewing the baselines
+unset REPRO_SANITIZE
+step "perf regression guard" python benchmarks/perf_guard.py
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "check.sh: $failures gate(s) failed"
+    exit 1
+fi
+echo "check.sh: all gates green"

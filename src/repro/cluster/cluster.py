@@ -36,7 +36,12 @@ __all__ = ["Cluster"]
 class Cluster:
     """The assembled 16-node (by default) prototype."""
 
-    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        *,
+        debug: Optional[bool] = None,
+    ) -> None:
         self.config = config if config is not None else ClusterConfig()
         cfg = self.config
 
@@ -51,7 +56,10 @@ class Cluster:
                 "addressable by the 14-bit prefix"
             )
 
-        self.sim = Simulator()
+        # debug=None consults REPRO_SANITIZE inside the Simulator; the
+        # node then inherits the resolved value so every sanitizer in
+        # one cluster is on or off together.
+        self.sim = Simulator(debug=debug)
         self.network = Network(self.sim, cfg.network)
         self.tags = TagAllocator()
         self.nodes: dict[int, Node] = {

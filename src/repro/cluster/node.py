@@ -85,7 +85,8 @@ class Node:
             for i in range(config.num_cores)
         ]
         self.coherence = CoherenceDomain(
-            self.caches, broadcast=True, name=f"{self.name}.dom"
+            self.caches, broadcast=True, name=f"{self.name}.dom",
+            debug=sim.debug,
         )
 
         self.cores = [

@@ -20,6 +20,7 @@ __all__ = [
     "ReservationError",
     "FaultError",
     "CoherenceError",
+    "SanitizeError",
 ]
 
 
@@ -77,3 +78,12 @@ class FaultError(MemoryError_):
 
 class CoherenceError(MemoryError_):
     """An intra-node cache-coherence invariant was violated."""
+
+
+class SanitizeError(ReproError):
+    """A runtime sanitizer check failed (debug/``REPRO_SANITIZE`` mode).
+
+    Raised fail-fast at the first inconsistency: a non-finite or
+    time-travelling event schedule, an illegal MESI transition, or a
+    burst whose byte accounting disagrees between fabric components.
+    """

@@ -56,9 +56,9 @@ def _run_one(exp_id: str, scale: float, seed: int, plot: bool = False) -> None:
     kwargs = {"scale": scale}
     if exp_id != "tableA":
         kwargs["seed"] = seed
-    t0 = time.time()
+    t0 = time.time()  # simcheck: disable=SIM006 -- host wall clock, not sim time
     result = run_experiment(exp_id, **kwargs)
-    wall = time.time() - t0
+    wall = time.time() - t0  # simcheck: disable=SIM006 -- host wall clock
     print(result.format())
     if plot:
         from repro.harness.plot import plot_result

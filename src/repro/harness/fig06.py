@@ -15,6 +15,7 @@ from repro.apps.randbench import RandomAccessBenchmark
 from repro.cluster.cluster import Cluster
 from repro.config import ClusterConfig
 from repro.harness.experiments import ExperimentResult, register
+from repro.units import MS
 
 __all__ = ["run"]
 
@@ -56,7 +57,7 @@ def run(
             {
                 "hops": distance,
                 "server_node": candidates[0],
-                "elapsed_ms": run_result.elapsed_ns / 1e6,
+                "elapsed_ms": run_result.elapsed_ns / MS,
                 "ns_per_access": run_result.ns_per_access,
             }
         )

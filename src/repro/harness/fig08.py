@@ -21,6 +21,7 @@ from repro.cluster.cluster import Cluster
 from repro.config import ClusterConfig
 from repro.harness.experiments import ExperimentResult, register
 from repro.noc.fabricstats import collect
+from repro.units import MS, US
 
 __all__ = ["run"]
 
@@ -86,10 +87,10 @@ def run(
             {
                 "stress_nodes": num_stressors,
                 "threads_each": threads if stress_nodes else 0,
-                "control_ms": sr.control_elapsed_ns / 1e6,
+                "control_ms": sr.control_elapsed_ns / MS,
                 "control_ns_per_access": sr.control_ns_per_access,
                 "server_reqs_per_us": (
-                    sr.server_requests / sr.control_elapsed_ns * 1e3
+                    sr.server_requests / sr.control_elapsed_ns * US
                 ),
                 "server_nacks": sr.server_nacks,
                 "max_link_util": fabric.max_utilization,

@@ -96,6 +96,8 @@ class Crossbar:
         grant = self._links.request()
         yield grant
         try:
+            if self.sim.audit is not None:
+                self.sim.audit.record("crossbar", packet)
             # a coalesced burst pays one traversal per line it replaces
             yield self.sim.timeout(self.latency_ns * packet.line_count)
             target.deliver(packet)

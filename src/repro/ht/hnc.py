@@ -17,10 +17,8 @@ them:
 
 from __future__ import annotations
 
-from dataclasses import replace as _dc_replace
-
 from repro.errors import ProtocolError
-from repro.ht.packet import Packet, PacketType
+from repro.ht.packet import Packet, PacketType, clone_packet
 from repro.mem.addressmap import AddressMap
 
 __all__ = ["HNC_NODE_BITS", "HNCBridge", "hnc_encapsulate", "hnc_decapsulate"]
@@ -43,19 +41,7 @@ def hnc_encapsulate(packet: Packet, amap: AddressMap, local_node: int) -> Packet
                 f"address {packet.addr:#x} is local to node {local_node}; "
                 "encapsulating it would loop back"
             )
-        return Packet(
-            ptype=packet.ptype,
-            src=local_node,
-            dst=owner,
-            addr=packet.addr,
-            size=packet.size,
-            tag=packet.tag,
-            payload=packet.payload,
-            hops=packet.hops,
-            issue_ns=packet.issue_ns,
-            meta=dict(packet.meta),
-            line_count=packet.line_count,
-        )
+        return clone_packet(packet, src=local_node, dst=owner)
     if packet.ptype.is_response or packet.ptype is PacketType.CTRL:
         # Responses/control already carry explicit fabric src/dst.
         if packet.dst == local_node:
@@ -85,7 +71,7 @@ def hnc_decapsulate(packet: Packet, amap: AddressMap, local_node: int) -> Packet
                 f"request addr {packet.addr:#x} carries prefix {owner}, "
                 f"but arrived at node {local_node}"
             )
-        return _dc_replace(packet, addr=amap.strip_node(packet.addr))
+        return clone_packet(packet, addr=amap.strip_node(packet.addr))
     return packet
 
 

@@ -55,6 +55,8 @@ class Link:
         Delivery into the far-end store happens one propagation delay
         after serialization completes (not awaited by the sender).
         """
+        if self.sim.audit is not None:
+            self.sim.audit.record("link", packet)
         now = self.sim.now
         start = max(now, self._busy_until)
         # wire_bytes already includes the command header(s); for a burst

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Any, Optional
 
 from repro.errors import ProtocolError
@@ -50,6 +50,7 @@ __all__ = [
     "make_burst_write_req",
     "make_nack",
     "make_ctrl",
+    "clone_packet",
 ]
 
 
@@ -231,6 +232,21 @@ def make_burst_write_req(
         payload=payload,
         line_count=line_count,
     )
+
+
+def clone_packet(packet: Packet, **overrides: Any) -> Packet:
+    """Rebuild *packet* with field *overrides* and an independent meta dict.
+
+    This is the factory for every "same transaction, different framing"
+    copy — bridging onto the fabric (new src/dst), prefix-stripping at
+    the owner (new addr), re-stamping ``issue_ns``. Going through it
+    re-runs ``__post_init__`` validation, so a clone can never smuggle
+    an inconsistent size/payload/line_count combination past the
+    checks a fresh construction would face.
+    """
+    if "meta" not in overrides:
+        overrides["meta"] = dict(packet.meta)
+    return _dc_replace(packet, **overrides)
 
 
 def make_nack(req: Packet, at_node: int) -> Packet:

@@ -239,7 +239,9 @@ class Cache:
             remaining -= take
         return _combine_blocks(parts)
 
-    def access_block(self, lines, is_write: bool) -> BlockResult:
+    def access_block(
+        self, lines: "np.ndarray | list[int]", is_write: bool
+    ) -> BlockResult:
         """Touch every line in *lines* (array-like of line addresses).
 
         Equivalent to scalar :meth:`access` calls in input order. Spans

@@ -17,9 +17,11 @@ counts into coherence overhead for the fast-simulation tier.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
+from typing import Optional
 
-from repro.errors import CoherenceError
+from repro.errors import CoherenceError, SanitizeError
 from repro.mem.cache import Cache
 
 __all__ = [
@@ -35,6 +37,50 @@ class MESIState(enum.Enum):
     EXCLUSIVE = "E"
     SHARED = "S"
     INVALID = "I"
+
+
+#: MESI transition legality, keyed by the *event* a cache observes.
+#: ``table[event][old_state]`` is the set of states the line may move
+#: to; an event/old-state pair absent from the table is itself illegal
+#: (e.g. a peer_read probe hitting an INVALID copy — the directory
+#: should not have probed that cache at all). Only consulted under the
+#: sanitizer (``debug=True`` / ``REPRO_SANITIZE=1``).
+_S = MESIState
+_LEGAL_TRANSITIONS: dict[str, dict[MESIState, frozenset[MESIState]]] = {
+    # the requesting cache performs a read
+    "local_read": {
+        _S.INVALID: frozenset({_S.EXCLUSIVE, _S.SHARED}),
+        _S.SHARED: frozenset({_S.SHARED}),
+        _S.EXCLUSIVE: frozenset({_S.EXCLUSIVE}),
+        _S.MODIFIED: frozenset({_S.MODIFIED}),
+    },
+    # the requesting cache performs a write: always ends Modified
+    "local_write": {
+        _S.INVALID: frozenset({_S.MODIFIED}),
+        _S.SHARED: frozenset({_S.MODIFIED}),
+        _S.EXCLUSIVE: frozenset({_S.MODIFIED}),
+        _S.MODIFIED: frozenset({_S.MODIFIED}),
+    },
+    # a peer's read probe: holders degrade to Shared
+    "peer_read": {
+        _S.MODIFIED: frozenset({_S.SHARED}),
+        _S.EXCLUSIVE: frozenset({_S.SHARED}),
+        _S.SHARED: frozenset({_S.SHARED}),
+    },
+    # a peer's write/upgrade probe: every other copy dies
+    "peer_write": {
+        _S.MODIFIED: frozenset({_S.INVALID}),
+        _S.EXCLUSIVE: frozenset({_S.INVALID}),
+        _S.SHARED: frozenset({_S.INVALID}),
+    },
+    # capacity eviction from the tag array
+    "evict": {
+        _S.MODIFIED: frozenset({_S.INVALID}),
+        _S.EXCLUSIVE: frozenset({_S.INVALID}),
+        _S.SHARED: frozenset({_S.INVALID}),
+    },
+}
+del _S
 
 
 @dataclass
@@ -87,7 +133,8 @@ class CoherenceDomain:
     """
 
     def __init__(self, caches: list[Cache], broadcast: bool = True,
-                 name: str = "domain") -> None:
+                 name: str = "domain",
+                 debug: Optional[bool] = None) -> None:
         if not caches:
             raise CoherenceError("a coherence domain needs at least one cache")
         names = [c.name for c in caches]
@@ -99,6 +146,11 @@ class CoherenceDomain:
         #: line -> {cache index -> MESIState}; absent line == Invalid everywhere
         self._directory: dict[int, dict[int, MESIState]] = {}
         self.stats = CoherenceStats()
+        if debug is None:
+            debug = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        #: Sanitizer mode: every state change is checked against the
+        #: MESI legality table and the touched line is SWMR-checked.
+        self.debug: bool = debug
 
     @property
     def num_caches(self) -> int:
@@ -112,6 +164,9 @@ class CoherenceDomain:
         sharers = self._directory.setdefault(line, {})
         state = sharers.get(cache_idx, MESIState.INVALID)
         if state is not MESIState.INVALID:
+            if self.debug:
+                self._check_transition("local_read", line, state, state)
+                self._check_line_swmr(line)
             self.caches[cache_idx].access(line, is_write=False)
             return True
 
@@ -128,16 +183,30 @@ class CoherenceDomain:
                 continue
             if st is MESIState.MODIFIED:
                 self.stats.interventions += 1
+                if self.debug:
+                    self._check_transition("peer_read", line, st,
+                                           MESIState.SHARED)
                 sharers[i] = MESIState.SHARED
             elif st is MESIState.EXCLUSIVE:
+                if self.debug:
+                    self._check_transition("peer_read", line, st,
+                                           MESIState.SHARED)
                 sharers[i] = MESIState.SHARED
+            elif self.debug:
+                # a probed peer must hold a real copy; a directory entry
+                # in I (or worse) is corruption the table rejects
+                self._check_transition("peer_read", line, st, st)
         newstate = (
             MESIState.SHARED
             if any(i != cache_idx for i in sharers)
             else MESIState.EXCLUSIVE
         )
+        if self.debug:
+            self._check_transition("local_read", line, state, newstate)
         sharers[cache_idx] = newstate
         self._install(cache_idx, line, is_write=False)
+        if self.debug:
+            self._check_line_swmr(line)
         return False
 
     def write(self, cache_idx: int, line: int) -> bool:
@@ -148,7 +217,12 @@ class CoherenceDomain:
         sharers = self._directory.setdefault(line, {})
         state = sharers.get(cache_idx, MESIState.INVALID)
         if state in (MESIState.MODIFIED, MESIState.EXCLUSIVE):
+            if self.debug:
+                self._check_transition("local_write", line, state,
+                                       MESIState.MODIFIED)
             sharers[cache_idx] = MESIState.MODIFIED
+            if self.debug:
+                self._check_line_swmr(line)
             self.caches[cache_idx].access(line, is_write=True)
             return True
 
@@ -165,12 +239,20 @@ class CoherenceDomain:
             if st is MESIState.MODIFIED:
                 self.stats.interventions += 1
             self.stats.invalidations += 1
+            if self.debug:
+                self._check_transition("peer_write", line, st,
+                                       MESIState.INVALID)
             if self.caches[i].contains(line):
                 self.caches[i].invalidate(line)
             del sharers[i]
         hit = state is MESIState.SHARED
+        if self.debug:
+            self._check_transition("local_write", line, state,
+                                   MESIState.MODIFIED)
         sharers[cache_idx] = MESIState.MODIFIED
         self._install(cache_idx, line, is_write=True)
+        if self.debug:
+            self._check_line_swmr(line)
         return hit
 
     # -- grouped span operations -------------------------------------------
@@ -209,6 +291,12 @@ class CoherenceDomain:
             if self.broadcast:
                 st.probes_sent += (self.num_caches - 1) * count
             newstate = MESIState.MODIFIED if is_write else MESIState.EXCLUSIVE
+            if self.debug:
+                event = "local_write" if is_write else "local_read"
+                for line in lines:
+                    self._check_transition(
+                        event, line, MESIState.INVALID, newstate
+                    )
             result = self.caches[cache_idx].access_span(
                 first_line, count, is_write
             )
@@ -275,9 +363,38 @@ class CoherenceDomain:
         if result.evicted is not None:
             sharers = self._directory.get(result.evicted)
             if sharers is not None:
+                if self.debug and cache_idx in sharers:
+                    self._check_transition(
+                        "evict", result.evicted, sharers[cache_idx],
+                        MESIState.INVALID,
+                    )
                 sharers.pop(cache_idx, None)
                 if not sharers:
                     del self._directory[result.evicted]
+
+    def _check_transition(
+        self, event: str, line: int, old: MESIState, new: MESIState
+    ) -> None:
+        """Sanitizer: assert *old* -> *new* is legal for *event*."""
+        allowed = _LEGAL_TRANSITIONS[event].get(old)
+        if allowed is None or new not in allowed:
+            raise SanitizeError(
+                f"{self.name}: illegal MESI transition on {event}: "
+                f"line {line:#x} {old.value} -> {new.value}"
+            )
+
+    def _check_line_swmr(self, line: int) -> None:
+        """Sanitizer: single-writer/multiple-reader check for one line
+        (the O(1) per-operation slice of :meth:`check_invariants`)."""
+        sharers = self._directory.get(line)
+        if not sharers or len(sharers) == 1:
+            return
+        states = list(sharers.values())
+        if MESIState.MODIFIED in states or MESIState.EXCLUSIVE in states:
+            raise SanitizeError(
+                f"{self.name}: SWMR violated: line {line:#x} held as "
+                f"{ {i: s.value for i, s in sharers.items()} }"
+            )
 
     def _check_idx(self, idx: int) -> None:
         if not 0 <= idx < self.num_caches:

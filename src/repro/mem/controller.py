@@ -116,6 +116,8 @@ class MemoryController(HTDevice):
                 f"{self.name}: burst [{packet.addr:#x}, "
                 f"{packet.addr + packet.size:#x}) crosses ownership boundary"
             )
+        if self.sim.audit is not None:
+            self.sim.audit.record("mc", packet)
         t0 = self.sim.now
         offset = self._local_offset(packet.addr)
         bank = self._banks[self.timing.bank_of(offset)]

@@ -82,6 +82,8 @@ class Switch:
     def _forward_loop(self) -> Generator:
         while True:
             packet: Packet = yield self.ingress.get()
+            if self.sim.audit is not None:
+                self.sim.audit.record(f"switch{self.node_id}", packet)
             # bursts pay one arbitration+traversal per coalesced line
             yield self.sim.timeout(
                 self.config.switch_latency_ns * packet.line_count

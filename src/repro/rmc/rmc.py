@@ -40,8 +40,10 @@ from repro.ht.packet import (
     Packet,
     PacketType,
     TagAllocator,
+    clone_packet,
     make_ctrl,
     make_nack,
+    make_read_req,
     make_read_resp,
 )
 from repro.units import CACHE_LINE as _LINE
@@ -218,6 +220,8 @@ class RMC:
             yield slot  # immediate: capacity was checked above
             self.client_requests.add(packet.line_count)
             self.inflight.adjust(+1, self.sim.now)
+            if self.sim.audit is not None:
+                self.sim.audit.record(f"{self.name}.client", packet)
             # a burst pays the decode/tag-match pipeline once per
             # coalesced line, folded into a single service event
             yield from self._pipe_service(
@@ -225,17 +229,8 @@ class RMC:
             )
             fabric_meta = dict(packet.meta)
             fabric_meta.pop("reply_to", None)  # stores never cross nodes
-            to_send = Packet(
-                ptype=packet.ptype,
-                src=packet.src,
-                dst=packet.dst,
-                addr=packet.addr,
-                size=packet.size,
-                tag=packet.tag,
-                payload=packet.payload,
-                issue_ns=self.sim.now,
-                meta=fabric_meta,
-                line_count=packet.line_count,
+            to_send = clone_packet(
+                packet, issue_ns=self.sim.now, meta=fabric_meta, hops=0
             )
             fabric_pkt = self.bridge.to_fabric(to_send)
             self.outstanding.add(
@@ -297,6 +292,8 @@ class RMC:
         )
 
     def _serve_request(self, packet: Packet, slot) -> Generator:
+        if self.sim.audit is not None:
+            self.sim.audit.record(f"{self.name}.server", packet)
         yield from self._pipe_service(
             self._server_pipe,
             self.config.server_per_op_ns() * packet.line_count,
@@ -311,6 +308,8 @@ class RMC:
             response: Packet = yield self._mc_resp.get()
             slot = response.meta.pop("server_slot")
             response.meta.pop("reply_to", None)
+            if self.sim.audit is not None:
+                self.sim.audit.record(f"{self.name}.server", response)
             yield from self._pipe_service(
                 self._server_pipe,
                 self.config.server_per_op_ns() * response.line_count,
@@ -319,6 +318,8 @@ class RMC:
             yield self.network.inject(self.node_id, response)
 
     def _complete_client_op(self, packet: Packet) -> Generator:
+        if self.sim.audit is not None:
+            self.sim.audit.record(f"{self.name}.client", packet)
         yield from self._pipe_service(
             self._client_pipe, self.config.per_op_ns() * packet.line_count
         )
@@ -367,16 +368,11 @@ class RMC:
             yield from self._pipe_service(
                 self._prefetch_pipe, self.config.per_op_ns()
             )
-            pf_request = Packet(
-                ptype=PacketType.READ_REQ,
-                src=self.node_id,
-                dst=owner,
-                addr=pf_addr,
-                size=_LINE,
-                tag=self.tags.next(),
-                issue_ns=self.sim.now,
-                meta={"prefetch": True},
+            pf_request = make_read_req(
+                self.node_id, owner, pf_addr, _LINE, self.tags.next()
             )
+            pf_request.issue_ns = self.sim.now
+            pf_request.meta["prefetch"] = True
             self.prefetch_issued.add()
             self.outstanding.add(
                 PendingOp(

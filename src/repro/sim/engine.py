@@ -18,10 +18,16 @@ Time is measured in nanoseconds (see :mod:`repro.units`).
 from __future__ import annotations
 
 import heapq
+import os
 from collections.abc import Generator
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.sim.sanitize import (
+    PacketAudit,
+    check_clock_monotonic,
+    check_schedule_delay,
+)
 
 __all__ = [
     "Simulator",
@@ -337,7 +343,12 @@ class Simulator:
         sim.run()
     """
 
-    def __init__(self, *, catch_process_errors: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        catch_process_errors: bool = False,
+        debug: Optional[bool] = None,
+    ) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
@@ -346,6 +357,13 @@ class Simulator:
         #: When True, exceptions escaping a process fail its event
         #: instead of aborting the run (useful for fault injection).
         self._catch_process_errors = catch_process_errors
+        if debug is None:
+            debug = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        #: Sanitizer mode: scheduling asserts in the engine plus the
+        #: byte-conservation audit the packet tier reports into. Off by
+        #: default so benchmark baselines are unaffected.
+        self.debug: bool = debug
+        self.audit: Optional[PacketAudit] = PacketAudit() if debug else None
 
     # -- clock ----------------------------------------------------------------
     @property
@@ -381,6 +399,8 @@ class Simulator:
 
     # -- scheduling ------------------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:
+        if self.debug:
+            check_schedule_delay(self._now, delay)
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         if event._scheduled:
@@ -401,6 +421,8 @@ class Simulator:
                 "no events scheduled: step() on an empty event heap"
             )
         when, _, event = heapq.heappop(self._heap)
+        if self.debug:
+            check_clock_monotonic(self._now, when)
         self._now = when
         event._fire()
 

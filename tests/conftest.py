@@ -7,7 +7,16 @@ touch a few megabytes.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# tools/ hosts simcheck (not an installed package); make it importable
+# for tests/tools/ the same way `PYTHONPATH=src:tools` does for the CLI
+_TOOLS = str(Path(__file__).resolve().parent.parent / "tools")
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
 
 from repro.config import (
     ClusterConfig,

@@ -65,7 +65,7 @@ def test_htoe_slower_than_native_ht_mesh():
         samples=24,
     )
     htoe = LatencyModel.calibrate(Cluster(htoe_cluster(nodes=3)), samples=24)
-    assert htoe.remote_1hop_ns > 1.5 * native.remote_1hop_ns
+    assert htoe.remote_1hop_ns / native.remote_1hop_ns > 1.5
     # ... yet still 20x+ below a remote-swap page fault
     assert htoe.remote_1hop_ns < native.swap_fault_ns / 20
 

@@ -99,7 +99,7 @@ def test_congestion_slows_shared_link():
         )
         net = Network(sim, cfg)
         done = []
-        for d in set(dst_nodes):
+        for d in sorted(set(dst_nodes)):
             net.attach(d, lambda p: done.append(sim.now))
         for i, d in enumerate(dst_nodes):
             net.inject(1, make_read_req(1, d, 0, 8, tag=i + 1))

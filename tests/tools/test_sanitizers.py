@@ -1,0 +1,196 @@
+"""Runtime sanitizer layer: engine scheduling asserts, the MESI
+transition-legality table, and the packet-tier byte-conservation audit.
+
+Each check is exercised both ways: corrupted state must raise
+:class:`SanitizeError` with ``debug=True``, and the same constructions
+must stay silent with sanitizers off (the default), so baselines never
+pay for them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.errors import SanitizeError
+from repro.ht.packet import make_burst_read_req, make_read_req, make_read_resp
+from repro.mem.cache import Cache
+from repro.mem.coherence import CoherenceDomain, MESIState
+from repro.sim.engine import Simulator
+from repro.sim.sanitize import PacketAudit
+
+
+# -- engine scheduling asserts -------------------------------------------
+
+def test_nan_delay_raises_under_debug():
+    sim = Simulator(debug=True)
+    with pytest.raises(SanitizeError, match="NaN"):
+        sim.timeout(float("nan"))
+
+
+def test_infinite_delay_raises_under_debug():
+    sim = Simulator(debug=True)
+    with pytest.raises(SanitizeError, match="infinite"):
+        sim.timeout(float("inf"))
+
+
+def test_nan_delay_slips_through_without_debug():
+    # documents why the sanitizer exists: NaN breaks heap ordering
+    # silently, so the default-mode engine accepts it without complaint
+    sim = Simulator()
+    sim.timeout(float("nan"))
+
+
+def test_debug_resolves_from_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert Simulator().debug is True
+    assert Simulator().audit is not None
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert Simulator().debug is False
+    assert Simulator().audit is None
+    # an explicit argument beats the environment
+    assert Simulator(debug=False).debug is False
+
+
+def test_debug_off_by_default():
+    sim = Simulator()
+    assert sim.debug is False
+    assert sim.audit is None
+
+
+def test_debug_engine_runs_normal_workload():
+    sim = Simulator(debug=True)
+    ticks = []
+
+    def proc(sim):
+        for _ in range(5):
+            yield sim.timeout(10.0)
+            ticks.append(sim.now)
+
+    sim.run_process(proc(sim))
+    assert ticks == [10.0, 20.0, 30.0, 40.0, 50.0]
+
+
+# -- MESI legality table -------------------------------------------------
+
+def _domain(n=2, debug=True):
+    caches = [
+        Cache(CacheConfig(), name=f"c{i}") for i in range(n)
+    ]
+    return CoherenceDomain(caches, broadcast=True, name="dom", debug=debug)
+
+
+def test_legal_traffic_passes_under_debug():
+    dom = _domain()
+    dom.read(0, 0x40)      # I -> E
+    dom.read(1, 0x40)      # peer E -> S, requester I -> S
+    dom.write(0, 0x40)     # upgrade: peer S -> I, local -> M
+    dom.read(1, 0x40)      # peer M -> S (intervention)
+    dom.check_invariants()
+    assert dom.state_of(0, 0x40) is MESIState.SHARED
+    assert dom.state_of(1, 0x40) is MESIState.SHARED
+
+
+def test_corrupted_directory_caught_on_next_write():
+    """Two Modified copies of one line: the SWMR check fires as soon
+    as an operation touches the line under debug."""
+    dom = _domain()
+    dom.write(0, 0x40)
+    # corrupt the directory behind the protocol's back
+    dom._directory[0x40][1] = MESIState.MODIFIED
+    with pytest.raises(SanitizeError, match="SWMR"):
+        # two M copies coexist; the next touch of the line trips the
+        # per-line single-writer check
+        dom.read(1, 0x40)
+
+
+def test_corrupted_peer_state_caught_on_probe():
+    dom = _domain()
+    dom.read(0, 0x40)  # holder in E
+    dom._directory[0x40][0] = MESIState.INVALID  # nonsense: directory says I
+    with pytest.raises(SanitizeError):
+        dom.read(1, 0x40)  # probe finds a peer "in I" -> illegal peer_read
+
+
+def test_same_corruption_silent_without_debug():
+    dom = _domain(debug=False)
+    dom.write(0, 0x40)
+    dom._directory[0x40][1] = MESIState.MODIFIED
+    dom.read(1, 0x40)  # no sanitizer, no error (this is the point)
+
+
+def test_span_paths_pass_under_debug():
+    dom = _domain()
+    r = dom.read_span(0, 0x100, 8)
+    assert r.misses == 8
+    w = dom.write_span(1, 0x100, 8)
+    assert w.misses == 8
+    dom.check_invariants()
+
+
+# -- packet byte-conservation audit --------------------------------------
+
+def test_audit_accepts_consistent_observations():
+    audit = PacketAudit()
+    pkt = make_burst_read_req(1, 2, 0x1000, 64, 8, tag=7)
+    for kind in ("crossbar", "link", "switch2", "mc"):
+        audit.record(kind, pkt)
+    assert audit.observations == 4
+    assert audit.mismatches == 0
+
+
+def test_audit_catches_line_count_tampering():
+    audit = PacketAudit()
+    pkt = make_burst_read_req(1, 2, 0x1000, 64, 8, tag=7)
+    audit.record("crossbar", pkt)
+    pkt.line_count = 4  # a component "loses" half the burst
+    pkt.size = 4 * 64
+    with pytest.raises(SanitizeError, match="byte conservation"):
+        audit.record("mc", pkt)
+    assert audit.mismatches == 1
+
+
+def test_audit_separates_request_and_response_shapes():
+    """One tag names two legal wire shapes: the request (headers only)
+    and its data-bearing response."""
+    audit = PacketAudit()
+    req = make_read_req(1, 2, 0x1000, 64, tag=9)
+    resp = make_read_resp(req)
+    audit.record("link", req)
+    audit.record("link", resp)      # different ptype: its own shape
+    audit.record("crossbar", resp)  # consistent with the first sighting
+    assert audit.mismatches == 0
+
+
+def test_audit_rejects_degenerate_line_count():
+    audit = PacketAudit()
+    pkt = make_read_req(1, 2, 0x1000, 64, tag=3)
+    pkt.line_count = 0
+    with pytest.raises(SanitizeError, match="line_count=0"):
+        audit.record("link", pkt)
+
+
+def test_audit_ledger_is_bounded():
+    from repro.sim import sanitize
+
+    audit = PacketAudit()
+    for tag in range(sanitize._LEDGER_CAP + 50):
+        audit.record("link", make_read_req(1, 2, 0x1000, 64, tag=tag))
+    assert len(audit._shapes) == sanitize._LEDGER_CAP
+
+
+def test_cluster_wires_audit_through(small_config):
+    from repro.cluster.cluster import Cluster
+    from repro.units import kib, mib
+    from repro.cluster.malloc import Placement
+
+    cluster = Cluster(small_config, debug=True)
+    assert cluster.sim.audit is not None
+    app = cluster.session(1)
+    app.borrow_remote(2, mib(1))
+    ptr = app.malloc(kib(16), Placement.REMOTE)
+    data = app.read(ptr, kib(4))
+    assert data == bytes(kib(4))
+    # the crossbar, links, switches, RMC pipes and MC all reported in
+    assert cluster.sim.audit.observations > 0
+    assert cluster.sim.audit.mismatches == 0

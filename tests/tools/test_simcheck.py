@@ -1,0 +1,343 @@
+"""simcheck self-tests: every rule has a good/bad fixture pair, the
+pragma machinery suppresses (and counts), the JSON reporter keeps its
+frozen schema, and the CLI exit codes hold.
+
+Fixtures are synthetic files written under ``tmp_path`` so each rule is
+exercised in isolation; ``root=tmp_path`` makes the allow-list suffix
+matching (e.g. ``sim/engine.py``) behave exactly as in the real tree.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from simcheck.engine import check_paths
+from simcheck.reporters import render_json, render_text
+from simcheck.rules import ALL_RULES, rule_catalogue
+from simcheck.__main__ import main as simcheck_main
+
+
+def _write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+def _codes(tmp_path, files, rules=None):
+    """Scan *files* ({rel: source}); return the violation codes found."""
+    paths = [_write(tmp_path, rel, src) for rel, src in files.items()]
+    active = [cls() for cls in (rules or ALL_RULES)]
+    _, violations = check_paths(paths, rules=active, root=tmp_path)
+    return [v.code for v in violations]
+
+
+# -- SIM001: engine internals --------------------------------------------
+
+def test_sim001_flags_heap_and_clock_access(tmp_path):
+    src = "def rewind(sim):\n    sim._now = 0.0\n    sim._heap.clear()\n"
+    assert _codes(tmp_path, {"pkg/hack.py": src}) == ["SIM001", "SIM001"]
+
+
+def test_sim001_allows_the_engine_itself(tmp_path):
+    src = "class Simulator:\n    def reset(self):\n        self._now = 0.0\n"
+    assert _codes(tmp_path, {"sim/engine.py": src}) == []
+
+
+# -- SIM002: timed cost via Simulator.timeout ----------------------------
+
+def test_sim002_flags_schedule_timeout_and_heapq(tmp_path):
+    src = (
+        "import heapq\n"
+        "def cheat(sim, evt, heap):\n"
+        "    sim._schedule(evt, 1.0)\n"
+        "    Timeout(sim, 5.0)\n"
+        "    heapq.heappush(heap, evt)\n"
+    )
+    codes = _codes(tmp_path, {"pkg/cheat.py": src})
+    assert codes.count("SIM002") == 3
+
+
+def test_sim002_allows_sim_timeout(tmp_path):
+    src = "def charge(sim):\n    yield sim.timeout(5.0)\n"
+    assert "SIM002" not in _codes(tmp_path, {"pkg/ok.py": src})
+
+
+# -- SIM003: float-literal drift on *_ns ---------------------------------
+
+def test_sim003_flags_float_literal_on_ns_value(tmp_path):
+    src = "def pad(cost_ns):\n    return cost_ns * 1.5\n"
+    assert _codes(tmp_path, {"pkg/drift.py": src}) == ["SIM003"]
+
+
+def test_sim003_flags_augassign(tmp_path):
+    src = "def pad(total_ns):\n    total_ns *= 0.5\n    return total_ns\n"
+    assert _codes(tmp_path, {"pkg/drift2.py": src}) == ["SIM003"]
+
+
+def test_sim003_allows_ratio_comparisons_and_the_units_layer(tmp_path):
+    # comparisons are dimensionless ratios, the sanctioned test idiom
+    ratio = "def check(a_ns, b_ns):\n    assert a_ns / b_ns > 1.5\n"
+    units = "def ms(t_ns):\n    return t_ns / 1e6\n"
+    assert "SIM003" not in _codes(tmp_path, {"pkg/ratio.py": ratio})
+    assert "SIM003" not in _codes(tmp_path, {"units.py": units})
+
+
+# -- SIM004: packet factories --------------------------------------------
+
+def test_sim004_flags_direct_packet_construction(tmp_path):
+    src = (
+        "from repro.ht.packet import Packet, PacketType\n"
+        "def forge():\n"
+        "    return Packet(PacketType.READ_REQ, 1, 2, 0, 64, 1)\n"
+    )
+    assert _codes(tmp_path, {"pkg/forge.py": src}) == ["SIM004"]
+
+
+def test_sim004_allows_factories_and_tests(tmp_path):
+    factory = "def build():\n    return make_read_req(1, 2, 0, 64, 1)\n"
+    in_test = "def test_forge():\n    Packet(None, 1, 2, 0, 64, 1)\n"
+    assert "SIM004" not in _codes(tmp_path, {"pkg/build.py": factory})
+    # tests may construct malformed packets to exercise the validators
+    assert "SIM004" not in _codes(tmp_path, {"tests/test_pkt.py": in_test})
+
+
+# -- SIM005: batch twin coverage -----------------------------------------
+
+_ACCESSOR = (
+    "class Core:\n"
+    "    def cached_read(self, addr, size, batch=True):\n"
+    "        return b''\n"
+)
+
+
+def test_sim005_flags_unreferenced_twin(tmp_path):
+    test = "def test_something_else():\n    assert True\n"
+    codes = _codes(
+        tmp_path, {"src/core.py": _ACCESSOR, "tests/test_x.py": test}
+    )
+    assert codes == ["SIM005"]
+
+
+def test_sim005_satisfied_by_batch_false_call(tmp_path):
+    test = (
+        "def test_twin(core):\n"
+        "    core.cached_read(0, 64, batch=False)\n"
+    )
+    codes = _codes(
+        tmp_path, {"src/core.py": _ACCESSOR, "tests/test_x.py": test}
+    )
+    assert codes == []
+
+
+def test_sim005_satisfied_by_looped_batch_variable(tmp_path):
+    test = (
+        "def test_twin(core):\n"
+        "    for batch in (True, False):\n"
+        "        core.cached_read(0, 64, batch=batch)\n"
+    )
+    codes = _codes(
+        tmp_path, {"src/core.py": _ACCESSOR, "tests/test_x.py": test}
+    )
+    assert codes == []
+
+
+def test_sim005_vacuous_without_test_files(tmp_path):
+    # `python -m simcheck src` must not fail on twin coverage alone
+    assert _codes(tmp_path, {"src/core.py": _ACCESSOR}) == []
+
+
+# -- SIM006: determinism hazards -----------------------------------------
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "from random import choice\n",
+        "import time\ndef wall():\n    return time.time()\n",
+        "import random\ndef roll():\n    return random.randrange(6)\n",
+        "import random\ndef make():\n    return random.Random()\n",
+        "def spin(items):\n    for x in set(items):\n        print(x)\n",
+        "def bad(acc=[]):\n    return acc\n",
+        "def eat():\n    try:\n        pass\n    except:\n        pass\n",
+    ],
+    ids=[
+        "from-random",
+        "wall-clock",
+        "global-random",
+        "unseeded-Random",
+        "set-iteration",
+        "mutable-default",
+        "bare-except",
+    ],
+)
+def test_sim006_flags_hazards(tmp_path, source):
+    assert "SIM006" in _codes(tmp_path, {"pkg/hazard.py": source})
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import random\ndef make(seed):\n    return random.Random(seed)\n",
+        "import numpy as np\ndef make():\n    return np.random.default_rng(0)\n",
+        "def spin(items):\n    for x in sorted(set(items)):\n        print(x)\n",
+    ],
+    ids=["seeded-Random", "default-rng", "sorted-set"],
+)
+def test_sim006_allows_sanctioned_idioms(tmp_path, source):
+    assert "SIM006" not in _codes(tmp_path, {"pkg/fine.py": source})
+
+
+def test_sim006_allows_the_rng_module(tmp_path):
+    src = "import random\ndef stream():\n    return random.getstate()\n"
+    assert "SIM006" not in _codes(tmp_path, {"sim/rng.py": src})
+
+
+# -- pragmas --------------------------------------------------------------
+
+def test_line_pragma_suppresses_and_counts(tmp_path):
+    src = (
+        "def pad(cost_ns):\n"
+        "    return cost_ns * 1.5  # simcheck: disable=SIM003\n"
+    )
+    path = _write(tmp_path, "pkg/padded.py", src)
+    reports, violations = check_paths([path], root=tmp_path)
+    assert violations == []
+    assert sum(r.suppressed for r in reports) == 1
+
+
+def test_line_pragma_without_codes_suppresses_everything(tmp_path):
+    src = "def pad(cost_ns):\n    return cost_ns * 1.5  # simcheck: disable\n"
+    _, violations = check_paths(
+        [_write(tmp_path, "pkg/p.py", src)], root=tmp_path
+    )
+    assert violations == []
+
+
+def test_line_pragma_does_not_cover_other_codes(tmp_path):
+    src = (
+        "def pad(sim, cost_ns):\n"
+        "    sim._now = cost_ns * 1.5  # simcheck: disable=SIM003\n"
+    )
+    _, violations = check_paths(
+        [_write(tmp_path, "pkg/p.py", src)], root=tmp_path
+    )
+    assert [v.code for v in violations] == ["SIM001"]
+
+
+def test_file_wide_pragma(tmp_path):
+    src = (
+        "# simcheck: disable-file=SIM003\n"
+        "def pad(cost_ns):\n"
+        "    return cost_ns * 1.5\n"
+        "def pad2(cost_ns):\n"
+        "    return cost_ns * 2.5\n"
+    )
+    reports, violations = check_paths(
+        [_write(tmp_path, "pkg/p.py", src)], root=tmp_path
+    )
+    assert violations == []
+    assert sum(r.suppressed for r in reports) == 2
+
+
+def test_pragma_inside_string_literal_is_inert(tmp_path):
+    src = (
+        'NOTE = "# simcheck: disable-file=SIM003"\n'
+        "def pad(cost_ns):\n"
+        "    return cost_ns * 1.5\n"
+    )
+    _, violations = check_paths(
+        [_write(tmp_path, "pkg/p.py", src)], root=tmp_path
+    )
+    assert [v.code for v in violations] == ["SIM003"]
+
+
+def test_malformed_pragma_raises(tmp_path):
+    src = "X = 1  # simcheck: disable=SIMBAD\n"
+    with pytest.raises(ValueError, match="malformed simcheck pragma"):
+        check_paths([_write(tmp_path, "pkg/p.py", src)], root=tmp_path)
+
+
+# -- reporters ------------------------------------------------------------
+
+def test_json_reporter_schema(tmp_path):
+    src = "def pad(cost_ns):\n    return cost_ns * 1.5\n"
+    reports, violations = check_paths(
+        [_write(tmp_path, "pkg/p.py", src)], root=tmp_path
+    )
+    doc = json.loads(render_json(reports, violations))
+    assert doc["schema_version"] == 1
+    assert doc["tool"] == "simcheck"
+    assert doc["files_checked"] == 1
+    assert doc["suppressed"] == 0
+    assert doc["violation_count"] == 1
+    assert [r["code"] for r in doc["rules"]] == [
+        c.code for c in ALL_RULES
+    ]
+    (entry,) = doc["violations"]
+    assert set(entry) == {"path", "line", "col", "code", "message"}
+    assert entry["code"] == "SIM003"
+    assert entry["path"] == "pkg/p.py"
+    assert entry["line"] == 2
+
+
+def test_text_reporter_renders_locations(tmp_path):
+    src = "def pad(cost_ns):\n    return cost_ns * 1.5\n"
+    reports, violations = check_paths(
+        [_write(tmp_path, "pkg/p.py", src)], root=tmp_path
+    )
+    text = render_text(reports, violations)
+    assert "pkg/p.py:2:" in text
+    assert "SIM003" in text
+    assert "1 violation(s) in 1 file(s)" in text
+
+
+# -- CLI ------------------------------------------------------------------
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = _write(tmp_path, "clean.py", "X = 1\n")
+    dirty = _write(
+        tmp_path, "pkg/dirty.py", "def pad(c_ns):\n    return c_ns * 1.5\n"
+    )
+    assert simcheck_main([str(clean)]) == 0
+    assert simcheck_main([str(dirty)]) == 1
+    capsys.readouterr()
+    assert simcheck_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code, _, _ in rule_catalogue():
+        assert code in out
+
+
+def test_cli_select_and_disable(tmp_path, capsys):
+    dirty = _write(
+        tmp_path, "pkg/dirty.py", "def pad(c_ns):\n    return c_ns * 1.5\n"
+    )
+    assert simcheck_main([str(dirty), "--select", "SIM001"]) == 0
+    assert simcheck_main([str(dirty), "--disable", "SIM003"]) == 0
+    assert simcheck_main([str(dirty), "--select", "SIM003"]) == 1
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        simcheck_main([str(dirty), "--select", "SIM999"])
+
+
+def test_cli_json_output_parses(tmp_path, capsys):
+    dirty = _write(
+        tmp_path, "pkg/dirty.py", "def pad(c_ns):\n    return c_ns * 1.5\n"
+    )
+    assert simcheck_main([str(dirty), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["violation_count"] == 1
+
+
+def test_cli_reports_syntax_errors_as_exit_2(tmp_path, capsys):
+    broken = _write(tmp_path, "pkg/broken.py", "def (:\n")
+    assert simcheck_main([str(broken)]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+# -- the real tree stays clean --------------------------------------------
+
+def test_repo_src_is_clean():
+    """`python -m simcheck src` exits 0 — all six rules active."""
+    assert simcheck_main(["src"]) == 0

@@ -1,0 +1,48 @@
+"""simcheck — repo-specific static analysis for the timing model.
+
+The paper's claim rests on cycle-accounting being trustworthy: a
+non-coherent region is only "zero overhead" if every HT hop, RMC pipe
+and DRAM row charge is counted exactly once. Batching made that a
+*convention* (arithmetic N-per-line charges must equal the scalar
+walk); simcheck machine-checks the conventions the codebase relies on:
+
+========  =============================================================
+code      invariant
+========  =============================================================
+SIM001    event-heap / ``Simulator._now`` internals touched only inside
+          ``sim/engine.py``
+SIM002    timed cost flows through ``Simulator.timeout`` (no direct
+          ``Timeout``/``_schedule``/``heapq`` scheduling elsewhere)
+SIM003    no float-literal arithmetic on ``*_ns`` values outside the
+          latency/units layer (float drift silently breaks the
+          batch-vs-scalar elapsed-time diff)
+SIM004    HT packets constructed only via ``ht/packet.py`` factories
+SIM005    every public accessor defaulting ``batch=True`` has a
+          ``batch=False`` twin exercised by an equivalence test
+SIM006    determinism hazards: unseeded stdlib ``random``/wall-clock
+          ``time`` use, set-order iteration, mutable default args,
+          bare ``except``
+========  =============================================================
+
+Violations are suppressed per line with ``# simcheck: disable=SIMxxx``
+or per file with ``# simcheck: disable-file=SIMxxx``. Run as::
+
+    PYTHONPATH=src:tools python -m simcheck src tests
+"""
+
+from __future__ import annotations
+
+from simcheck.engine import FileReport, Project, Violation, check_paths
+from simcheck.rules import ALL_RULES, rule_catalogue
+
+__version__ = "1.0"
+
+__all__ = [
+    "ALL_RULES",
+    "FileReport",
+    "Project",
+    "Violation",
+    "check_paths",
+    "rule_catalogue",
+    "__version__",
+]

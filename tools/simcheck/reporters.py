@@ -1,0 +1,77 @@
+"""Output formats for simcheck runs.
+
+* text — one ``path:line:col: CODE message`` line per violation plus a
+  summary; the format editors and CI greps expect.
+* json — a stable machine-readable document (schema below) for the CI
+  entrypoint and any dashboarding. The schema is intentionally frozen;
+  bump ``schema_version`` on any incompatible change and keep the
+  reporter test in ``tests/tools/test_simcheck.py`` in sync.
+
+JSON schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "tool": "simcheck",
+      "files_checked": <int>,
+      "suppressed": <int>,
+      "violation_count": <int>,
+      "rules": [{"code": str, "title": str}, ...],
+      "violations": [
+        {"path": str, "line": int, "col": int,
+         "code": str, "message": str},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from simcheck.engine import FileReport, Violation
+from simcheck.rules import rule_catalogue
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    reports: Sequence[FileReport], violations: Sequence[Violation]
+) -> str:
+    lines = [v.render() for v in violations]
+    suppressed = sum(r.suppressed for r in reports)
+    summary = (
+        f"simcheck: {len(violations)} violation(s) in "
+        f"{len(reports)} file(s) checked"
+    )
+    if suppressed:
+        summary += f" ({suppressed} suppressed by pragma)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    reports: Sequence[FileReport], violations: Sequence[Violation]
+) -> str:
+    doc = {
+        "schema_version": 1,
+        "tool": "simcheck",
+        "files_checked": len(reports),
+        "suppressed": sum(r.suppressed for r in reports),
+        "violation_count": len(violations),
+        "rules": [
+            {"code": code, "title": title}
+            for code, title, _ in rule_catalogue()
+        ],
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "code": v.code,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
