@@ -25,7 +25,9 @@ step() {
 
 step "tier-1 test suite" python -m pytest -x -q
 
-step "simcheck (SIM001-SIM006)" python -m simcheck src tests
+step "simcheck (SIM001-SIM007)" python -m simcheck src tests
+
+step "fault smoke (donor kill)" python benchmarks/fault_smoke.py
 
 if command -v ruff >/dev/null 2>&1; then
     step "ruff lint" ruff check src tools tests

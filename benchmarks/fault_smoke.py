@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Fault-scenario smoke run for the pre-merge gate.
+
+Exercises the failure model end to end on a small cluster: a donor is
+killed under load, the borrower's access fails fast with
+``RemoteAccessError``, the region bookkeeping stays invariant-clean,
+and an unrelated borrower/donor pair finishes its workload untouched.
+Exits 0 when every expectation holds, 1 otherwise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/fault_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.malloc import Placement
+from repro.config import ClusterConfig, NetworkConfig, RMCConfig
+from repro.errors import RemoteAccessError
+from repro.sim.faults import FaultPlan, collect_faults, format_fault_report
+from repro.units import mib
+
+
+def run_scenario() -> list[str]:
+    """Run the donor-kill scenario; returns a list of failed checks."""
+    cluster = Cluster(
+        ClusterConfig(
+            network=NetworkConfig(topology="line", dims=(4, 1)),
+            rmc=RMCConfig(request_timeout_ns=4_000.0, max_retries=3),
+        )
+    )
+    sim = cluster.sim
+
+    victim = cluster.session(1)
+    victim.borrow_remote(2, mib(4))
+    vptr = victim.malloc(mib(1), Placement.REMOTE)
+    survivor = cluster.session(4)
+    survivor.borrow_remote(3, mib(4))
+    sptr = survivor.malloc(mib(1), Placement.REMOTE)
+
+    outcome: dict[str, float] = {}
+
+    def victim_proc():
+        i = 0
+        try:
+            while True:
+                yield from victim.g_read(vptr + (i % 16) * 64, 64, cached=False)
+                i += 1
+        except RemoteAccessError:
+            outcome["err_at"] = sim.now
+            outcome["reads"] = i
+
+    def survivor_proc():
+        for i in range(100):
+            yield from survivor.g_read(sptr + (i % 16) * 64, 64, cached=False)
+
+    vp = sim.process(victim_proc())
+    sp = sim.process(survivor_proc())
+    kill_at = sim.now + 50_000
+    cluster.arm_faults(FaultPlan().kill_node(2, at_ns=kill_at))
+    sim.run()
+
+    failures = []
+    if not (vp.ok and sp.ok):
+        failures.append("a workload process died unexpectedly")
+    if "err_at" not in outcome:
+        failures.append("borrower never saw RemoteAccessError")
+    else:
+        cfg = cluster.config.rmc
+        bound = cfg.request_timeout_ns * (cfg.max_retries + 2)
+        if outcome["err_at"] - kill_at > bound:
+            failures.append(
+                f"detection took {outcome['err_at'] - kill_at:.0f} ns "
+                f"(bound {bound:.0f} ns)"
+            )
+    try:
+        cluster.regions.check_invariants()
+    except Exception as exc:  # pragma: no cover - failure path
+        failures.append(f"region invariants broken: {exc}")
+    if cluster.regions.region_of(1).remote_bytes != 0:
+        failures.append("dead donor's segment still in the borrower region")
+    if len(cluster.node(1).rmc.outstanding) != 0:
+        failures.append("requests left stuck in the outstanding table")
+
+    stats = collect_faults(cluster)
+    print(format_fault_report(stats))
+    print(
+        f"victim: {outcome.get('reads', 0):.0f} reads before the crash, "
+        f"error {outcome.get('err_at', 0) - kill_at:.0f} ns after the kill"
+    )
+    return failures
+
+
+def main() -> int:
+    failures = run_scenario()
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("fault smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,11 +24,12 @@ from repro.cluster.node import Node
 from repro.cluster.regions import RegionManager
 from repro.cluster.reservation import Reservation
 from repro.config import ClusterConfig
-from repro.errors import AddressError, ConfigError
+from repro.errors import AddressError, ConfigError, RemoteAccessError
 from repro.ht.packet import TagAllocator
 from repro.mem.addressmap import DEFAULT_NODE_SHIFT, AddressMap
 from repro.noc.network import Network
 from repro.sim.engine import Simulator
+from repro.sim.faults import FaultInjector, FaultPlan
 
 __all__ = ["Cluster"]
 
@@ -82,6 +83,13 @@ class Cluster:
                 n, 0, cfg.node.private_memory_bytes
             )
 
+        #: fault injector, present only once :meth:`arm_faults` ran —
+        #: a cluster that never arms one carries no failure machinery
+        self.faults: Optional[FaultInjector] = None
+        #: sessions opened via :meth:`session`, so donor-death cleanup
+        #: can reach every process's allocator and page table
+        self._sessions: list = []
+
     # -- basic queries ------------------------------------------------------
     @property
     def num_nodes(self) -> int:
@@ -133,6 +141,10 @@ class Cluster:
     ) -> Generator:
         """Process form of :meth:`borrow`, composable inside experiments."""
         node = self.node(borrower)
+        if self.faults is not None and donor in self.faults.dead_nodes:
+            raise RemoteAccessError(
+                f"node {donor} is dead; cannot borrow from it"
+            )
         reservation = yield from node.reservations.reserve(donor, size)
         self.regions.add_remote_segment(
             borrower, donor, reservation.prefixed_start, reservation.size
@@ -157,7 +169,66 @@ class Cluster:
         """Open a process-level view on *node_id*."""
         from repro.cluster.api import Session
 
-        return Session(self, node_id)
+        sess = Session(self, node_id)
+        self._sessions.append(sess)
+        return sess
+
+    # -- failure model ------------------------------------------------------
+    def arm_faults(self, plan: Optional[FaultPlan] = None) -> FaultInjector:
+        """Attach a :class:`~repro.sim.faults.FaultInjector` to the fabric.
+
+        Until this is called no component holds a fault hook, so the
+        simulation is bit-identical to a build without the failure
+        model. Call once, before :meth:`~repro.sim.engine.Simulator.run`
+        if the plan has a timeline.
+        """
+        if self.faults is not None:
+            raise ConfigError("fault injection is already armed")
+        injector = FaultInjector(
+            self.sim, plan if plan is not None else FaultPlan()
+        )
+        injector.attach_network(self.network)
+        for node in self.nodes.values():
+            injector.attach_node(node)
+        injector.on_node_death(self._on_node_death)
+        self.faults = injector
+        return injector
+
+    def kill_node(self, node_id: int) -> None:
+        """Fail-stop *node_id* immediately (arms a default plan if needed)."""
+        self.node(node_id)
+        if self.faults is None:
+            self.arm_faults()
+        self.faults.kill_node(node_id)
+
+    def fail_link(self, a: int, b: int) -> None:
+        """Take the *a*–*b* link down, both directions."""
+        self.node(a)
+        self.node(b)
+        if self.faults is None:
+            self.arm_faults()
+        self.faults.fail_link(a, b)
+
+    def _on_node_death(self, dead: int) -> None:
+        """Degrade gracefully: revoke leases, unmap lost memory.
+
+        Mirrors what each survivor's OS would do on a machine-check
+        storm from the fabric: leases from the dead donor are revoked,
+        its segments leave the borrowing regions, and every mapped page
+        it was backing is poisoned so a touch raises
+        :class:`~repro.errors.RemoteAccessError` instead of hanging.
+        """
+        for node_id, node in self.nodes.items():
+            if node_id == dead:
+                continue
+            lost = node.reservations.revoke_donor(dead)
+            if lost and self.faults is not None:
+                self.faults.note_revoked(node_id, len(lost))
+        self.regions.drop_donor_segments(dead)
+        for sess in self._sessions:
+            if sess.node_id != dead:
+                sess.allocator.revoke_donor(dead)
+        self.regions.check_invariants()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -40,7 +40,7 @@ from __future__ import annotations
 from typing import Generator, Optional, Protocol
 
 from repro.config import CoreConfig, RMCConfig
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, RemoteAccessError
 from repro.ht.crossbar import Crossbar
 from repro.ht.packet import (
     Packet,
@@ -423,16 +423,33 @@ class Core:
         grant = slots.request()
         yield grant
         try:
+            cfg = self.rmc_config
             reply_to: Store = Store(self.sim, name=f"{self.name}.reply")
             request.meta["reply_to"] = reply_to
             request.issue_ns = self.sim.now
+            attempts = 0
             while True:
                 yield self.crossbar.send(request)
                 response: Packet = yield reply_to.get()
+                if response.ptype is PacketType.FAULT:
+                    # machine-check completion: the remote side is gone
+                    raise RemoteAccessError(
+                        f"{self.name}: access to {request.addr:#x} failed — "
+                        f"{response.meta['error']}"
+                    )
                 if response.ptype is not PacketType.NACK:
                     break
                 self.nack_retries.add()
-                yield self.sim.timeout(self.rmc_config.retry_backoff_ns)
+                attempts += 1
+                if cfg.max_retries and attempts > cfg.max_retries:
+                    raise RemoteAccessError(
+                        f"{self.name}: local RMC kept rejecting "
+                        f"{request.addr:#x}; gave up after "
+                        f"{cfg.max_retries} retries"
+                    )
+                yield self.sim.timeout(
+                    cfg.backoff_ns(cfg.retry_backoff_ns, attempts)
+                )
             if response.tag != request.tag:
                 raise ProtocolError(
                     f"{self.name}: response tag {response.tag} != "

@@ -52,6 +52,8 @@ class Allocation:
 class _Arena:
     freelist: FreeList
     donor_node: int
+    #: the donor crashed: no new placements, frees are bookkeeping-only
+    dead: bool = False
 
 
 class RegionAllocator:
@@ -87,7 +89,34 @@ class RegionAllocator:
 
     @property
     def remote_free_bytes(self) -> int:
-        return sum(a.freelist.free_bytes for a in self._remote_arenas)
+        return sum(
+            a.freelist.free_bytes for a in self._remote_arenas if not a.dead
+        )
+
+    def revoke_donor(self, donor: int) -> int:
+        """Handle *donor*'s crash: poison its pages, retire its arenas.
+
+        The paper is explicit that remote memory adds no fault
+        tolerance — the data on a dead donor is simply gone. Mappings
+        stay in the page table but are marked poisoned, so a touch
+        raises :class:`~repro.errors.RemoteAccessError` instead of
+        fabricating stale data, and new allocations never land on the
+        dead node. Returns the number of live allocations lost.
+        """
+        lost = 0
+        page = self.aspace.page_bytes
+        for arena in self._remote_arenas:
+            if arena.donor_node == donor:
+                arena.dead = True
+        for alloc in self._allocations.values():
+            if not alloc.remote:
+                continue
+            if self._remote_arenas[alloc.arena].donor_node != donor:
+                continue
+            for i in range(-(-alloc.size // page)):
+                self.aspace.poison_page(alloc.vaddr + i * page)
+            lost += 1
+        return lost
 
     # -- the interposed entry points -----------------------------------------
     def malloc(self, size: int, placement: Placement = Placement.AUTO) -> int:
@@ -122,9 +151,11 @@ class RegionAllocator:
             self.aspace.unmap_page(vaddr + i * page)
         rounded = num_pages * page
         if alloc.remote:
-            self._remote_arenas[alloc.arena].freelist.free(
-                alloc.phys_start, rounded
-            )
+            arena = self._remote_arenas[alloc.arena]
+            if not arena.dead:
+                # a dead donor's frames cannot return to any freelist —
+                # the memory no longer exists; only the accounting drops
+                arena.freelist.free(alloc.phys_start, rounded)
             self.remote_bytes -= rounded
         else:
             self.oslite.free_local(alloc.phys_start, rounded)
@@ -149,6 +180,8 @@ class RegionAllocator:
     def _alloc_remote(self, size: int, num_pages: int) -> int:
         rounded = num_pages * self.aspace.page_bytes
         for idx, arena in enumerate(self._remote_arenas):
+            if arena.dead:
+                continue
             try:
                 phys = arena.freelist.alloc(rounded)
             except AllocationError:

@@ -51,7 +51,7 @@ class Node:
         #: all of this node's physical memory (local addressing, no prefix)
         self.backing = BackingStore(config.total_memory_bytes)
 
-        self.crossbar = Crossbar(sim, name=f"{self.name}.xbar")
+        self.crossbar = Crossbar(sim, name=f"{self.name}.xbar", node_id=node_id)
 
         #: one memory controller per socket; contiguous per-socket
         #: slices by default, striped if node interleaving is enabled

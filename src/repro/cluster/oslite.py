@@ -152,6 +152,9 @@ class OSLite:
         self._reclaimed: dict[int, FreeList] = {}
         #: req_tag -> event; completed when the matching ack arrives
         self._pending_acks: dict[int, "object"] = {}
+        #: tags abandoned by an interrupted requester; a late ack for
+        #: one of these is unwound instead of treated as a protocol bug
+        self._orphaned: set[int] = set()
         self._daemon = sim.process(self._reservation_daemon(),
                                    name=f"os{node_id}.resd")
 
@@ -284,6 +287,18 @@ class OSLite:
         self._pending_acks[req_tag] = evt
         return evt
 
+    def abandon_ack(self, req_tag: int) -> None:
+        """Forget a pending ack whose requester was interrupted.
+
+        The exchange may still be in flight: the donor can have pinned
+        memory already. If the ack later arrives, the daemon unwinds it
+        (releasing any granted reservation) instead of raising on an
+        unexpected tag — no pending-ack entry and no donor-side pin
+        survive the interrupt.
+        """
+        if self._pending_acks.pop(req_tag, None) is not None:
+            self._orphaned.add(req_tag)
+
     # -- the daemon --------------------------------------------------------
     def _reservation_daemon(self) -> Generator:
         """Route control messages: donor requests are serviced here;
@@ -297,14 +312,24 @@ class OSLite:
             elif kind == "release":
                 yield from self._handle_release(msg)
             elif kind in ("reserve_ack", "release_ack"):
-                try:
-                    evt = self._pending_acks.pop(msg.meta["req_tag"])
-                except KeyError:
+                req_tag = msg.meta["req_tag"]
+                evt = self._pending_acks.pop(req_tag, None)
+                if evt is not None:
+                    evt.succeed(msg)
+                elif req_tag in self._orphaned:
+                    self._orphaned.discard(req_tag)
+                    if kind == "reserve_ack" and msg.meta["ok"]:
+                        # the requester died mid-reserve but the donor
+                        # pinned memory: give it straight back
+                        self.sim.process(
+                            self._release_stray(msg),
+                            name=f"os{self.node_id}.stray",
+                        )
+                else:
                     raise ReservationError(
                         f"node {self.node_id}: unexpected ack "
                         f"{msg.meta!r}"
-                    ) from None
-                evt.succeed(msg)
+                    )
             else:
                 raise ReservationError(
                     f"node {self.node_id}: unknown control message "
@@ -334,7 +359,25 @@ class OSLite:
 
     def _handle_release(self, msg: Packet) -> Generator:
         prefixed = msg.meta["prefixed_start"]
-        self.release_reservation(self.amap.strip_node(prefixed))
+        local = self.amap.strip_node(prefixed)
+        # Idempotent on the wire: a borrower may retry after losing an
+        # ack, or a stray-release may race a normal one — releasing a
+        # grant that is already gone acks ok rather than wedging the
+        # protocol on a ReservationError.
+        if local in self.grants:
+            self.release_reservation(local)
         yield self.rmc.send_ctrl(
             msg.src, kind="release_ack", req_tag=msg.tag, ok=True
         )
+
+    def _release_stray(self, ack: Packet) -> Generator:
+        """Return a grant whose requester abandoned the exchange."""
+        tag = self.rmc.tags.next()
+        evt = self.expect_ack(tag)
+        yield self.rmc.send_ctrl(
+            ack.src,
+            tag=tag,
+            kind="release",
+            prefixed_start=ack.meta["prefixed_start"],
+        )
+        yield evt  # consume the release_ack so nothing dangles

@@ -121,6 +121,23 @@ class RegionManager:
         self.region_of(node).segments.append(seg)
         return seg
 
+    def drop_donor_segments(self, donor: int) -> int:
+        """Remove every remote segment a crashed *donor* was backing.
+
+        The memory is gone, not reclaimable, so the segments simply
+        vanish from the borrowing regions; the donor's own home segment
+        stays (its region still describes the dead hardware). Returns
+        the number of segments dropped.
+        """
+        dropped = 0
+        for region in self.regions.values():
+            if region.home_node == donor:
+                continue
+            keep = [s for s in region.segments if s.owner_node != donor]
+            dropped += len(region.segments) - len(keep)
+            region.segments = keep
+        return dropped
+
     def remove_segment(self, node: int, segment: Segment) -> None:
         region = self.region_of(node)
         try:

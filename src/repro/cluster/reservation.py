@@ -50,6 +50,10 @@ class ReservationClient:
         self.node_id = oslite.node_id
         #: leases held, keyed by prefixed start address
         self.held: dict[int, Reservation] = {}
+        #: leases lost to donor crashes (release becomes a no-op)
+        self.revoked: dict[int, Reservation] = {}
+        #: starts of leases released normally (repeat release is a no-op)
+        self._released: set[int] = set()
 
     def reserve(self, donor_node: int, size: int) -> Generator:
         """Borrow *size* bytes from *donor_node*.
@@ -66,8 +70,17 @@ class ReservationClient:
             raise ReservationError(f"reservation size must be positive: {size}")
         tag = self.rmc.tags.next()
         ack_evt = self.oslite.expect_ack(tag)
-        yield self.rmc.send_ctrl(donor_node, tag=tag, kind="reserve", size=size)
-        ack: Packet = yield ack_evt
+        try:
+            yield self.rmc.send_ctrl(
+                donor_node, tag=tag, kind="reserve", size=size
+            )
+            ack: Packet = yield ack_evt
+        except BaseException:
+            # interrupted mid-exchange: the donor may still answer (and
+            # may already have pinned memory for us) — hand the orphaned
+            # tag to the OS so the late ack is unwound, not leaked
+            self.oslite.abandon_ack(tag)
+            raise
         if not ack.meta["ok"]:
             raise ReservationError(
                 f"donor node {donor_node} declined: {ack.meta.get('error')}"
@@ -81,22 +94,50 @@ class ReservationClient:
         return reservation
 
     def release(self, reservation: Reservation) -> Generator:
-        """Return a lease to its donor."""
-        if reservation.prefixed_start not in self.held:
+        """Return a lease to its donor.
+
+        Idempotent for leases already released (a borrower may retry
+        after an interrupt) and for leases revoked by a donor crash
+        (there is nobody left to tell); raises only for a lease this
+        node never held.
+        """
+        start = reservation.prefixed_start
+        if start in self._released or start in self.revoked:
+            return None
+        if start not in self.held:
             raise ReservationError(
-                f"node {self.node_id} does not hold a lease at "
-                f"{reservation.prefixed_start:#x}"
+                f"node {self.node_id} does not hold a lease at {start:#x}"
             )
         tag = self.rmc.tags.next()
         ack_evt = self.oslite.expect_ack(tag)
-        yield self.rmc.send_ctrl(
-            reservation.donor_node,
-            tag=tag,
-            kind="release",
-            prefixed_start=reservation.prefixed_start,
-        )
-        ack: Packet = yield ack_evt
-        if not ack.meta["ok"]:  # pragma: no cover - donor release never fails
+        try:
+            yield self.rmc.send_ctrl(
+                reservation.donor_node,
+                tag=tag,
+                kind="release",
+                prefixed_start=start,
+            )
+            ack: Packet = yield ack_evt
+        except BaseException:
+            self.oslite.abandon_ack(tag)
+            raise
+        if not ack.meta["ok"]:
             raise ReservationError(f"release failed: {ack.meta!r}")
-        del self.held[reservation.prefixed_start]
+        del self.held[start]
+        self._released.add(start)
         return None
+
+    def revoke_donor(self, donor_node: int) -> list[Reservation]:
+        """Drop every lease held from a crashed *donor_node*.
+
+        The memory is gone — no fabric exchange is possible or needed.
+        The leases move to :attr:`revoked` so a later ``release`` is a
+        clean no-op. Returns the revoked leases.
+        """
+        lost = [
+            r for r in self.held.values() if r.donor_node == donor_node
+        ]
+        for r in lost:
+            del self.held[r.prefixed_start]
+            self.revoked[r.prefixed_start] = r
+        return lost

@@ -19,6 +19,7 @@ __all__ = [
     "RegionError",
     "ReservationError",
     "FaultError",
+    "RemoteAccessError",
     "CoherenceError",
     "SanitizeError",
 ]
@@ -74,6 +75,18 @@ class ReservationError(MemoryError_):
 
 class FaultError(MemoryError_):
     """An unrecoverable page fault (access to unmapped virtual memory)."""
+
+
+class RemoteAccessError(MemoryError_):
+    """Machine-check-style failure of an access to remote memory.
+
+    Raised when the remote side is unreachable rather than merely slow:
+    the donor node died, the path is down and retransmission retries are
+    exhausted, or the borrower touched a page whose backing frame was
+    revoked. The paper is explicit (Section V) that remote memory adds
+    no fault tolerance — this is the error that surfaces that fact to
+    the issuing core instead of hanging the simulation.
+    """
 
 
 class CoherenceError(MemoryError_):

@@ -16,6 +16,7 @@ from repro.ht.packet import (
     Packet,
     PacketType,
     TagAllocator,
+    make_fault,
     make_read_req,
     make_read_resp,
     make_write_ack,
@@ -23,17 +24,25 @@ from repro.ht.packet import (
 )
 from repro.ht.link import Link, DuplexLink
 from repro.ht.device import HTDevice, HT_MAX_DEVICES
-from repro.ht.hnc import HNCBridge, HNC_NODE_BITS, hnc_encapsulate, hnc_decapsulate
+from repro.ht.hnc import (
+    HNCBridge,
+    HNC_NODE_BITS,
+    hnc_encapsulate,
+    hnc_decapsulate,
+    packet_intact,
+)
 from repro.ht.crossbar import Crossbar
 
 __all__ = [
     "Packet",
     "PacketType",
     "TagAllocator",
+    "make_fault",
     "make_read_req",
     "make_read_resp",
     "make_write_req",
     "make_write_ack",
+    "packet_intact",
     "Link",
     "DuplexLink",
     "HTDevice",

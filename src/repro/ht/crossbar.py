@@ -40,16 +40,20 @@ class Crossbar:
         latency_ns: float = 24.0,
         concurrent_transfers: int = 4,
         name: str = "xbar",
+        node_id: int = 0,
     ) -> None:
         if latency_ns < 0:
             raise ProtocolError("crossbar latency cannot be negative")
         self.sim = sim
         self.latency_ns = latency_ns
         self.name = name
+        self.node_id = node_id
         self._devices: list[AddressedDevice] = []
         self._fallback: AddressedDevice | None = None
         self._links = Resource(sim, concurrent_transfers, name=f"{name}.links")
         self.routed = 0
+        #: fault-injection hook; armed only by sim/faults.py (SIM007)
+        self._faults = None
 
     # -- wiring ----------------------------------------------------------
     def attach(self, device: AddressedDevice, fallback: bool = False) -> None:
@@ -100,7 +104,10 @@ class Crossbar:
                 self.sim.audit.record("crossbar", packet)
             # a coalesced burst pays one traversal per line it replaces
             yield self.sim.timeout(self.latency_ns * packet.line_count)
-            target.deliver(packet)
+            if self._faults is None or not self._faults.filter_crossbar(
+                self.node_id, packet
+            ):
+                target.deliver(packet)
             self.routed += packet.line_count
         finally:
             self._links.release(grant)

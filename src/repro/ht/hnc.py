@@ -18,10 +18,17 @@ them:
 from __future__ import annotations
 
 from repro.errors import ProtocolError
-from repro.ht.packet import Packet, PacketType, clone_packet
+from repro.ht.packet import CORRUPT_KEY, Packet, PacketType, clone_packet
 from repro.mem.addressmap import AddressMap
+from repro.sim.stats import Counter
 
-__all__ = ["HNC_NODE_BITS", "HNCBridge", "hnc_encapsulate", "hnc_decapsulate"]
+__all__ = [
+    "HNC_NODE_BITS",
+    "HNCBridge",
+    "hnc_encapsulate",
+    "hnc_decapsulate",
+    "packet_intact",
+]
 
 #: Width of the HNC node-identifier field.
 HNC_NODE_BITS: int = 14
@@ -75,6 +82,17 @@ def hnc_decapsulate(packet: Packet, amap: AddressMap, local_node: int) -> Packet
     return packet
 
 
+def packet_intact(packet: Packet) -> bool:
+    """CRC-style integrity check run at decapsulation.
+
+    HNC HT protects each packet with a per-hop CRC; we do not model the
+    polynomial, only its verdict: a packet the fault layer damaged in
+    flight fails the check. Clean packets always pass, so the check is
+    a single dict probe on the hot path.
+    """
+    return not packet.meta.get(CORRUPT_KEY)
+
+
 class HNCBridge:
     """Stateless HT<->HNC bridging bound to one node.
 
@@ -92,6 +110,7 @@ class HNCBridge:
         self.local_node = local_node
         self.encapsulated = 0
         self.decapsulated = 0
+        self.corrupt_detected = Counter(f"hnc{local_node}.corrupt")
 
     def to_fabric(self, packet: Packet) -> Packet:
         self.encapsulated += 1
@@ -100,3 +119,10 @@ class HNCBridge:
     def from_fabric(self, packet: Packet) -> Packet:
         self.decapsulated += 1
         return hnc_decapsulate(packet, self.amap, self.local_node)
+
+    def verify(self, packet: Packet) -> bool:
+        """Integrity-check an arriving fabric packet; count failures."""
+        if packet_intact(packet):
+            return True
+        self.corrupt_detected.add(packet.line_count)
+        return False

@@ -45,6 +45,10 @@ class Link:
         self.sink = sink if sink is not None else Store(sim, name=f"{self.name}.rx")
         #: serialization is exclusive: model as "wire busy until" time
         self._busy_until = 0.0
+        #: fault-injection hook; armed only by sim/faults.py (SIM007)
+        self._faults = None
+        #: directed (src, dst) node pair, set by Network._wire
+        self.edge: Optional[tuple[int, int]] = None
         self.packets = Counter(f"{self.name}.packets")
         self.bytes = Counter(f"{self.name}.bytes")
         self.occupancy = TimeWeighted(f"{self.name}.occupancy")
@@ -55,7 +59,16 @@ class Link:
         Delivery into the far-end store happens one propagation delay
         after serialization completes (not awaited by the sender).
         """
-        if self.sim.audit is not None:
+        # A lost packet still occupies the wire for its serialization
+        # window (the transmitter does not know the lane is dead), but
+        # never reaches the far-end store — that is what the RMC
+        # watchdog must detect.
+        lost = (
+            self._faults is not None
+            and self.edge is not None
+            and self._faults.filter_link(self.edge, packet)
+        )
+        if not lost and self.sim.audit is not None:
             self.sim.audit.record("link", packet)
         now = self.sim.now
         start = max(now, self._busy_until)
@@ -76,9 +89,10 @@ class Link:
 
         def _serialized(_evt: Event) -> None:
             self.occupancy.adjust(-1, self.sim.now)
-            # schedule delivery after propagation
-            deliver = self.sim.timeout(propagation)
-            deliver.add_callback(lambda _e: self.sink.put(packet))
+            if not lost:
+                # schedule delivery after propagation
+                deliver = self.sim.timeout(propagation)
+                deliver.add_callback(lambda _e: self.sink.put(packet))
             done.succeed()
 
         self.sim.timeout(start - now + ser).add_callback(_serialized)

@@ -50,8 +50,17 @@ __all__ = [
     "make_burst_write_req",
     "make_nack",
     "make_ctrl",
+    "make_fault",
     "clone_packet",
+    "CORRUPT_KEY",
 ]
+
+#: meta key marking a packet whose payload was damaged in flight. Only
+#: :mod:`repro.sim.faults` may write it (simcheck SIM007); the HNC
+#: integrity check (:func:`repro.ht.hnc.packet_intact`) reads it. It
+#: lives here, with the packet format, so the fault layer and the
+#: bridge need not import each other.
+CORRUPT_KEY = "corrupt"
 
 
 class PacketType(enum.Enum):
@@ -63,6 +72,11 @@ class PacketType(enum.Enum):
     WRITE_ACK = "write_ack"
     NACK = "nack"
     CTRL = "ctrl"
+    #: machine-check completion: the RMC tells the issuing core that a
+    #: remote access failed permanently (dead donor, retries exhausted).
+    #: Never crosses the fabric — it is delivered locally, so it is
+    #: deliberately neither a request nor a response for dispatch.
+    FAULT = "fault"
 
     @property
     def is_request(self) -> bool:
@@ -268,4 +282,24 @@ def make_ctrl(src: int, dst: int, tag: int, **meta: Any) -> Packet:
     """An OS-level control message (reservation protocol, Fig. 4)."""
     return Packet(
         PacketType.CTRL, src, dst, addr=0, size=0, tag=tag, meta=dict(meta)
+    )
+
+
+def make_fault(req: Packet, at_node: int, error: str) -> Packet:
+    """Machine-check completion for *req* emitted by the RMC at *at_node*.
+
+    Delivered straight to the issuing core's reply store (never onto
+    the fabric) when a remote access fails permanently; the core raises
+    :class:`~repro.errors.RemoteAccessError` with *error*.
+    """
+    if not req.ptype.is_request:
+        raise ProtocolError("only requests can fault")
+    return Packet(
+        PacketType.FAULT,
+        src=at_node,
+        dst=req.src,
+        addr=req.addr,
+        size=0,
+        tag=req.tag,
+        meta={"error": error, "faulted": req.ptype},
     )

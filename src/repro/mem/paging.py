@@ -13,10 +13,10 @@ address into the table — the paper's key trick (Fig. 4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Iterator, Optional
 
-from repro.errors import AddressError, AllocationError, FaultError
+from repro.errors import AddressError, AllocationError, FaultError, RemoteAccessError
 from repro.mem.tlb import TLB
 from repro.units import PAGE_SIZE
 
@@ -35,6 +35,9 @@ class PTE:
     remote: bool = False
     #: frame may never be swapped (all remote reservations are pinned)
     pinned: bool = False
+    #: the backing frame was revoked (its donor died); a touch raises
+    #: :class:`~repro.errors.RemoteAccessError`, machine-check style
+    poisoned: bool = False
 
 
 @dataclass(frozen=True)
@@ -75,6 +78,18 @@ class PageTable:
     def lookup(self, vpn: int) -> Optional[PTE]:
         return self._entries.get(vpn)
 
+    def poison(self, vpn: int) -> None:
+        """Mark a mapped page's backing frame as lost (donor crash).
+
+        The mapping stays — the process still "owns" the virtual page —
+        but translation will fail loudly instead of fabricating data.
+        """
+        try:
+            pte = self._entries[vpn]
+        except KeyError:
+            raise AddressError(f"vpn {vpn:#x} is not mapped") from None
+        self._entries[vpn] = _dc_replace(pte, poisoned=True)
+
     def entries(self) -> Iterator[tuple[int, PTE]]:
         return iter(sorted(self._entries.items()))
 
@@ -108,6 +123,8 @@ class AddressSpace:
         self.walks = 0
         #: faults raised for unmapped pages
         self.faults = 0
+        #: machine-check faults raised for poisoned (revoked) pages
+        self.poison_faults = 0
 
     @property
     def page_bytes(self) -> int:
@@ -139,6 +156,16 @@ class AddressSpace:
         self.tlb.invalidate(vpn)
         return self.page_table.unmap(vpn)
 
+    def poison_page(self, vaddr: int) -> None:
+        """Poison a mapped page whose backing frame was revoked."""
+        if vaddr % self.page_bytes:
+            raise AddressError(f"vaddr {vaddr:#x} is not page-aligned")
+        vpn = vaddr // self.page_bytes
+        # stale TLB entries would bypass the poisoned check — shoot
+        # them down exactly like a real machine-check flow does
+        self.tlb.invalidate(vpn)
+        self.page_table.poison(vpn)
+
     # -- translation -------------------------------------------------------
     def translate(self, vaddr: int) -> Translation:
         """Translate *vaddr*; TLB first, page-table walk on miss.
@@ -152,12 +179,24 @@ class AddressSpace:
         if phys_page is not None:
             pte = self.page_table.lookup(vpn)
             assert pte is not None, "TLB entry for unmapped page"
+            if pte.poisoned:
+                self.poison_faults += 1
+                raise RemoteAccessError(
+                    f"{self.name}: access to {vaddr:#x} whose backing "
+                    "frame was revoked (donor node died)"
+                )
             return Translation(phys_page + offset, tlb_hit=True, pte=pte)
         pte = self.page_table.lookup(vpn)
         if pte is None:
             self.faults += 1
             raise FaultError(
                 f"{self.name}: access to unmapped virtual address {vaddr:#x}"
+            )
+        if pte.poisoned:
+            self.poison_faults += 1
+            raise RemoteAccessError(
+                f"{self.name}: access to {vaddr:#x} whose backing "
+                "frame was revoked (donor node died)"
             )
         self.walks += 1
         self.tlb.insert(vpn, pte.phys_page)

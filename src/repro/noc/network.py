@@ -46,6 +46,7 @@ class Network:
             name=f"link{src}->{dst}",
             sink=self.switches[dst].ingress,
         )
+        link.edge = (src, dst)
         self.links[(src, dst)] = link
         self.switches[src].connect(dst, link)
 

@@ -57,6 +57,8 @@ class Switch:
         )
         self.forwarded = Counter(f"sw{node_id}.forwarded")
         self.delivered = Counter(f"sw{node_id}.delivered")
+        #: fault-injection hook; armed only by sim/faults.py (SIM007)
+        self._faults = None
         sim.process(self._forward_loop(), name=f"sw{node_id}.fwd")
 
     # -- wiring ----------------------------------------------------------
@@ -82,6 +84,10 @@ class Switch:
     def _forward_loop(self) -> Generator:
         while True:
             packet: Packet = yield self.ingress.get()
+            if self._faults is not None and self._faults.filter_switch(
+                self.node_id, packet
+            ):
+                continue  # dropped in flight, or the node is dead
             if self.sim.audit is not None:
                 self.sim.audit.record(f"switch{self.node_id}", packet)
             # bursts pay one arbitration+traversal per coalesced line

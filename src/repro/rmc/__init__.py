@@ -14,7 +14,7 @@ No translation tables are needed (node ids start at 1, so prefix 0 is
 "local" at every node) and no software runs on the access path.
 """
 
-from repro.rmc.outstanding import OutstandingTable, PendingOp
+from repro.rmc.outstanding import OutstandingTable, PendingOp, RequestWatchdog
 from repro.rmc.rmc import RMC
 
-__all__ = ["RMC", "OutstandingTable", "PendingOp"]
+__all__ = ["RMC", "OutstandingTable", "PendingOp", "RequestWatchdog"]

@@ -4,20 +4,28 @@ Every remote request in flight holds one of the RMC's scarce buffer
 entries from local acceptance until its response is delivered back to
 the issuing core. The table pairs responses with requests by tag,
 counts retransmissions, and exposes occupancy for instrumentation.
+
+:class:`RequestWatchdog` adds end-to-end loss detection on top of the
+table: when ``RMCConfig.request_timeout_ns`` is set, every demand
+request gets a watcher process that retransmits on expiry (capped
+exponential back-off) and abandons the transaction with a
+machine-check FAULT completion once ``max_retries`` is exhausted —
+a lost packet degrades to an error instead of hanging ``sim.run()``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Generator, Optional
 
-from typing import Optional
-
+from repro.config import RMCConfig
 from repro.errors import ProtocolError
 from repro.ht.packet import Packet
+from repro.sim.engine import Simulator
 from repro.sim.resources import Request, Store
+from repro.sim.stats import Counter
 
-__all__ = ["PendingOp", "OutstandingTable"]
+__all__ = ["PendingOp", "OutstandingTable", "RequestWatchdog"]
 
 
 @dataclass
@@ -82,3 +90,67 @@ class OutstandingTable:
 
     def __contains__(self, tag: int) -> bool:
         return tag in self._pending
+
+
+class RequestWatchdog:
+    """Per-request timeout detection for the RMC client role.
+
+    One ``watch`` process per demand request (spawned only when
+    ``request_timeout_ns`` > 0, so the disarmed configuration schedules
+    no extra events). Tags are globally unique and never recycled, so
+    "tag no longer in the table" is a safe completion test — a later
+    transaction can never alias a finished one.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        table: OutstandingTable,
+        config: RMCConfig,
+        retransmit: Callable[[PendingOp], Generator],
+        fail: Callable[[PendingOp, str], None],
+        timeouts: Counter,
+        exhausted: Counter,
+    ) -> None:
+        self.sim = sim
+        self.table = table
+        self.config = config
+        self._retransmit = retransmit
+        self._fail = fail
+        self.timeouts = timeouts
+        self.exhausted = exhausted
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.request_timeout_ns > 0
+
+    def watch(self, op: PendingOp) -> Generator:
+        """Watch one in-flight request until it completes or is failed.
+
+        Each expiry retransmits the request whole (under its original
+        tag) after noting the retry; the wait between attempts grows by
+        ``backoff_multiplier`` up to ``backoff_cap_ns``. With
+        ``max_retries`` = 0 the watchdog retransmits forever — loss
+        recovery without an error surface.
+        """
+        cfg = self.config
+        tag = op.request.tag
+        attempt = 1
+        while True:
+            yield self.sim.timeout(
+                cfg.backoff_ns(cfg.request_timeout_ns, attempt)
+            )
+            if tag not in self.table:
+                return  # completed (or already failed) while we slept
+            self.timeouts.add()
+            if cfg.max_retries and op.retries >= cfg.max_retries:
+                self.exhausted.add()
+                self._fail(
+                    op,
+                    f"no response from node {op.request.dst} for tag {tag} "
+                    f"after {op.retries + 1} attempts",
+                )
+                return
+            self.table.note_retry(tag)
+            attempt += 1
+            yield from self._retransmit(op)

@@ -42,6 +42,7 @@ from repro.ht.packet import (
     TagAllocator,
     clone_packet,
     make_ctrl,
+    make_fault,
     make_nack,
     make_read_req,
     make_read_resp,
@@ -49,7 +50,7 @@ from repro.ht.packet import (
 from repro.units import CACHE_LINE as _LINE
 from repro.mem.addressmap import AddressMap
 from repro.noc.network import Network
-from repro.rmc.outstanding import OutstandingTable, PendingOp
+from repro.rmc.outstanding import OutstandingTable, PendingOp, RequestWatchdog
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import Resource, Store
 from repro.sim.stats import Counter, Tally, TimeWeighted
@@ -111,8 +112,23 @@ class RMC:
         self.client_nacks = Counter(f"{self.name}.client_nacks")
         self.server_nacks = Counter(f"{self.name}.server_nacks")
         self.retransmissions = Counter(f"{self.name}.retx")
+        self.timeouts = Counter(f"{self.name}.timeouts")
+        self.retries_exhausted = Counter(f"{self.name}.rexhausted")
+        self.stale_responses = Counter(f"{self.name}.stale")
         self.remote_latency_ns = Tally(f"{self.name}.remote_latency")
         self.inflight = TimeWeighted(f"{self.name}.inflight")
+
+        #: fault-injection hook; armed only by sim/faults.py (SIM007)
+        self._faults = None
+        self._watchdog = RequestWatchdog(
+            sim,
+            self.outstanding,
+            config,
+            retransmit=self._resend,
+            fail=self._fail_op,
+            timeouts=self.timeouts,
+            exhausted=self.retries_exhausted,
+        )
 
         network.attach(node_id, self._fabric_in.put)
         sim.process(self._local_loop(), name=f"{self.name}.local")
@@ -233,14 +249,17 @@ class RMC:
                 packet, issue_ns=self.sim.now, meta=fabric_meta, hops=0
             )
             fabric_pkt = self.bridge.to_fabric(to_send)
-            self.outstanding.add(
-                PendingOp(
-                    request=fabric_pkt,
-                    reply_to=reply_to,
-                    slot=slot,
-                    issue_ns=self.sim.now,
-                )
+            op = PendingOp(
+                request=fabric_pkt,
+                reply_to=reply_to,
+                slot=slot,
+                issue_ns=self.sim.now,
             )
+            self.outstanding.add(op)
+            if self._watchdog.enabled:
+                self.sim.process(
+                    self._watchdog.watch(op), name=f"{self.name}.wdog"
+                )
             yield self.network.inject(self.node_id, fabric_pkt)
             if self.config.prefetch_depth and packet.ptype is PacketType.READ_REQ:
                 # issued in the background: prefetch competes for the
@@ -254,6 +273,9 @@ class RMC:
     def _fabric_loop(self) -> Generator:
         while True:
             packet: Packet = yield self._fabric_in.get()
+            if self._faults is not None and not self.bridge.verify(packet):
+                yield from self._quarantine(packet)
+                continue
             if packet.ptype is PacketType.CTRL:
                 yield self.ctrl_in.put(packet)
             elif packet.ptype.is_request:
@@ -263,6 +285,11 @@ class RMC:
                     self._retransmit(packet), name=f"{self.name}.retx"
                 )
             elif packet.ptype.is_response:
+                if self._lossy() and packet.tag not in self.outstanding:
+                    # the watchdog already failed (or retried and
+                    # completed) this transaction; the late copy is noise
+                    self.stale_responses.add()
+                    continue
                 if self.outstanding.get(packet.tag).is_prefetch:
                     # prefetch fills complete on their own engine and
                     # never block demand responses behind them
@@ -274,6 +301,31 @@ class RMC:
                     yield from self._complete_client_op(packet)
             else:  # pragma: no cover - enum is exhaustive
                 raise ProtocolError(f"{self.name}: unroutable {packet!r}")
+
+    def _lossy(self) -> bool:
+        """True when packets can legitimately vanish or duplicate.
+
+        Only with faults armed or the watchdog retransmitting can a
+        response arrive for a tag no longer outstanding; everywhere
+        else an unknown tag stays the hard protocol error it is.
+        """
+        return self._faults is not None or self._watchdog.enabled
+
+    def _quarantine(self, packet: Packet) -> Generator:
+        """Handle a packet that failed the decapsulation CRC check.
+
+        A corrupt request is NACKed back whole, exactly like a full
+        server buffer — the requester backs off, scrubs and re-sends.
+        Corrupt responses and control messages are dropped; the
+        requester's watchdog (or the reservation layer's own retry)
+        recovers the transaction end to end.
+        """
+        if packet.ptype.is_request:
+            self.server_nacks.add()
+            yield from self._pipe_service(self._server_pipe, self.config.nack_ns)
+            yield self.network.inject(
+                self.node_id, make_nack(packet, self.node_id)
+            )
 
     def _admit_server_request(self, packet: Packet) -> Generator:
         cfg = self.config
@@ -323,6 +375,9 @@ class RMC:
         yield from self._pipe_service(
             self._client_pipe, self.config.per_op_ns() * packet.line_count
         )
+        if self._lossy() and packet.tag not in self.outstanding:
+            self.stale_responses.add()
+            return  # failed by the watchdog while in the pipe
         op = self.outstanding.complete(packet.tag)
         assert op.slot is not None and op.reply_to is not None
         self._slots.release(op.slot)
@@ -335,6 +390,9 @@ class RMC:
         # behind prefetch *issues* (or it loses the race against the
         # demand stream by one pipe service, forever)
         yield self.sim.timeout(10.0)
+        if self._lossy() and packet.tag not in self.outstanding:
+            self.stale_responses.add()
+            return
         op = self.outstanding.complete(packet.tag)
         line_addr = op.request.addr
         self._prefetch_inflight.discard(line_addr)
@@ -374,30 +432,79 @@ class RMC:
             pf_request.issue_ns = self.sim.now
             pf_request.meta["prefetch"] = True
             self.prefetch_issued.add()
-            self.outstanding.add(
-                PendingOp(
-                    request=pf_request,
-                    reply_to=None,
-                    slot=None,
-                    issue_ns=self.sim.now,
-                    meta={"prefetch": True},
-                )
+            pf_op = PendingOp(
+                request=pf_request,
+                reply_to=None,
+                slot=None,
+                issue_ns=self.sim.now,
+                meta={"prefetch": True},
             )
+            self.outstanding.add(pf_op)
+            if self._watchdog.enabled:
+                self.sim.process(
+                    self._watchdog.watch(pf_op), name=f"{self.name}.wdog"
+                )
             yield self.network.inject(self.node_id, pf_request)
 
     def _retransmit(self, nack: Packet) -> Generator:
-        """A remote server NACKed one of our requests: back off and resend."""
+        """A remote server NACKed one of our requests: back off and resend.
+
+        With ``max_retries`` set the NACK storm is bounded: once a
+        request has been rejected that many times the transaction is
+        abandoned with a machine-check FAULT instead of livelocking.
+        The back-off between attempts grows by ``backoff_multiplier``
+        (the defaults keep it fixed, bit-identical to the old path).
+        """
+        cfg = self.config
         if nack.tag not in self.outstanding:
+            if self._lossy():
+                self.stale_responses.add()
+                return
             raise ProtocolError(
                 f"{self.name}: NACK for unknown tag {nack.tag}"
             )
+        retries = self.outstanding.note_retry(nack.tag)
+        if cfg.max_retries and retries > cfg.max_retries:
+            self.retries_exhausted.add()
+            self._fail_op(
+                self.outstanding.get(nack.tag),
+                f"node {nack.src} rejected tag {nack.tag} "
+                f"{retries} times; retries exhausted",
+            )
+            return
+        yield self.sim.timeout(cfg.backoff_ns(cfg.retry_backoff_ns, retries))
+        if nack.tag not in self.outstanding:
+            self.stale_responses.add()
+            return  # completed or failed while backing off
+        yield from self._resend(self.outstanding.get(nack.tag))
+
+    def _resend(self, op: PendingOp) -> Generator:
+        """Re-send *op*'s request whole, under its original tag."""
+        if self._faults is not None:
+            # the retransmission re-reads clean state: it must not
+            # inherit an in-flight corruption mark from the last try
+            self._faults.scrub(op.request)
         self.retransmissions.add()
-        self.outstanding.note_retry(nack.tag)
-        yield self.sim.timeout(self.config.retry_backoff_ns)
-        op = self.outstanding.get(nack.tag)
-        # a NACKed burst is re-sent whole, under its original tag
         yield from self._pipe_service(
             self._client_pipe,
             self.config.per_op_ns() * op.request.line_count,
         )
         yield self.network.inject(self.node_id, op.request)
+
+    def _fail_op(self, op: PendingOp, message: str) -> None:
+        """Abandon *op*: free its resources, deliver a FAULT completion.
+
+        The issuing core receives a machine-check style FAULT packet
+        and raises :class:`~repro.errors.RemoteAccessError`; abandoned
+        prefetches die silently (they were speculative).
+        """
+        tag = op.request.tag
+        if tag in self.outstanding:
+            self.outstanding.complete(tag)
+        if op.is_prefetch:
+            self._prefetch_inflight.discard(op.request.addr)
+            return
+        assert op.slot is not None and op.reply_to is not None
+        self._slots.release(op.slot)
+        self.inflight.adjust(-1, self.sim.now)
+        op.reply_to.put(make_fault(op.request, self.node_id, message))

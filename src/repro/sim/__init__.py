@@ -11,6 +11,8 @@ SimPy, purpose-built for the packet-level tier of the simulator:
 * :mod:`repro.sim.stats` — counters, tallies and time-weighted
   statistics for instrumentation.
 * :mod:`repro.sim.rng` — reproducible random-stream derivation.
+* :mod:`repro.sim.faults` — deterministic fault injection (node
+  crashes, link failures, packet drop/corruption).
 """
 
 from repro.sim.engine import (
@@ -21,6 +23,13 @@ from repro.sim.engine import (
     Process,
     Simulator,
     Timeout,
+)
+from repro.sim.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    collect_faults,
+    format_fault_report,
 )
 from repro.sim.resources import Resource, Store
 from repro.sim.stats import Counter, Histogram, Tally, TimeWeighted
@@ -39,4 +48,9 @@ __all__ = [
     "Tally",
     "TimeWeighted",
     "Histogram",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "collect_faults",
+    "format_fault_report",
 ]

@@ -1,0 +1,411 @@
+"""Deterministic fault injection for the packet tier.
+
+The paper is explicit (Section V) that remote memory adds *no* fault
+tolerance: a donor crash takes every borrowed range down with it. This
+module is the single place where such failures enter the simulation:
+
+* :class:`FaultPlan` — a declarative, seedable schedule of faults
+  (node kills, link failures/flaps, packet drops and corruptions).
+  A plan is pure data; it holds no runtime state, so one plan can arm
+  several independent clusters and each replays bit-identically.
+* :class:`FaultInjector` — the armed runtime: it executes the plan's
+  timeline on a simulator clock, answers the per-packet filter hooks
+  that :mod:`repro.ht.link`, :mod:`repro.noc.switch` and
+  :mod:`repro.ht.crossbar` call, and keeps the fault log / counters.
+* :class:`FaultStats` / :func:`collect_faults` — per-node failure
+  accounting in the style of :mod:`repro.noc.fabricstats`.
+
+**Zero-cost when disarmed.** Every hook site initialises
+``self._faults = None`` and guards with a single ``is not None`` check;
+only this module ever assigns a non-``None`` injector (enforced by
+simcheck rule SIM007). An armed plan with an *empty* timeline and no
+rules schedules no events and filters nothing, so its timing is
+identical to a disarmed run — the basis of the equivalence test.
+
+**Determinism.** Probabilistic rules draw from
+:func:`repro.sim.rng.stream` children of the plan seed, keyed by rule
+index, so the same seed + same plan + same workload reproduces every
+drop, corruption and timestamp exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.ht.packet import CORRUPT_KEY, Packet, PacketType
+from repro.sim.engine import Simulator
+from repro.sim.rng import DEFAULT_SEED, stream
+from repro.sim.stats import Counter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+    from repro.noc.network import Network
+
+__all__ = [
+    "CORRUPT_KEY",
+    "PacketRule",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "collect_faults",
+    "format_fault_report",
+]
+
+_SITES = ("link", "switch", "crossbar")
+_ACTIONS = ("drop", "corrupt")
+
+
+@dataclass(frozen=True)
+class PacketRule:
+    """One predicate-scoped packet fault.
+
+    A rule fires when a packet passes its site and all non-``None``
+    matchers. ``count`` caps total applications, ``after_ns`` gates by
+    sim time, ``probability`` makes the rule stochastic (drawn from a
+    per-rule child stream of the plan seed).
+    """
+
+    action: str
+    site: Optional[str] = None
+    ptype: Optional[PacketType] = None
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    #: switch/crossbar rules: the node the packet is traversing
+    node: Optional[int] = None
+    #: link rules: the directed (src, dst) edge
+    edge: Optional[tuple[int, int]] = None
+    after_ns: float = 0.0
+    count: Optional[int] = None
+    probability: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ConfigError(f"unknown fault action {self.action!r}")
+        if self.site is not None and self.site not in _SITES:
+            raise ConfigError(f"unknown fault site {self.site!r}")
+        if self.after_ns < 0:
+            raise ConfigError("after_ns cannot be negative")
+        if self.count is not None and self.count < 1:
+            raise ConfigError("count must be >= 1 when set")
+        if self.probability is not None and not (0.0 < self.probability <= 1.0):
+            raise ConfigError("probability must be in (0, 1]")
+
+    def matches(
+        self,
+        site: str,
+        packet: Packet,
+        node: Optional[int],
+        edge: Optional[tuple[int, int]],
+    ) -> bool:
+        """True when *packet* at *site* satisfies every set matcher."""
+        if self.site is not None and self.site != site:
+            return False
+        if self.ptype is not None and packet.ptype is not self.ptype:
+            return False
+        if self.src is not None and packet.src != self.src:
+            return False
+        if self.dst is not None and packet.dst != self.dst:
+            return False
+        if self.node is not None and node != self.node:
+            return False
+        if self.edge is not None and edge != self.edge:
+            return False
+        return True
+
+
+@dataclass
+class FaultPlan:
+    """A declarative fault schedule. Pure data, reusable, chainable.
+
+    ``timeline`` holds ``(at_ns, seq, kind, args)`` entries executed by
+    the injector's scheduler process; ``seq`` (insertion order) breaks
+    same-instant ties deterministically.
+    """
+
+    seed: int = DEFAULT_SEED
+    timeline: list[tuple[float, int, str, tuple]] = field(default_factory=list)
+    rules: list[PacketRule] = field(default_factory=list)
+
+    def _at(self, at_ns: float, kind: str, args: tuple) -> None:
+        if at_ns < 0:
+            raise ConfigError(f"fault time cannot be negative: {at_ns}")
+        self.timeline.append((at_ns, len(self.timeline), kind, args))
+
+    def kill_node(self, node: int, at_ns: float) -> "FaultPlan":
+        """Crash *node* at *at_ns*: its switch and crossbar blackhole
+        every packet from then on (fail-stop, no farewell messages)."""
+        self._at(at_ns, "kill_node", (node,))
+        return self
+
+    def fail_link(
+        self, a: int, b: int, at_ns: float, until_ns: Optional[float] = None
+    ) -> "FaultPlan":
+        """Take the *a*<->*b* lane pair down at *at_ns*; with *until_ns*
+        the link comes back (a flap) instead of staying dead."""
+        self._at(at_ns, "fail_link", (a, b))
+        if until_ns is not None:
+            if until_ns <= at_ns:
+                raise ConfigError("until_ns must be after at_ns")
+            self._at(until_ns, "restore_link", (a, b))
+        return self
+
+    def drop_packets(self, **matchers) -> "FaultPlan":
+        """Add a drop rule (see :class:`PacketRule` for matchers)."""
+        self.rules.append(PacketRule(action="drop", **matchers))
+        return self
+
+    def corrupt_packets(self, **matchers) -> "FaultPlan":
+        """Add a corruption rule: matching packets still travel but are
+        poisoned; the receiving HNC's integrity check catches them."""
+        self.rules.append(PacketRule(action="corrupt", **matchers))
+        return self
+
+
+class FaultInjector:
+    """The armed runtime for one :class:`FaultPlan` on one simulator.
+
+    All mutable per-run state (rule hit counts, RNG streams, the fault
+    log) lives here, never on the plan.
+    """
+
+    def __init__(self, sim: Simulator, plan: FaultPlan) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.dead_nodes: set[int] = set()
+        self.down_links: set[tuple[int, int]] = set()
+        #: (sim_ns, kind, detail) — the replay-comparable fault record
+        self.log: list[tuple[float, str, str]] = []
+        self.dropped = Counter("faults.dropped")
+        self.corrupted = Counter("faults.corrupted")
+        self.blackholed = Counter("faults.blackholed")
+        #: borrower node id -> leases revoked by donor deaths
+        self.revoked_leases: dict[int, int] = {}
+        self._death_callbacks: list[Callable[[int], None]] = []
+        self._rule_applied = [0] * len(plan.rules)
+        self._rule_rng: list[Optional[np.random.Generator]] = (
+            [None] * len(plan.rules)
+        )
+        # No timeline -> no scheduler process -> the event heap is
+        # untouched and timing matches a disarmed run exactly.
+        if plan.timeline:
+            sim.process(self._scheduler(), name="faults.scheduler")
+
+    # -- arming ----------------------------------------------------------
+    def attach_network(self, network: "Network") -> None:
+        """Arm every link and switch of *network* with this injector."""
+        for link in network.links.values():
+            link._faults = self
+        for switch in network.switches.values():
+            switch._faults = self
+
+    def attach_node(self, node) -> None:
+        """Arm a node's crossbar and RMC with this injector."""
+        node.crossbar._faults = self
+        node.rmc._faults = self
+
+    def on_node_death(self, callback: Callable[[int], None]) -> None:
+        """Register *callback(node_id)* to run when a node is killed."""
+        self._death_callbacks.append(callback)
+
+    # -- the scheduled timeline ------------------------------------------
+    def _scheduler(self) -> Generator:
+        for at_ns, _seq, kind, args in sorted(self.plan.timeline):
+            if at_ns > self.sim.now:
+                yield self.sim.timeout(at_ns - self.sim.now)
+            if kind == "kill_node":
+                self.kill_node(args[0])
+            elif kind == "fail_link":
+                self.fail_link(args[0], args[1])
+            elif kind == "restore_link":
+                self.restore_link(args[0], args[1])
+            else:
+                raise ConfigError(f"unknown timeline entry {kind!r}")
+
+    # -- immediate fault actions -----------------------------------------
+    def kill_node(self, node_id: int) -> None:
+        """Fail-stop *node_id* now; idempotent."""
+        if node_id in self.dead_nodes:
+            return
+        self.dead_nodes.add(node_id)
+        self.log.append((self.sim.now, "kill_node", f"node {node_id}"))
+        for cb in list(self._death_callbacks):
+            cb(node_id)
+
+    def fail_link(self, a: int, b: int) -> None:
+        """Take both directions of the *a*<->*b* lane down now."""
+        self.down_links.add((a, b))
+        self.down_links.add((b, a))
+        self.log.append((self.sim.now, "fail_link", f"{a}<->{b}"))
+
+    def restore_link(self, a: int, b: int) -> None:
+        """Bring the *a*<->*b* lane pair back up."""
+        self.down_links.discard((a, b))
+        self.down_links.discard((b, a))
+        self.log.append((self.sim.now, "restore_link", f"{a}<->{b}"))
+
+    def note_revoked(self, borrower: int, leases: int) -> None:
+        """Account *leases* revoked from *borrower* by a donor death."""
+        self.revoked_leases[borrower] = (
+            self.revoked_leases.get(borrower, 0) + leases
+        )
+
+    # -- per-packet filter hooks (return True => swallow the packet) -----
+    def filter_link(self, edge: tuple[int, int], packet: Packet) -> bool:
+        if edge in self.down_links:
+            self.dropped.add(packet.line_count)
+            self.log.append(
+                (self.sim.now, "link_drop",
+                 f"{edge[0]}->{edge[1]} tag={packet.tag}")
+            )
+            return True
+        return self._apply_rules("link", packet, node=None, edge=edge)
+
+    def filter_switch(self, node_id: int, packet: Packet) -> bool:
+        if node_id in self.dead_nodes:
+            self.blackholed.add(packet.line_count)
+            return True
+        return self._apply_rules("switch", packet, node=node_id, edge=None)
+
+    def filter_crossbar(self, node_id: int, packet: Packet) -> bool:
+        if node_id in self.dead_nodes:
+            self.blackholed.add(packet.line_count)
+            return True
+        return self._apply_rules("crossbar", packet, node=node_id, edge=None)
+
+    def _apply_rules(
+        self,
+        site: str,
+        packet: Packet,
+        node: Optional[int],
+        edge: Optional[tuple[int, int]],
+    ) -> bool:
+        for idx, rule in enumerate(self.plan.rules):
+            if self.sim.now < rule.after_ns:
+                continue
+            if (
+                rule.count is not None
+                and self._rule_applied[idx] >= rule.count
+            ):
+                continue
+            if not rule.matches(site, packet, node, edge):
+                continue
+            if rule.probability is not None:
+                rng = self._rule_rng[idx]
+                if rng is None:
+                    rng = stream(self.plan.seed, "faultplan", idx)
+                    self._rule_rng[idx] = rng
+                if rng.random() >= rule.probability:
+                    continue
+            self._rule_applied[idx] += 1
+            if rule.action == "corrupt":
+                packet.meta[CORRUPT_KEY] = True
+                self.corrupted.add(packet.line_count)
+                self.log.append(
+                    (self.sim.now, "corrupt", f"{site} tag={packet.tag}")
+                )
+                return False  # corrupted packets still travel
+            self.dropped.add(packet.line_count)
+            self.log.append(
+                (self.sim.now, "drop", f"{site} tag={packet.tag}")
+            )
+            return True
+        return False
+
+    def scrub(self, packet: Packet) -> None:
+        """Clear a corruption mark before retransmission — the resend
+        re-reads clean state, it must not inherit the damage."""
+        packet.meta.pop(CORRUPT_KEY, None)
+
+    def is_corrupt(self, packet: Packet) -> bool:
+        return bool(packet.meta.get(CORRUPT_KEY))
+
+
+# -- reporting -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultStats:
+    """Cluster-wide failure accounting at one instant."""
+
+    dead_nodes: tuple[int, ...]
+    down_links: tuple[tuple[int, int], ...]
+    packets_dropped: int
+    packets_corrupted: int
+    packets_blackholed: int
+    #: per surviving node: watchdog timeout expiries at its RMC
+    timeouts: dict[int, int]
+    #: per surviving node: requests abandoned after max_retries
+    retries_exhausted: dict[int, int]
+    #: per surviving node: late responses for already-failed requests
+    stale_responses: dict[int, int]
+    #: per surviving node: poisoned packets caught at decapsulation
+    corrupt_detected: dict[int, int]
+    #: per borrower node: leases revoked by donor deaths
+    revoked_leases: dict[int, int]
+
+    @property
+    def total_detected(self) -> int:
+        return (
+            sum(self.timeouts.values())
+            + sum(self.retries_exhausted.values())
+            + sum(self.corrupt_detected.values())
+        )
+
+
+def collect_faults(cluster: "Cluster") -> FaultStats:
+    """Snapshot a cluster's failure counters (armed or not)."""
+    inj = cluster.faults
+    return FaultStats(
+        dead_nodes=tuple(sorted(inj.dead_nodes)) if inj else (),
+        down_links=tuple(sorted(inj.down_links)) if inj else (),
+        packets_dropped=inj.dropped.value if inj else 0,
+        packets_corrupted=inj.corrupted.value if inj else 0,
+        packets_blackholed=inj.blackholed.value if inj else 0,
+        timeouts={
+            nid: node.rmc.timeouts.value
+            for nid, node in sorted(cluster.nodes.items())
+        },
+        retries_exhausted={
+            nid: node.rmc.retries_exhausted.value
+            for nid, node in sorted(cluster.nodes.items())
+        },
+        stale_responses={
+            nid: node.rmc.stale_responses.value
+            for nid, node in sorted(cluster.nodes.items())
+        },
+        corrupt_detected={
+            nid: node.rmc.bridge.corrupt_detected.value
+            for nid, node in sorted(cluster.nodes.items())
+        },
+        revoked_leases=dict(sorted(inj.revoked_leases.items())) if inj else {},
+    )
+
+
+def format_fault_report(stats: FaultStats) -> str:
+    """Human-readable failure summary, fabricstats style."""
+    lines = ["fault report"]
+    lines.append(
+        f"  dead nodes: {list(stats.dead_nodes) or 'none'}   "
+        f"down links: {list(stats.down_links) or 'none'}"
+    )
+    lines.append(
+        f"  packets: {stats.packets_dropped} dropped, "
+        f"{stats.packets_corrupted} corrupted, "
+        f"{stats.packets_blackholed} blackholed at dead nodes"
+    )
+    for nid in sorted(stats.timeouts):
+        t = stats.timeouts.get(nid, 0)
+        x = stats.retries_exhausted.get(nid, 0)
+        s = stats.stale_responses.get(nid, 0)
+        c = stats.corrupt_detected.get(nid, 0)
+        r = stats.revoked_leases.get(nid, 0)
+        if t or x or s or c or r:
+            lines.append(
+                f"  node {nid}: {t} timeouts, {x} exhausted, "
+                f"{s} stale, {c} corrupt caught, {r} leases revoked"
+            )
+    lines.append(f"  total detected failures: {stats.total_detected}")
+    return "\n".join(lines)

@@ -74,6 +74,97 @@ def test_release_of_unheld_lease_rejected(small_cluster):
         small_cluster.sim.run_process(node1.reservations.release(fake))
 
 
+def test_interrupted_reserve_leaves_no_leaked_ack_or_pin(small_cluster):
+    """An interrupt mid-reserve must not leak the pending-ack tag or the
+    donor's pinned range: the late ack is unwound by a stray release."""
+    from repro.sim.engine import Interrupt
+
+    cluster = small_cluster
+    sim = cluster.sim
+    node1 = cluster.node(1)
+    donor_os = cluster.node(2).os
+    before = donor_os.donated_free_bytes
+
+    def borrower():
+        yield from node1.reservations.reserve(2, mib(4))
+
+    p = sim.process(borrower())
+
+    def killer():
+        yield sim.timeout(1_000.0)  # mid-exchange: ctrl or ack in flight
+        p.interrupt("cancelled")
+
+    sim.process(killer())
+    with pytest.raises(Interrupt):
+        sim.run()
+    sim.run()  # drain: the donor's late ack arrives and is unwound
+    assert node1.os._pending_acks == {}
+    assert donor_os.grants == {}
+    assert donor_os.donated_free_bytes == before
+    assert node1.reservations.held == {}
+    # the borrower is fully functional afterwards
+    res = sim.run_process(node1.reservations.reserve(2, mib(4)))
+    sim.run_process(node1.reservations.release(res))
+    assert donor_os.donated_free_bytes == before
+
+
+def test_interrupted_release_can_be_retried(small_cluster):
+    """An interrupt mid-release leaves the lease retryable; the retry is
+    a clean no-op on the donor (idempotent release handling)."""
+    from repro.sim.engine import Interrupt
+
+    cluster = small_cluster
+    sim = cluster.sim
+    node1 = cluster.node(1)
+    donor_os = cluster.node(2).os
+    before = donor_os.donated_free_bytes
+    res = sim.run_process(node1.reservations.reserve(2, mib(4)))
+
+    def releaser():
+        yield from node1.reservations.release(res)
+
+    p = sim.process(releaser())
+
+    def killer():
+        yield sim.timeout(1_000.0)
+        p.interrupt("cancelled")
+
+    sim.process(killer())
+    with pytest.raises(Interrupt):
+        sim.run()
+    sim.run()  # drain the orphaned release ack
+    assert node1.os._pending_acks == {}
+    # the retry settles the lease no matter how far the first attempt got
+    sim.run_process(node1.reservations.release(res))
+    assert donor_os.grants == {}
+    assert donor_os.donated_free_bytes == before
+    assert node1.reservations.held == {}
+
+
+def test_release_is_idempotent_after_success(small_cluster):
+    cluster = small_cluster
+    node1 = cluster.node(1)
+    res = cluster.sim.run_process(node1.reservations.reserve(2, mib(4)))
+    cluster.sim.run_process(node1.reservations.release(res))
+    # a retry (e.g. after a suspected-lost ack) is a clean no-op
+    assert cluster.sim.run_process(node1.reservations.release(res)) is None
+
+
+def test_release_of_revoked_lease_is_noop(small_cluster):
+    """After a donor crash the lease is revoked; releasing it must not
+    try to talk to the dead node."""
+    cluster = small_cluster
+    node1 = cluster.node(1)
+    res = cluster.sim.run_process(node1.reservations.reserve(2, mib(4)))
+    lost = node1.reservations.revoke_donor(2)
+    assert lost == [res]
+    assert node1.reservations.held == {}
+    assert res.prefixed_start in node1.reservations.revoked
+    t0 = cluster.sim.now
+    assert cluster.sim.run_process(node1.reservations.release(res)) is None
+    assert cluster.sim.now == t0  # no fabric exchange happened
+
+
 def test_concurrent_reservations_from_two_borrowers(small_cluster):
     """Nodes 1 and 3 borrow from node 2 at the same time; the donor's
     daemon serializes them onto disjoint ranges."""

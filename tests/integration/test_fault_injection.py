@@ -14,8 +14,11 @@ from repro.cluster.malloc import Placement
 from repro.config import ClusterConfig, NetworkConfig, RMCConfig
 from repro.errors import (
     AllocationError,
+    RemoteAccessError,
     ReservationError,
 )
+from repro.ht.packet import PacketType
+from repro.sim.faults import FaultPlan, collect_faults
 from repro.units import mib
 
 
@@ -159,6 +162,226 @@ def test_deterministic_replay_bit_identical():
         bench = RandomAccessBenchmark(cluster, seed=77, buffer_bytes=mib(2))
         rr = bench.run_client(1, [2, 3], threads=4, accesses_per_thread=40)
         return rr.elapsed_ns, rr.thread_times_ns, rr.retransmissions
+
+    assert run() == run()
+
+
+# -- planned faults (sim/faults.py) ---------------------------------------
+
+
+def test_armed_empty_plan_is_bit_identical():
+    """Arming the fault hooks with an empty plan must not move a single
+    event: same final clock, same counters, through a NACK storm."""
+
+    def run(armed):
+        cluster = _line(
+            3, rmc=RMCConfig(buffer_entries=2, retry_backoff_ns=200.0)
+        )
+        if armed:
+            cluster.arm_faults()
+        app = cluster.session(1)
+        app.borrow_remote(2, mib(4))
+        ptr = app.malloc(mib(1), Placement.REMOTE)
+        sim = cluster.sim
+
+        def hammer(n):
+            for i in range(n):
+                yield from app.g_read(ptr + (i % 16) * 4096, 64, cached=False)
+
+        procs = [sim.process(hammer(30)) for _ in range(3)]
+        sim.run()
+        assert all(p.ok for p in procs)
+        return (
+            sim.now,
+            cluster.node(1).rmc.retransmissions.value,
+            cluster.node(1).rmc.client_nacks.value,
+            cluster.node(2).rmc.server_nacks.value,
+        )
+
+    assert run(armed=False) == run(armed=True)
+
+
+def test_donor_crash_mid_workload_fails_fast_and_spares_survivors():
+    """Kill a donor under load: the borrower gets RemoteAccessError
+    within the watchdog bound, the bookkeeping degrades cleanly, and an
+    unrelated session keeps running to completion."""
+    cluster = _line(
+        4, rmc=RMCConfig(request_timeout_ns=4_000.0, max_retries=3)
+    )
+    sim = cluster.sim
+    victim = cluster.session(1)
+    victim.borrow_remote(2, mib(4))
+    vptr = victim.malloc(mib(1), Placement.REMOTE)
+    survivor = cluster.session(4)
+    survivor.borrow_remote(3, mib(4))
+    sptr = survivor.malloc(mib(1), Placement.REMOTE)
+    outcome = {}
+
+    def victim_proc():
+        i = 0
+        try:
+            while True:
+                yield from victim.g_read(
+                    vptr + (i % 16) * 64, 64, cached=False
+                )
+                i += 1
+        except RemoteAccessError:
+            outcome["err_at"] = sim.now
+            outcome["reads"] = i
+
+    def survivor_proc():
+        for i in range(100):
+            yield from survivor.g_read(
+                sptr + (i % 16) * 64, 64, cached=False
+            )
+
+    vp = sim.process(victim_proc())
+    sp = sim.process(survivor_proc())
+    kill_at = sim.now + 50_000
+    cluster.arm_faults(FaultPlan().kill_node(2, at_ns=kill_at))
+    sim.run()
+
+    assert vp.ok and sp.ok
+    assert outcome["reads"] > 0  # made progress before the crash
+    cfg = cluster.config.rmc
+    bound = cfg.request_timeout_ns * (cfg.max_retries + 2)
+    assert outcome["err_at"] - kill_at <= bound
+    # bookkeeping degraded, not corrupted
+    cluster.regions.check_invariants()
+    assert cluster.regions.region_of(1).remote_bytes == 0
+    assert cluster.node(1).reservations.held == {}
+    assert len(cluster.node(1).reservations.revoked) == 1
+    stats = collect_faults(cluster)
+    assert stats.dead_nodes == (2,)
+    assert stats.revoked_leases == {1: 1}
+    # detection came through the watchdog (request was mid-fabric) or
+    # the poisoned page table (it was between requests) — either way it
+    # was detected, not hung
+    assert stats.total_detected > 0 or victim.aspace.poison_faults > 0
+    # the dead donor fails fast for new borrowers, survivors still work
+    with pytest.raises(RemoteAccessError):
+        cluster.borrow(3, 2, mib(1))
+    assert len(cluster.node(1).rmc.outstanding) == 0
+
+
+def test_link_flap_under_load_recovers_every_request():
+    """A transient link outage: the watchdog retransmits (unbounded by
+    default) until the lane returns; nothing is lost, nothing raises."""
+    cluster = _line(3, rmc=RMCConfig(request_timeout_ns=4_000.0))
+    sim = cluster.sim
+    app = cluster.session(1)
+    app.borrow_remote(2, mib(4))
+    ptr = app.malloc(mib(1), Placement.REMOTE)
+
+    def hammer(n):
+        for i in range(n):
+            yield from app.g_read(ptr + (i % 16) * 64, 64, cached=False)
+
+    procs = [sim.process(hammer(80)) for _ in range(2)]
+    down_at = sim.now + 3_000
+    inj = cluster.arm_faults(
+        FaultPlan().fail_link(1, 2, at_ns=down_at, until_ns=down_at + 30_000)
+    )
+    sim.run()
+    assert all(p.ok for p in procs)
+    rmc = cluster.node(1).rmc
+    assert rmc.timeouts.value > 0  # the outage was noticed
+    assert inj.dropped.value > 0  # packets really vanished
+    assert rmc.retries_exhausted.value == 0  # and every one was recovered
+    assert len(rmc.outstanding) == 0
+
+
+def test_corrupt_request_is_nacked_and_retried():
+    """A poisoned packet fails the decapsulation check at the server,
+    is NACKed, and the ordinary retry path recovers — no watchdog or
+    special config needed."""
+    cluster = _line(3)
+    app = cluster.session(1)
+    app.borrow_remote(2, mib(4))
+    ptr = app.malloc(mib(1), Placement.REMOTE)
+    app.write(ptr, b"\xbe" * 64, cached=False)
+    inj = cluster.arm_faults(
+        FaultPlan().corrupt_packets(
+            site="link", ptype=PacketType.READ_REQ, count=1
+        )
+    )
+    assert app.read(ptr, 64, cached=False) == b"\xbe" * 64
+    assert inj.corrupted.value == 1
+    assert cluster.node(2).rmc.bridge.corrupt_detected.value == 1
+    assert cluster.node(2).rmc.server_nacks.value >= 1
+    assert cluster.node(1).rmc.retransmissions.value >= 1
+    assert len(cluster.node(1).rmc.outstanding) == 0
+
+
+def test_retry_exhaustion_surfaces_remote_access_error():
+    """Every request to the donor is dropped: after max_retries the RMC
+    stops hammering and fails the access to the issuing core."""
+    cluster = _line(
+        3,
+        rmc=RMCConfig(
+            request_timeout_ns=2_000.0,
+            max_retries=2,
+            backoff_multiplier=2.0,
+            backoff_cap_ns=8_000.0,
+        ),
+    )
+    app = cluster.session(1)
+    app.borrow_remote(2, mib(4))
+    ptr = app.malloc(mib(1), Placement.REMOTE)
+    cluster.arm_faults(
+        FaultPlan().drop_packets(
+            site="link", edge=(1, 2), ptype=PacketType.READ_REQ
+        )
+    )
+    with pytest.raises(RemoteAccessError):
+        app.read(ptr, 64, cached=False)
+    rmc = cluster.node(1).rmc
+    assert rmc.retries_exhausted.value == 1
+    assert rmc.timeouts.value == cluster.config.rmc.max_retries + 1
+    assert len(rmc.outstanding) == 0
+    # the core slot came back: a local access still works
+    lptr = app.malloc(mib(1), Placement.LOCAL)
+    app.write_u64(lptr, 3)
+    assert app.read_u64(lptr) == 3
+
+
+def test_fault_replay_is_deterministic():
+    """Same seed + same plan + same workload => identical fault log,
+    identical timings, identical stats — drops, kill and all."""
+
+    def run():
+        cluster = _line(
+            3, rmc=RMCConfig(request_timeout_ns=3_000.0, max_retries=4)
+        )
+        sim = cluster.sim
+        app = cluster.session(1)
+        app.borrow_remote(2, mib(2))
+        ptr = app.malloc(mib(1), Placement.REMOTE)
+        outcome = {}
+
+        def loop():
+            i = 0
+            try:
+                while True:
+                    yield from app.g_read(
+                        ptr + (i % 8) * 64, 64, cached=False
+                    )
+                    i += 1
+            except RemoteAccessError:
+                outcome["err"] = (sim.now, i)
+
+        sim.process(loop())
+        plan = (
+            FaultPlan(seed=42)
+            .drop_packets(
+                site="link", ptype=PacketType.READ_REQ, probability=0.3
+            )
+            .kill_node(2, at_ns=sim.now + 40_000)
+        )
+        inj = cluster.arm_faults(plan)
+        sim.run()
+        return (sim.now, outcome.get("err"), tuple(inj.log),
+                collect_faults(cluster))
 
     assert run() == run()
 

@@ -1,0 +1,174 @@
+"""Unit tests for the fault-injection plan/injector layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ht.packet import CORRUPT_KEY, make_read_req
+from repro.sim.engine import Simulator
+from repro.sim.faults import (
+    FaultInjector,
+    FaultPlan,
+    PacketRule,
+    format_fault_report,
+)
+
+
+def _req(src=1, dst=2, tag=7):
+    return make_read_req(src=src, dst=dst, addr=0x1000, size=64, tag=tag)
+
+
+# -- plan construction -----------------------------------------------------
+
+def test_plan_builders_chain_and_record():
+    plan = (
+        FaultPlan(seed=9)
+        .kill_node(3, at_ns=1_000)
+        .fail_link(1, 2, at_ns=500, until_ns=900)
+        .drop_packets(site="link", dst=2)
+        .corrupt_packets(site="switch", count=1)
+    )
+    kinds = [kind for _, _, kind, _ in plan.timeline]
+    assert kinds == ["kill_node", "fail_link", "restore_link"]
+    assert [r.action for r in plan.rules] == ["drop", "corrupt"]
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda p: p.kill_node(1, at_ns=-1),
+        lambda p: p.fail_link(1, 2, at_ns=100, until_ns=100),
+        lambda p: p.drop_packets(site="teleporter"),
+        lambda p: p.drop_packets(probability=0.0),
+        lambda p: p.drop_packets(probability=1.5),
+        lambda p: p.corrupt_packets(count=0),
+        lambda p: p.corrupt_packets(after_ns=-5),
+    ],
+)
+def test_plan_validation_rejects_bad_input(build):
+    with pytest.raises(ConfigError):
+        build(FaultPlan())
+
+
+def test_rule_rejects_unknown_action():
+    with pytest.raises(ConfigError):
+        PacketRule(action="teleport")
+
+
+def test_rule_matching_is_conjunctive():
+    rule = PacketRule(action="drop", site="link", src=1, dst=2)
+    assert rule.matches("link", _req(), node=None, edge=(1, 2))
+    assert not rule.matches("switch", _req(), node=None, edge=(1, 2))
+    assert not rule.matches("link", _req(src=3), node=None, edge=(3, 2))
+
+
+# -- injector behaviour ----------------------------------------------------
+
+def test_empty_plan_schedules_nothing():
+    sim = Simulator()
+    FaultInjector(sim, FaultPlan())
+    assert sim.run() == 0.0
+
+
+def test_timeline_executes_in_order():
+    sim = Simulator()
+    plan = (
+        FaultPlan()
+        .fail_link(1, 2, at_ns=100, until_ns=300)
+        .kill_node(3, at_ns=200)
+    )
+    inj = FaultInjector(sim, plan)
+    sim.run()
+    assert [(t, kind) for t, kind, _ in inj.log] == [
+        (100.0, "fail_link"),
+        (200.0, "kill_node"),
+        (300.0, "restore_link"),
+    ]
+    assert inj.dead_nodes == {3}
+    assert inj.down_links == set()
+
+
+def test_down_link_swallows_both_directions():
+    sim = Simulator()
+    inj = FaultInjector(sim, FaultPlan())
+    inj.fail_link(1, 2)
+    assert inj.filter_link((1, 2), _req())
+    assert inj.filter_link((2, 1), _req(src=2, dst=1))
+    assert not inj.filter_link((2, 3), _req(dst=3))
+    inj.restore_link(1, 2)
+    assert not inj.filter_link((1, 2), _req())
+
+
+def test_dead_node_blackholes_switch_and_crossbar():
+    sim = Simulator()
+    inj = FaultInjector(sim, FaultPlan())
+    inj.kill_node(2)
+    inj.kill_node(2)  # idempotent
+    assert inj.filter_switch(2, _req())
+    assert inj.filter_crossbar(2, _req())
+    assert not inj.filter_switch(1, _req())
+    assert inj.blackholed.value == 2
+    assert sum(1 for _, kind, _ in inj.log if kind == "kill_node") == 1
+
+
+def test_corrupt_rule_marks_but_does_not_swallow():
+    sim = Simulator()
+    inj = FaultInjector(
+        sim, FaultPlan().corrupt_packets(site="link", count=1)
+    )
+    pkt = _req()
+    assert not inj.filter_link((1, 2), pkt)  # still travels
+    assert inj.is_corrupt(pkt)
+    inj.scrub(pkt)
+    assert not inj.is_corrupt(pkt)
+    assert CORRUPT_KEY not in pkt.meta
+    # count=1: the next packet passes clean
+    pkt2 = _req(tag=8)
+    assert not inj.filter_link((1, 2), pkt2)
+    assert not inj.is_corrupt(pkt2)
+
+
+def test_probabilistic_rule_replays_identically():
+    def run():
+        sim = Simulator()
+        inj = FaultInjector(
+            sim, FaultPlan(seed=42).drop_packets(site="link", probability=0.5)
+        )
+        return [
+            inj.filter_link((1, 2), _req(tag=i)) for i in range(40)
+        ]
+
+    first = run()
+    assert first == run()
+    assert any(first) and not all(first)
+
+
+def test_death_callbacks_fire_once_per_node():
+    sim = Simulator()
+    inj = FaultInjector(sim, FaultPlan())
+    seen = []
+    inj.on_node_death(seen.append)
+    inj.kill_node(4)
+    inj.kill_node(4)
+    inj.kill_node(5)
+    assert seen == [4, 5]
+
+
+def test_report_mentions_every_failure_class():
+    sim = Simulator()
+    inj = FaultInjector(sim, FaultPlan().drop_packets(site="link"))
+    inj.kill_node(2)
+    inj.filter_link((1, 3), _req(dst=3))
+
+    class _Shim:
+        faults = inj
+        nodes = {}
+
+    from repro.sim.faults import collect_faults
+
+    stats = collect_faults(_Shim())
+    text = format_fault_report(stats)
+    assert "dead nodes: [2]" in text
+    assert "1 dropped" in text
+    assert stats.total_detected == 0

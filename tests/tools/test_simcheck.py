@@ -194,6 +194,38 @@ def test_sim006_allows_the_rng_module(tmp_path):
     assert "SIM006" not in _codes(tmp_path, {"sim/rng.py": src})
 
 
+# -- SIM007: fault-injection layer ----------------------------------------
+
+def test_sim007_flags_arming_and_packet_damage(tmp_path):
+    src = (
+        "def cheat(rmc, packet, injector):\n"
+        "    rmc._faults = injector\n"
+        "    packet.meta['corrupt'] = True\n"
+        "    packet.meta[CORRUPT_KEY] = True\n"
+    )
+    codes = _codes(tmp_path, {"pkg/cheat.py": src})
+    assert codes.count("SIM007") == 3
+
+
+def test_sim007_applies_to_tests_too(tmp_path):
+    src = (
+        "def test_cheat(rmc, injector):\n"
+        "    rmc._faults = injector\n"
+    )
+    assert "SIM007" in _codes(tmp_path, {"tests/test_cheat.py": src})
+
+
+def test_sim007_allows_hook_init_and_the_fault_layer(tmp_path):
+    init = "class Link:\n    def __init__(self):\n        self._faults = None\n"
+    layer = (
+        "def arm(link, inj, packet):\n"
+        "    link._faults = inj\n"
+        "    packet.meta[CORRUPT_KEY] = True\n"
+    )
+    assert "SIM007" not in _codes(tmp_path, {"pkg/link.py": init})
+    assert "SIM007" not in _codes(tmp_path, {"sim/faults.py": layer})
+
+
 # -- pragmas --------------------------------------------------------------
 
 def test_line_pragma_suppresses_and_counts(tmp_path):
@@ -339,5 +371,5 @@ def test_cli_reports_syntax_errors_as_exit_2(tmp_path, capsys):
 # -- the real tree stays clean --------------------------------------------
 
 def test_repo_src_is_clean():
-    """`python -m simcheck src` exits 0 — all six rules active."""
+    """`python -m simcheck src` exits 0 — all seven rules active."""
     assert simcheck_main(["src"]) == 0

@@ -1,4 +1,4 @@
-"""The repo-specific rule set (SIM001–SIM006).
+"""The repo-specific rule set (SIM001–SIM007).
 
 Each rule is a small AST pass over one :class:`~simcheck.engine.FileContext`
 plus an optional cross-file ``finalize`` over the whole
@@ -30,6 +30,8 @@ _NS_LAYER = ("model/latency.py", "units.py")
 _PACKET_FACTORY = ("ht/packet.py",)
 #: the only module allowed to own randomness
 _RNG = ("sim/rng.py",)
+#: the only module allowed to arm fault hooks or damage packets
+_FAULT_LAYER = ("sim/faults.py",)
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -445,6 +447,66 @@ class SIM006DeterminismHazards(Rule):
                 )
 
 
+class SIM007FaultInjectionLayer(Rule):
+    """Faults enter the simulation only through ``sim/faults.py``.
+
+    Arming a component's ``_faults`` hook or stamping a packet's
+    corruption mark anywhere else injects a failure the active
+    :class:`~repro.sim.faults.FaultPlan` does not describe, so the run
+    can no longer be replayed from its plan + seed. Applies to tests
+    too: scenarios must build a plan, not poke the hooks.
+    """
+
+    code = "SIM007"
+    title = "fault hook armed / packet damaged outside sim/faults.py"
+
+    _META_KEYS = frozenset({"corrupt", "dropped", "faulted"})
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.in_module(*_FAULT_LAYER):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_target(ctx, target, node.value)
+            elif isinstance(node, ast.AugAssign):
+                yield from self._check_target(ctx, node.target, node.value)
+
+    def _check_target(
+        self, ctx: FileContext, target: ast.AST, value: ast.AST
+    ) -> Iterator[Violation]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from self._check_target(ctx, elt, value)
+            return
+        if isinstance(target, ast.Attribute) and target.attr == "_faults":
+            # hook sites may (re)initialise the hook to None; only the
+            # fault layer may arm it with a live injector
+            if not (isinstance(value, ast.Constant) and value.value is None):
+                yield ctx.violation(
+                    target,
+                    self.code,
+                    "fault hook '._faults' armed outside sim/faults.py — "
+                    "use Cluster.arm_faults()/FaultInjector.attach_* so "
+                    "the run stays described by its FaultPlan",
+                )
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            key = target.slice
+            marks = isinstance(base, ast.Attribute) and base.attr == "meta" and (
+                (isinstance(key, ast.Constant) and key.value in self._META_KEYS)
+                or (isinstance(key, ast.Name) and key.id == "CORRUPT_KEY")
+            )
+            if marks:
+                yield ctx.violation(
+                    target,
+                    self.code,
+                    "packet damage mark written outside sim/faults.py — "
+                    "add a corrupt_packets()/drop_packets() rule to a "
+                    "FaultPlan instead",
+                )
+
+
 #: registration order == reporting precedence
 ALL_RULES: list[Type[Rule]] = [
     SIM001EngineInternals,
@@ -453,6 +515,7 @@ ALL_RULES: list[Type[Rule]] = [
     SIM004PacketFactories,
     SIM005BatchTwinCoverage,
     SIM006DeterminismHazards,
+    SIM007FaultInjectionLayer,
 ]
 
 
