@@ -1,17 +1,17 @@
 #!/usr/bin/env python
-"""Simulator performance guard: fast tier AND packet tier.
+"""Simulator performance guard: fast tier, packet tier AND engine tier.
 
-Measures host-side simulation throughput on the hot paths of both
-simulation tiers (plain ``perf_counter`` loops, no plugin needed),
-records the rates in ``BENCH_fasttier.json`` / ``BENCH_packettier.json``
-at the repository root, and **exits non-zero if any path regressed more
-than 30%** against the committed ``baseline_ops_per_sec`` — run it
-before committing changes that touch ``mem/``, ``model/``, ``ht/``,
-``rmc/`` or ``cluster/``.
+Measures host-side simulation throughput on the hot paths of all three
+layers (plain ``perf_counter`` loops, no plugin needed), records the
+rates in ``BENCH_fasttier.json`` / ``BENCH_packettier.json`` /
+``BENCH_enginetier.json`` at the repository root, and **exits non-zero
+if any path regressed more than 30%** against the committed
+``baseline_ops_per_sec`` — run it before committing changes that touch
+``sim/``, ``mem/``, ``model/``, ``ht/``, ``rmc/`` or ``cluster/``.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_guard.py                # check both
+    PYTHONPATH=src python benchmarks/perf_guard.py                # check all
     PYTHONPATH=src python benchmarks/perf_guard.py --update-baseline
     PYTHONPATH=src python benchmarks/perf_guard.py --update-baseline packettier
 
@@ -22,7 +22,12 @@ file also keeps ``seed_ops_per_sec`` — the rates of the original
 per-line scalar implementation — so the speedup of the batched data
 path stays visible (``speedup_vs_seed``). For the packet tier the seed
 is the live ``batch=False`` scalar path: it is measured and recorded
-the first time the suite runs.
+the first time the suite runs. For the engine tier the seed is the
+pre-rework heapq-only engine, measured once with these exact bench
+bodies before the bucketed-queue rework landed and committed as a
+constant (that implementation no longer exists in the tree; the
+``queue="heapq"`` reference mode shares the rework's other
+optimisations, so it is *not* the seed).
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from __future__ import annotations
 import argparse
 import functools
 import json
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -51,13 +57,18 @@ from repro.units import PAGE_SIZE, mib  # noqa: E402
 
 
 def _rate(fn, ops: int, repeats: int = 3) -> float:
-    """Best ops/sec over *repeats* runs (min wall time wins)."""
-    best = float("inf")
+    """Median ops/sec over *repeats* runs.
+
+    The median (rather than the old min-wall-time) absorbs one-off
+    scheduler hiccups in either direction, so committed baselines move
+    less between otherwise identical runs.
+    """
+    times = []
     for _ in range(repeats):
         t0 = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - t0)
-    return ops / best
+        times.append(time.perf_counter() - t0)
+    return ops / statistics.median(times)
 
 
 def _page_addrs(n: int, seed: int = 0) -> list[int]:
@@ -244,6 +255,76 @@ def bench_packet_btree_search(batch: bool = True) -> float:
 
 
 # ---------------------------------------------------------------------------
+# Engine tier
+# ---------------------------------------------------------------------------
+
+
+def bench_engine_timeout_throughput() -> float:
+    """Chained timeouts: the dominant event class, pure engine work."""
+    from repro.sim.engine import Simulator
+
+    n = 30_000
+
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(n):
+                yield sim.timeout(1.0)
+
+        sim.process(ticker())
+        sim.run()
+        assert sim.now == float(n)
+
+    return _rate(run, n)
+
+
+def bench_engine_store_handoff() -> float:
+    """Producer/consumer rendezvous through a Store: the callback-heavy
+    succeed/resume path every queueing model leans on."""
+    from repro.sim.engine import Simulator
+    from repro.sim.resources import Store
+
+    n = 10_000
+
+    def run():
+        sim = Simulator()
+        store = Store(sim)
+
+        def producer():
+            for i in range(n):
+                yield store.put(i)
+                yield sim.timeout(0.0)
+
+        def consumer():
+            for _ in range(n):
+                yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+
+    return _rate(run, n)
+
+
+def bench_engine_packet_read_64B() -> float:
+    """End-to-end uncached remote reads: the engine speed the packet
+    tier actually sees (full RMC + fabric round trip per op)."""
+    _, app = _packet_session()
+    app.borrow_remote(2, mib(8))
+    ptr = app.malloc(mib(4), Placement.REMOTE)
+    nreads = 400
+    app.read(ptr, 64, cached=False)  # warm tag/route state
+
+    def run():
+        read = app.read
+        for i in range(nreads):
+            read(ptr + (i % 512) * 4096, 64, cached=False)
+
+    return _rate(run, nreads)
+
+
+# ---------------------------------------------------------------------------
 # Suite driver
 # ---------------------------------------------------------------------------
 
@@ -280,6 +361,20 @@ SUITES: dict = {
                 bench_packet_btree_search, batch=False
             ),
         },
+    ),
+    # The engine-tier seed is NOT a seed fn: it is the pre-rework
+    # heapq-only engine, which no longer exists in the tree. Its rates
+    # (measured with these exact bench bodies immediately before the
+    # bucketed-queue rework) are committed in BENCH_enginetier.json's
+    # seed_ops_per_sec and must not be regenerated.
+    "enginetier": (
+        REPO_ROOT / "BENCH_enginetier.json",
+        {
+            "engine_timeout_throughput": bench_engine_timeout_throughput,
+            "engine_store_handoff": bench_engine_store_handoff,
+            "engine_packet_read_64B": bench_engine_packet_read_64B,
+        },
+        {},
     ),
 }
 

@@ -439,7 +439,8 @@ class Core:
                     )
                 if response.ptype is not PacketType.NACK:
                     break
-                self.nack_retries.add()
+                # a NACKed burst retries all of its lines
+                self.nack_retries.add(request.line_count)
                 attempts += 1
                 if cfg.max_retries and attempts > cfg.max_retries:
                     raise RemoteAccessError(

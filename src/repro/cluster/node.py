@@ -75,7 +75,12 @@ class Node:
         #: the Remote Memory Controller (crossbar fallback: any address
         #: with a non-zero prefix lands here)
         self.rmc = RMC(
-            sim, rmc_config, amap, node_id, network, self.crossbar, tags
+            sim, rmc_config, amap, node_id, network, self.crossbar, tags,
+            # prefetch bursts obey the same controller-slice alignment
+            # as core-issued bursts
+            burst_align_bytes=(
+                config.interleave_bytes or config.dram.capacity_bytes
+            ),
         )
         self.crossbar.attach(self.rmc, fallback=True)
 

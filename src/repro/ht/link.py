@@ -45,6 +45,11 @@ class Link:
         self.sink = sink if sink is not None else Store(sim, name=f"{self.name}.rx")
         #: serialization is exclusive: model as "wire busy until" time
         self._busy_until = 0.0
+        #: low-priority virtual channel for prefetch traffic: prefetch
+        #: serializes behind demand (and other prefetch), but never
+        #: advances the demand lane's busy window, so a speculative
+        #: burst cannot head-of-line block a demand packet
+        self._pf_busy_until = 0.0
         #: fault-injection hook; armed only by sim/faults.py (SIM007)
         self._faults = None
         #: directed (src, dst) node pair, set by Network._wire
@@ -71,12 +76,18 @@ class Link:
         if not lost and self.sim.audit is not None:
             self.sim.audit.record("link", packet)
         now = self.sim.now
-        start = max(now, self._busy_until)
         # wire_bytes already includes the command header(s); for a burst
         # it covers one header per coalesced line, so serialization
         # equals that of the scalar packets the burst replaces
         ser = packet.wire_bytes / self.config.bandwidth_Bpns
-        self._busy_until = start + ser
+        if packet.meta.get("prefetch"):
+            # low-priority VC: wait out demand and earlier prefetch,
+            # claim only the prefetch lane
+            start = max(now, self._busy_until, self._pf_busy_until)
+            self._pf_busy_until = start + ser
+        else:
+            start = max(now, self._busy_until)
+            self._busy_until = start + ser
         self.packets.add(packet.line_count)
         self.bytes.add(packet.wire_bytes)
         self.occupancy.adjust(+1, now)

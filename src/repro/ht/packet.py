@@ -264,7 +264,12 @@ def clone_packet(packet: Packet, **overrides: Any) -> Packet:
 
 
 def make_nack(req: Packet, at_node: int) -> Packet:
-    """Flow-control reject for *req* emitted by a full buffer at *at_node*."""
+    """Flow-control reject for *req* emitted by a full buffer at *at_node*.
+
+    A burst request is rejected whole: the NACK mirrors the request's
+    ``line_count`` so every hop (and the decode at the requester)
+    charges the same per-line costs as the scalar NACKs it replaces.
+    """
     if not req.ptype.is_request:
         raise ProtocolError("only requests can be NACKed")
     return Packet(
@@ -275,6 +280,7 @@ def make_nack(req: Packet, at_node: int) -> Packet:
         size=0,
         tag=req.tag,
         meta={"nacked": req.ptype},
+        line_count=req.line_count,
     )
 
 

@@ -79,8 +79,7 @@ class StreamPrefetcher:
             # stream confirmed: fetch the next `depth` lines
             del self._heads[line - 1]
             self._set_head(line)
-            for ahead in range(1, self.config.depth + 1):
-                self._issue(line + ahead)
+            self._issue_span(line + 1, self.config.depth)
         else:
             self._set_head(line)  # a potential new stream
         return False
@@ -118,6 +117,27 @@ class StreamPrefetcher:
         limit = self.config.streams * self.config.depth * 2
         while len(self._prefetched) > limit:
             self._prefetched.popitem(last=False)
+            self.wasted += 1
+
+    def _issue_span(self, first: int, count: int) -> None:
+        """Issue *count* consecutive lines starting at *first* at once.
+
+        State and counters end up exactly as *count* single
+        :meth:`_issue` calls would leave them; the span entry point
+        skips the per-line limit check until the batch is inserted.
+        """
+        prefetched = self._prefetched
+        fresh = [
+            line for line in range(first, first + count)
+            if line not in prefetched
+        ]
+        for line in fresh:
+            prefetched[line] = None
+            prefetched.move_to_end(line)
+        self.issued += len(fresh)
+        limit = self.config.streams * self.config.depth * 2
+        while len(prefetched) > limit:
+            prefetched.popitem(last=False)
             self.wasted += 1
 
     @property

@@ -55,11 +55,18 @@ class Switch:
             capacity=config.switch_buffer_packets * port_count,
             name=f"sw{node_id}.in",
         )
+        # Low-priority virtual channel: prefetch bursts traverse through
+        # their own lane so a speculative multi-line burst can never
+        # head-of-line block a demand packet in the shared loop. The
+        # lane is unbounded — prefetch never exerts back-pressure on
+        # demand either.
+        self._pf_lane = Store(sim, name=f"sw{node_id}.pf")
         self.forwarded = Counter(f"sw{node_id}.forwarded")
         self.delivered = Counter(f"sw{node_id}.delivered")
         #: fault-injection hook; armed only by sim/faults.py (SIM007)
         self._faults = None
         sim.process(self._forward_loop(), name=f"sw{node_id}.fwd")
+        sim.process(self._pf_forward_loop(), name=f"sw{node_id}.pf_fwd")
 
     # -- wiring ----------------------------------------------------------
     def connect(self, neighbor: int, link: Link) -> None:
@@ -90,28 +97,46 @@ class Switch:
                 continue  # dropped in flight, or the node is dead
             if self.sim.audit is not None:
                 self.sim.audit.record(f"switch{self.node_id}", packet)
+            if packet.meta.get("prefetch"):
+                # divert to the low-priority VC; the demand loop moves
+                # straight on to the next ingress packet
+                yield self._pf_lane.put(packet)
+                continue
             # bursts pay one arbitration+traversal per coalesced line
             yield self.sim.timeout(
                 self.config.switch_latency_ns * packet.line_count
             )
-            if packet.dst == self.node_id:
-                self.delivered.add(packet.line_count)
-                if self._endpoint is None:
-                    raise TopologyError(
-                        f"switch {self.node_id}: packet arrived but no "
-                        "endpoint is attached"
-                    )
-                self._endpoint(packet)
-                continue
-            nxt = self.routing.next_hop(self.node_id, packet.dst)
-            try:
-                link = self.out_links[nxt]
-            except KeyError:
+            yield from self._dispatch(packet)
+
+    def _pf_forward_loop(self) -> Generator:
+        # same traversal charges as the demand loop, FIFO among
+        # prefetch packets only
+        while True:
+            packet: Packet = yield self._pf_lane.get()
+            yield self.sim.timeout(
+                self.config.switch_latency_ns * packet.line_count
+            )
+            yield from self._dispatch(packet)
+
+    def _dispatch(self, packet: Packet) -> Generator:
+        if packet.dst == self.node_id:
+            self.delivered.add(packet.line_count)
+            if self._endpoint is None:
                 raise TopologyError(
-                    f"switch {self.node_id}: no link toward {nxt}"
-                ) from None
-            packet.hops += 1
-            self.forwarded.add(packet.line_count)
-            # Wait for serialization (this is where link contention and
-            # back-pressure arise); propagation is pipelined inside Link.
-            yield link.send(packet)
+                    f"switch {self.node_id}: packet arrived but no "
+                    "endpoint is attached"
+                )
+            self._endpoint(packet)
+            return
+        nxt = self.routing.next_hop(self.node_id, packet.dst)
+        try:
+            link = self.out_links[nxt]
+        except KeyError:
+            raise TopologyError(
+                f"switch {self.node_id}: no link toward {nxt}"
+            ) from None
+        packet.hops += 1
+        self.forwarded.add(packet.line_count)
+        # Wait for serialization (this is where link contention and
+        # back-pressure arise); propagation is pipelined inside Link.
+        yield link.send(packet)

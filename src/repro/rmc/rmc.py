@@ -41,6 +41,7 @@ from repro.ht.packet import (
     PacketType,
     TagAllocator,
     clone_packet,
+    make_burst_read_req,
     make_ctrl,
     make_fault,
     make_nack,
@@ -57,6 +58,10 @@ from repro.sim.stats import Counter, Tally, TimeWeighted
 
 __all__ = ["RMC"]
 
+#: line-buffer write latency for a completed prefetch fill (one event
+#: per fill packet; a burst fill writes all its lines in that event)
+_FILL_NS = 10.0
+
 
 class RMC:
     """Remote Memory Controller bound to one node."""
@@ -70,6 +75,7 @@ class RMC:
         network: Network,
         crossbar: Crossbar,
         tags: TagAllocator,
+        burst_align_bytes: int = 0,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -80,6 +86,10 @@ class RMC:
         self.tags = tags
         self.name = f"rmc{node_id}"
         self.bridge = HNCBridge(amap, node_id)
+        #: prefetch bursts never cross this window (the destination
+        #: memory controller's slice/stripe), mirroring Core's burst
+        #: alignment discipline; 0 = unaligned
+        self.burst_align_bytes = burst_align_bytes
 
         # pipelines and buffers
         self._client_pipe = Resource(sim, 1, name=f"{self.name}.cpipe")
@@ -107,6 +117,10 @@ class RMC:
         # instrumentation
         self.prefetch_issued = Counter(f"{self.name}.pf_issued")
         self.prefetch_hits = Counter(f"{self.name}.pf_hits")
+        #: fetched lines dropped unreferenced (LRU eviction or write
+        #: invalidation) — the bandwidth the speculation burned for
+        #: nothing
+        self.prefetch_wasted = Counter(f"{self.name}.pf_wasted")
         self.client_requests = Counter(f"{self.name}.client_reqs")
         self.server_requests = Counter(f"{self.name}.server_reqs")
         self.client_nacks = Counter(f"{self.name}.client_nacks")
@@ -201,7 +215,8 @@ class RMC:
                     # a burst write dirties every line it covers
                     last_line = (packet.addr + packet.size - 1) & ~(_LINE - 1)
                     for la in range(line_addr, last_line + _LINE, _LINE):
-                        self._prefetch_data.pop(la, None)
+                        if self._prefetch_data.pop(la, None) is not None:
+                            self.prefetch_wasted.add()
                 elif (
                     packet.ptype is PacketType.READ_REQ
                     and line_addr in self._prefetch_data
@@ -227,9 +242,12 @@ class RMC:
                     continue
 
             if self._slots.count >= self._slots.capacity:
-                # Buffer full: decode + NACK through the client pipe.
-                self.client_nacks.add()
-                yield from self._pipe_service(self._client_pipe, cfg.nack_ns)
+                # Buffer full: decode + NACK through the client pipe. A
+                # burst is rejected whole in one event, charged per line.
+                self.client_nacks.add(packet.line_count)
+                yield from self._pipe_service(
+                    self._client_pipe, cfg.nack_ns * packet.line_count
+                )
                 yield reply_to.put(make_nack(packet, self.node_id))
                 continue
             slot = self._slots.request()
@@ -321,8 +339,10 @@ class RMC:
         recovers the transaction end to end.
         """
         if packet.ptype.is_request:
-            self.server_nacks.add()
-            yield from self._pipe_service(self._server_pipe, self.config.nack_ns)
+            self.server_nacks.add(packet.line_count)
+            yield from self._pipe_service(
+                self._server_pipe, self.config.nack_ns * packet.line_count
+            )
             yield self.network.inject(
                 self.node_id, make_nack(packet, self.node_id)
             )
@@ -330,8 +350,11 @@ class RMC:
     def _admit_server_request(self, packet: Packet) -> Generator:
         cfg = self.config
         if self._server_slots.count >= self._server_slots.capacity:
-            self.server_nacks.add()
-            yield from self._pipe_service(self._server_pipe, cfg.nack_ns)
+            # whole-burst rejection: one decode event, per-line charge
+            self.server_nacks.add(packet.line_count)
+            yield from self._pipe_service(
+                self._server_pipe, cfg.nack_ns * packet.line_count
+            )
             yield self.network.inject(
                 self.node_id, make_nack(packet, self.node_id)
             )
@@ -388,19 +411,27 @@ class RMC:
     def _complete_prefetch(self, packet: Packet) -> Generator:
         # a fill is just a line-buffer write: it must never queue
         # behind prefetch *issues* (or it loses the race against the
-        # demand stream by one pipe service, forever)
-        yield self.sim.timeout(10.0)
+        # demand stream by one pipe service, forever). A burst fill
+        # writes all its lines in this one event — the scalar twin's N
+        # fill processes each pay the same latency in parallel, so the
+        # lines land at the same instant either way.
+        yield self.sim.timeout(_FILL_NS)
         if self._lossy() and packet.tag not in self.outstanding:
             self.stale_responses.add()
             return
         op = self.outstanding.complete(packet.tag)
-        line_addr = op.request.addr
-        self._prefetch_inflight.discard(line_addr)
         assert packet.payload is not None
-        self._prefetch_data[line_addr] = packet.payload
-        self._prefetch_data.move_to_end(line_addr)
+        base = op.request.addr
+        for i in range(packet.line_count):
+            line_addr = base + i * _LINE
+            self._prefetch_inflight.discard(line_addr)
+            self._prefetch_data[line_addr] = packet.payload[
+                i * _LINE : (i + 1) * _LINE
+            ]
+            self._prefetch_data.move_to_end(line_addr)
         while len(self._prefetch_data) > self.config.prefetch_buffer_lines:
             self._prefetch_data.popitem(last=False)
+            self.prefetch_wasted.add()
 
     def _issue_prefetches(self, demand_addr: int) -> Generator:
         """Fetch the next ``prefetch_depth`` lines after a demand read.
@@ -408,9 +439,23 @@ class RMC:
         Prefetches bypass the scarce demand slots (they have their own
         small buffer) but pay the client pipe and the fabric like any
         transaction — the bandwidth cost of prefetching is real.
+
+        With ``prefetch_batch`` (the default) the missing lines go out
+        as coalesced burst reads — one packet per run of consecutive
+        lines, charged per line at every hop and filled in one event at
+        completion. ``prefetch_batch=False`` is the scalar
+        one-packet-per-line reference twin; issued/hit/wasted counters
+        are identical either way.
         """
         owner = self.amap.node_of(demand_addr)
         line_addr = demand_addr & ~(_LINE - 1)
+        if not self.config.prefetch_batch:
+            yield from self._issue_prefetches_scalar(owner, line_addr)
+            return
+        # collect the missing candidates upfront: fills only ever land
+        # for in-flight lines, which are skipped here, so a candidate
+        # cannot become buffered between this scan and its issue
+        candidates: list[int] = []
         for d in range(1, self.config.prefetch_depth + 1):
             pf_addr = line_addr + d * _LINE
             if self.amap.node_of(pf_addr) != owner:
@@ -423,28 +468,70 @@ class RMC:
             # reserve before the (slow) pipe service so concurrent
             # issuing processes never duplicate a fetch
             self._prefetch_inflight.add(pf_addr)
+            candidates.append(pf_addr)
+        for start, count in self._pf_runs(candidates):
+            yield from self._pipe_service(
+                self._prefetch_pipe, self.config.per_op_ns() * count
+            )
+            pf_request = make_burst_read_req(
+                self.node_id, owner, start, _LINE, count, self.tags.next()
+            )
+            yield from self._launch_prefetch(pf_request, count)
+
+    def _issue_prefetches_scalar(self, owner: int, line_addr: int) -> Generator:
+        """One packet per line: the reference twin of the burst path."""
+        for d in range(1, self.config.prefetch_depth + 1):
+            pf_addr = line_addr + d * _LINE
+            if self.amap.node_of(pf_addr) != owner:
+                break  # never cross the owner window
+            if (
+                pf_addr in self._prefetch_data
+                or pf_addr in self._prefetch_inflight
+            ):
+                continue
+            self._prefetch_inflight.add(pf_addr)
             yield from self._pipe_service(
                 self._prefetch_pipe, self.config.per_op_ns()
             )
             pf_request = make_read_req(
                 self.node_id, owner, pf_addr, _LINE, self.tags.next()
             )
-            pf_request.issue_ns = self.sim.now
-            pf_request.meta["prefetch"] = True
-            self.prefetch_issued.add()
-            pf_op = PendingOp(
-                request=pf_request,
-                reply_to=None,
-                slot=None,
-                issue_ns=self.sim.now,
-                meta={"prefetch": True},
+            yield from self._launch_prefetch(pf_request, 1)
+
+    def _launch_prefetch(self, pf_request: Packet, count: int) -> Generator:
+        """Register *pf_request* as an outstanding prefetch and send it."""
+        pf_request.issue_ns = self.sim.now
+        pf_request.meta["prefetch"] = True
+        self.prefetch_issued.add(count)
+        pf_op = PendingOp(
+            request=pf_request,
+            reply_to=None,
+            slot=None,
+            issue_ns=self.sim.now,
+            meta={"prefetch": True},
+        )
+        self.outstanding.add(pf_op)
+        if self._watchdog.enabled:
+            self.sim.process(
+                self._watchdog.watch(pf_op), name=f"{self.name}.wdog"
             )
-            self.outstanding.add(pf_op)
-            if self._watchdog.enabled:
-                self.sim.process(
-                    self._watchdog.watch(pf_op), name=f"{self.name}.wdog"
-                )
-            yield self.network.inject(self.node_id, pf_request)
+        yield self.network.inject(self.node_id, pf_request)
+
+    def _pf_runs(self, lines: list[int]):
+        """Split ascending line addresses into maximal consecutive runs
+        that never cross a ``burst_align_bytes`` window boundary (the
+        same discipline as ``Core._runs``, in address units)."""
+        if not lines:
+            return
+        align = self.burst_align_bytes
+        start = prev = lines[0]
+        for la in lines[1:]:
+            if la == prev + _LINE and (not align or la % align):
+                prev = la
+                continue
+            yield start, (prev - start) // _LINE + 1
+            start = prev = la
+        yield start, (prev - start) // _LINE + 1
 
     def _retransmit(self, nack: Packet) -> Generator:
         """A remote server NACKed one of our requests: back off and resend.
@@ -484,7 +571,7 @@ class RMC:
             # the retransmission re-reads clean state: it must not
             # inherit an in-flight corruption mark from the last try
             self._faults.scrub(op.request)
-        self.retransmissions.add()
+        self.retransmissions.add(op.request.line_count)
         yield from self._pipe_service(
             self._client_pipe,
             self.config.per_op_ns() * op.request.line_count,
@@ -502,7 +589,10 @@ class RMC:
         if tag in self.outstanding:
             self.outstanding.complete(tag)
         if op.is_prefetch:
-            self._prefetch_inflight.discard(op.request.addr)
+            # a burst prefetch covers line_count lines; free them all
+            base = op.request.addr
+            for i in range(op.request.line_count):
+                self._prefetch_inflight.discard(base + i * _LINE)
             return
         assert op.slot is not None and op.reply_to is not None
         self._slots.release(op.slot)

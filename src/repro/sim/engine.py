@@ -1,9 +1,9 @@
 """Generator-coroutine discrete-event simulation core.
 
-The engine follows the classic event-list design: a binary heap of
-``(time, sequence, event)`` entries drives a clock that jumps from one
-event to the next. Model behaviour is written as generator functions
-("processes") that ``yield`` waitables:
+The engine follows the classic event-list design: a time-ordered queue
+of ``(time, sequence, event)`` entries drives a clock that jumps from
+one event to the next. Model behaviour is written as generator
+functions ("processes") that ``yield`` waitables:
 
 * :class:`Timeout` — resume after a simulated delay,
 * :class:`Event` — resume when some other process triggers it,
@@ -13,19 +13,31 @@ event to the next. Model behaviour is written as generator functions
 Determinism: ties in time are broken by a monotonically increasing
 sequence number, so two runs with the same seeds replay identically.
 Time is measured in nanoseconds (see :mod:`repro.units`).
+
+Queue disciplines (see :mod:`repro.sim.equeue`): the default
+``queue="bucket"`` keeps events due at the current instant in a FIFO
+ready lane and drains same-timestamp heap ties in one pass on every
+clock advance; ``queue="heapq"`` is the plain binary-heap reference
+spec the differential suite pins the bucketed discipline against. Both
+fire events in identical ``(time, seq)`` order. The hot paths below
+(``Timeout.__init__``, the non-debug ``run`` loop) inline the queue
+operations — :mod:`repro.sim.equeue` documents the semantics they must
+agree with, and ``tests/sim/test_equeue_differential.py`` enforces it.
 """
 
 from __future__ import annotations
 
-import heapq
 import os
 from collections.abc import Generator
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.sim.equeue import make_queue
 from repro.sim.sanitize import (
     PacketAudit,
     check_clock_monotonic,
+    check_ready_entry,
     check_schedule_delay,
 )
 
@@ -42,6 +54,8 @@ __all__ = [
 
 #: Sentinel for "event created but not yet triggered".
 _PENDING = object()
+
+_INF = float("inf")
 
 
 class Event:
@@ -90,6 +104,10 @@ class Event:
         """Trigger the event successfully with *value* after *delay*."""
         if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
+        if delay < 0:
+            # reject before touching _ok/_value: a failed trigger must
+            # leave the event pending and re-triggerable
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._ok = True
         self._value = value
         self.sim._schedule(self, delay)
@@ -105,6 +123,10 @@ class Event:
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
         if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
+        if delay < 0:
+            # reject before touching _ok/_value: a failed trigger must
+            # leave the event pending and re-triggerable
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._ok = False
         self._value = exception
         self.sim._schedule(self, delay)
@@ -112,7 +134,7 @@ class Event:
 
     # -- engine internals ---------------------------------------------------
     def _fire(self) -> None:
-        """Run callbacks. Called by the simulator when popped off the heap."""
+        """Run callbacks. Called by the simulator when popped off the queue."""
         callbacks, self.callbacks = self.callbacks, None
         assert callbacks is not None
         for cb in callbacks:
@@ -137,18 +159,39 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    This is the dominant event kind (every timed hop in the model is a
+    timeout), so construction inlines the schedule: a fresh timeout
+    cannot be double-triggered, and the queue push happens right here
+    instead of through :meth:`Simulator._schedule`. The semantics match
+    the out-of-line path exactly — same validation, same ``(time, seq)``
+    entry, same bucket-vs-heap placement.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
+        if sim.debug:
+            check_schedule_delay(sim._now, delay)
+        self.sim = sim
+        self.callbacks = []
         self._ok = True
         self._value = value
-        sim._schedule(self, delay)
+        self._scheduled = True
+        self.delay = delay
+        now = sim._now
+        when = now + delay
+        seq = sim._seq
+        sim._seq = seq + 1
+        # ``when == now`` also catches positive delays that underflow to
+        # the current instant (now + delay == now in float arithmetic)
+        if sim._bucket and when == now:
+            sim._ready.append((when, seq, self))
+        else:
+            heappush(sim._heap, (when, seq, self))
 
 
 class Interrupt(Exception):
@@ -166,7 +209,7 @@ class Process(Event):
     or fails with the exception that escaped the generator.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_resume_cb", "name")
 
     def __init__(
         self,
@@ -181,12 +224,15 @@ class Process(Event):
         super().__init__(sim)
         self._generator = generator
         self._target: Optional[Event] = None
+        # one bound method for the process's lifetime instead of a
+        # fresh `self._resume` binding per yield
+        self._resume_cb = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         # Kick off the process at the current simulation time.
         init = Event(sim)
         init._ok = True
         init._value = None
-        init.add_callback(self._resume)
+        init.add_callback(self._resume_cb)
         sim._schedule(init, 0.0)
 
     @property
@@ -208,20 +254,21 @@ class Process(Event):
         # callback list). The event may fire later; we simply ignore it.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:  # pragma: no cover - already detached
                 pass
         self._target = None
         interrupt_evt = Event(self.sim)
         interrupt_evt._ok = False
         interrupt_evt._value = Interrupt(cause)
-        interrupt_evt.add_callback(self._resume)
+        interrupt_evt.add_callback(self._resume_cb)
         self.sim._schedule(interrupt_evt, 0.0)
 
     # -- engine internals ---------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with the result of *event*."""
-        self.sim._active = self
+        sim = self.sim
+        sim._active = self
         try:
             if event._ok:
                 target = self._generator.send(event._value)
@@ -230,17 +277,17 @@ class Process(Event):
         except StopIteration as stop:
             self._ok = True
             self._value = stop.value
-            self.sim._schedule(self, 0.0)
+            sim._schedule(self, 0.0)
             return
         except BaseException as exc:
             self._ok = False
             self._value = exc
-            if not self.sim._catch_process_errors:
+            if not sim._catch_process_errors:
                 raise
-            self.sim._schedule(self, 0.0)
+            sim._schedule(self, 0.0)
             return
         finally:
-            self.sim._active = None
+            sim._active = None
 
         if not isinstance(target, Event):
             # Tell the generator it misbehaved so stack traces point at it.
@@ -252,16 +299,21 @@ class Process(Event):
             except StopIteration as stop:  # pragma: no cover
                 self._ok = True
                 self._value = stop.value
-                self.sim._schedule(self, 0.0)
+                sim._schedule(self, 0.0)
                 return
             except BaseException as err:
                 self._ok = False
                 self._value = err
                 raise
-        if target.sim is not self.sim:
+        if target.sim is not sim:
             raise SimulationError("cannot wait on an event from another simulator")
         self._target = target
-        target.add_callback(self._resume)
+        # inlined target.add_callback(self._resume_cb)
+        callbacks = target.callbacks
+        if callbacks is None:
+            self._resume(target)
+        else:
+            callbacks.append(self._resume_cb)
 
 
 class Condition(Event):
@@ -327,7 +379,7 @@ class AllOf(Condition):
 
 
 class Simulator:
-    """The event loop: a clock plus a time-ordered event heap.
+    """The event loop: a clock plus a time-ordered event queue.
 
     Typical use::
 
@@ -341,19 +393,47 @@ class Simulator:
         items = []
         sim.process(producer(sim, items))
         sim.run()
+
+    ``queue`` selects the event-list discipline: ``"bucket"`` (default,
+    ready-lane + same-timestamp draining) or ``"heapq"`` (the plain
+    binary-heap reference spec). Fire order is identical; see
+    :mod:`repro.sim.equeue`.
     """
+
+    __slots__ = (
+        "_now",
+        "_equeue",
+        "_heap",
+        "_ready",
+        "_bucket",
+        "_seq",
+        "_running",
+        "_active",
+        "_catch_process_errors",
+        "queue_kind",
+        "debug",
+        "audit",
+    )
 
     def __init__(
         self,
         *,
         catch_process_errors: bool = False,
         debug: Optional[bool] = None,
+        queue: str = "bucket",
     ) -> None:
         self._now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self._equeue = make_queue(queue)
+        # Alias the queue's storage so hot paths touch the containers
+        # directly; equeue.py documents the push/pop semantics.
+        self._heap = self._equeue.heap
+        self._ready = self._equeue.ready
+        self._bucket: bool = self._equeue.bucketed
         self._seq: int = 0
         self._running = False
         self._active: Optional[Process] = None
+        #: Which queue discipline this simulator runs ("bucket"/"heapq").
+        self.queue_kind: str = queue
         #: When True, exceptions escaping a process fail its event
         #: instead of aborting the run (useful for fault injection).
         self._catch_process_errors = catch_process_errors
@@ -406,28 +486,52 @@ class Simulator:
         if event._scheduled:
             raise SimulationError(f"{event!r} is already scheduled")
         event._scheduled = True
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
-        self._seq += 1
+        now = self._now
+        when = now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        if self._bucket and when == now:
+            self._ready.append((when, seq, event))
+        else:
+            heappush(self._heap, (when, seq, event))
 
     # -- execution ---------------------------------------------------------
     def peek(self) -> float:
-        """Time of the next event, or ``inf`` if the heap is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        ready = self._ready
+        if ready:
+            return ready[0][0]
+        heap = self._heap
+        return heap[0][0] if heap else _INF
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
+        ready = self._ready
+        if ready:
+            when, _, event = ready.popleft()
+            if self.debug:
+                check_ready_entry(self._now, when)
+            event._fire()
+            return
+        heap = self._heap
+        if not heap:
             raise SimulationError(
                 "no events scheduled: step() on an empty event heap"
             )
-        when, _, event = heapq.heappop(self._heap)
+        when, _, event = heappop(heap)
         if self.debug:
             check_clock_monotonic(self._now, when)
         self._now = when
+        if self._bucket:
+            # same-timestamp draining: move every entry tied at `when`
+            # into the ready lane in one pass (heap pops of equal times
+            # come out in seq order, so the lane stays sorted)
+            while heap and heap[0][0] == when:
+                ready.append(heappop(heap))
         event._fire()
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains or the clock reaches *until*.
+        """Run until the queue drains or the clock reaches *until*.
 
         Returns the final simulation time. If *until* is given the
         clock is advanced exactly to it even if no event lies there.
@@ -440,11 +544,42 @@ class Simulator:
             )
         self._running = True
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
-                    self._now = until
-                    return self._now
-                self.step()
+            if self.debug:
+                # checked path: one event at a time through step(), so
+                # every sanitizer hook fires
+                while self._ready or self._heap:
+                    if until is not None and self.peek() > until:
+                        break
+                    self.step()
+            else:
+                # hot path: same semantics as repeated step(), with the
+                # queue containers bound as locals and the callback loop
+                # of Event._fire() inlined
+                heap = self._heap
+                ready = self._ready
+                bucket = self._bucket
+                popleft = ready.popleft
+                drain = ready.append
+                while True:
+                    if ready:
+                        event = popleft()[2]
+                    elif heap:
+                        # the until-horizon only needs checking when the
+                        # clock advances: ready entries fire at _now,
+                        # which never exceeds `until`
+                        if until is not None and heap[0][0] > until:
+                            break
+                        when, _, event = heappop(heap)
+                        self._now = when
+                        if bucket:
+                            while heap and heap[0][0] == when:
+                                drain(heappop(heap))
+                    else:
+                        break
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for cb in callbacks:
+                        cb(event)
             if until is not None:
                 self._now = until
         finally:
@@ -454,7 +589,7 @@ class Simulator:
     def run_process(self, generator: Generator[Any, Any, Any]) -> Any:
         """Convenience: run *generator* as a process to completion.
 
-        Drains the whole event heap, then returns the process's return
+        Drains the whole event queue, then returns the process's return
         value (re-raising any exception that escaped it).
         """
         proc = self.process(generator)
@@ -469,4 +604,7 @@ class Simulator:
         return proc._value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self._now:.1f}ns queued={len(self._heap)}>"
+        return (
+            f"<Simulator t={self._now:.1f}ns "
+            f"queued={len(self._heap) + len(self._ready)}>"
+        )

@@ -50,6 +50,17 @@ class Resource:
     requesters queue in arrival order.
     """
 
+    __slots__ = (
+        "sim",
+        "capacity",
+        "name",
+        "_users",
+        "_queue",
+        "total_requests",
+        "total_wait_time",
+        "_request_times",
+    )
+
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
@@ -128,6 +139,18 @@ class Store:
     (immediately unless the store is full). ``get`` returns an event
     whose value is the retrieved item.
     """
+
+    __slots__ = (
+        "sim",
+        "capacity",
+        "name",
+        "_items",
+        "_getters",
+        "_putters",
+        "total_puts",
+        "total_gets",
+        "max_level",
+    )
 
     def __init__(
         self,

@@ -38,6 +38,7 @@ __all__ = [
     "PacketAudit",
     "check_schedule_delay",
     "check_clock_monotonic",
+    "check_ready_entry",
 ]
 
 
@@ -66,6 +67,22 @@ def check_clock_monotonic(now: float, when: float) -> None:
         raise SanitizeError(
             f"clock would run backwards: popping event at t={when} "
             f"while now={now}"
+        )
+
+
+def check_ready_entry(now: float, when: float) -> None:
+    """Assert a ready-lane entry is due at the current instant.
+
+    The bucketed queue's invariant is that the ready lane only ever
+    holds entries scheduled for exactly the current clock value; a
+    violation means a push leaked a future (or past) time into the
+    lane, which would silently reorder events relative to the heapq
+    reference.
+    """
+    if when != now:
+        raise SanitizeError(
+            f"ready-lane invariant violated: entry due at t={when} "
+            f"in the current-instant bucket while now={now}"
         )
 
 

@@ -100,6 +100,17 @@ def test_nack_only_for_requests():
         make_nack(resp, at_node=9)
 
 
+def test_nack_mirrors_burst_line_count():
+    req = make_burst_read_req(4, 9, 0x1000, 64, 8, tag=33)
+    nack = make_nack(req, at_node=9)
+    assert nack.line_count == 8
+    assert nack.size == 0
+    # one header per rejected line: same wire cost as 8 scalar NACKs
+    assert nack.wire_bytes == 8 * 8
+    # a scalar request still yields a scalar NACK
+    assert make_nack(make_read_req(4, 9, 0x99, 64, tag=1), 9).line_count == 1
+
+
 def test_ctrl_carries_meta():
     ctrl = make_ctrl(1, 3, tag=5, kind="reserve", size=4096)
     assert ctrl.ptype is PacketType.CTRL

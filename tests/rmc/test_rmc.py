@@ -175,6 +175,9 @@ def test_client_nack_retries_whole_burst():
     rmc = cluster.node(1).rmc
     retries = core_a.nack_retries.value + core_b.nack_retries.value
     assert rmc.client_nacks.value == retries >= 1
+    # the whole-burst NACK decode counts all 64 rejected lines in its
+    # single event, and the core's retry counter mirrors it
+    assert rmc.client_nacks.value % 64 == 0
     assert len(rmc.outstanding) == 0
     # the re-sent burst was accepted whole: the client pipe saw each
     # burst's full line count exactly once
@@ -205,6 +208,9 @@ def test_server_nack_retransmits_whole_burst_over_fabric():
     clients = [cluster.node(1).rmc, cluster.node(3).rmc]
     retx = sum(c.retransmissions.value for c in clients)
     assert server.server_nacks.value == retx >= 1
+    # one decode event per rejected burst, charged per line: both the
+    # NACK counter and the retransmission counter move in 64-line units
+    assert server.server_nacks.value % 64 == 0
     assert server.server_requests.value == sum(
         c.client_requests.value for c in clients
     )

@@ -106,6 +106,28 @@ def test_fail_requires_exception(sim):
         sim.event().fail("not an exception")  # type: ignore[arg-type]
 
 
+def test_succeed_negative_delay_leaves_event_pending(sim):
+    evt = sim.event()
+    with pytest.raises(SimulationError, match="past"):
+        evt.succeed(1, delay=-1.0)
+    # the rejected trigger must not have consumed the event: it is
+    # still pending and can be triggered for real
+    assert not evt.triggered
+    evt.succeed(2)
+    sim.run()
+    assert evt.value == 2
+
+
+def test_fail_negative_delay_leaves_event_pending(sim):
+    evt = sim.event()
+    with pytest.raises(SimulationError, match="past"):
+        evt.fail(RuntimeError("boom"), delay=-0.5)
+    assert not evt.triggered
+    evt.succeed(7)
+    sim.run()
+    assert evt.value == 7
+
+
 def test_value_before_trigger_is_error(sim):
     with pytest.raises(SimulationError):
         _ = sim.event().value

@@ -46,6 +46,27 @@ def test_sim001_allows_the_engine_itself(tmp_path):
     assert _codes(tmp_path, {"sim/engine.py": src}) == []
 
 
+def test_sim001_flags_ready_lane_and_queue_object(tmp_path):
+    # the bucketed-queue internals are engine state like _heap/_now
+    src = (
+        "def drain(sim):\n"
+        "    sim._ready.clear()\n"
+        "    sim._equeue.pop()\n"
+    )
+    assert _codes(tmp_path, {"pkg/hack.py": src}) == ["SIM001", "SIM001"]
+
+
+def test_sim001_allows_the_queue_module(tmp_path):
+    src = (
+        "class BucketEventQueue:\n"
+        "    def clear(self):\n"
+        "        self.ready.clear()\n"
+        "def reset(q):\n"
+        "    q._ready = []\n"
+    )
+    assert _codes(tmp_path, {"sim/equeue.py": src}) == []
+
+
 # -- SIM002: timed cost via Simulator.timeout ----------------------------
 
 def test_sim002_flags_schedule_timeout_and_heapq(tmp_path):
@@ -63,6 +84,18 @@ def test_sim002_flags_schedule_timeout_and_heapq(tmp_path):
 def test_sim002_allows_sim_timeout(tmp_path):
     src = "def charge(sim):\n    yield sim.timeout(5.0)\n"
     assert "SIM002" not in _codes(tmp_path, {"pkg/ok.py": src})
+
+
+def test_sim002_allows_heapq_in_the_queue_module(tmp_path):
+    # sim/equeue.py is engine-internal: it owns the heap operations
+    src = (
+        "from heapq import heappop, heappush\n"
+        "def push(heap, entry):\n"
+        "    heappush(heap, entry)\n"
+        "def pop(heap):\n"
+        "    return heappop(heap)\n"
+    )
+    assert "SIM002" not in _codes(tmp_path, {"sim/equeue.py": src})
 
 
 # -- SIM003: float-literal drift on *_ns ---------------------------------
