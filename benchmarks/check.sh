@@ -25,9 +25,13 @@ step() {
 
 step "tier-1 test suite" python -m pytest -x -q
 
-step "simcheck (SIM001-SIM007)" python -m simcheck src tests
+step "simcheck (SIM001-SIM008)" python -m simcheck src tests
 
 step "fault smoke (donor kill)" python benchmarks/fault_smoke.py
+
+# sanitizers ON for the chaos soak: a schedule that trips an engine or
+# packet invariant must fail the gate, not silently mis-simulate
+step "chaos soak (quick)" env REPRO_SANITIZE=1 python benchmarks/chaos_soak.py --quick
 
 if command -v ruff >/dev/null 2>&1; then
     step "ruff lint" ruff check src tools tests

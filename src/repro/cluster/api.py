@@ -48,6 +48,12 @@ class Session:
         )
         #: optional Section IV-B discipline checker (attach_discipline)
         self.discipline = None
+        #: recoverable snapshots: allocation vaddr -> {page vaddr: bytes}.
+        #: Stands in for the owner's backing store / swap tier — the
+        #: clean copy recovery re-materializes pages from. Pages written
+        #: after their last checkpoint are dirty-and-lost if the donor
+        #: dies (reported precisely, per line).
+        self._shadow: dict[int, dict[int, bytes]] = {}
 
     # -- memory management ------------------------------------------------
     def borrow_remote(self, donor: int, size: int) -> Reservation:
@@ -62,6 +68,36 @@ class Session:
 
     def free(self, vaddr: int) -> None:
         self.allocator.free(vaddr)
+        self._shadow.pop(vaddr, None)
+
+    # -- recoverable snapshots --------------------------------------------
+    def checkpoint(self, vaddr: int) -> None:
+        """Snapshot an allocation's current contents as its clean copy.
+
+        Untimed and functional — the analogue of the page finding its
+        way to the owner's swap tier / backing store, which benchmarks
+        leave unmeasured. After a donor death, recovery re-materializes
+        the allocation's pages from this copy; lines the application
+        dirtied *after* the snapshot are precisely the dirty-and-lost
+        ones.
+        """
+        alloc = self.allocator.allocation_at(vaddr)
+        page = self.aspace.page_bytes
+        pages: dict[int, bytes] = {}
+        # walk the page table directly: a snapshot must not perturb the
+        # TLB or the walk counters a timed run depends on
+        for i in range(-(-alloc.size // page)):
+            pv = vaddr + i * page
+            pte = self.aspace.page_table.lookup(pv // page)
+            assert pte is not None, "checkpoint of unmapped page"
+            pages[pv] = self.cluster.fn_read(
+                self._core(0)._prefixed(pte.phys_page), page
+            )
+        self._shadow[vaddr] = pages
+
+    def shadow_of(self, vaddr: int) -> "dict[int, bytes] | None":
+        """The last checkpoint of the allocation at *vaddr*, if any."""
+        return self._shadow.get(vaddr)
 
     # -- optional runtime checking ---------------------------------------
     def attach_discipline(self, strict: bool = True):
@@ -102,6 +138,8 @@ class Session:
         chunks: list[bytes] = []
         for part_vaddr, part_size in self._split(vaddr, size):
             trans = self.aspace.translate(part_vaddr)
+            if trans.pte.damaged:
+                self.aspace.check_lost(part_vaddr, part_size)
             if not trans.tlb_hit:
                 yield self.sim.timeout(TLB_WALK_NS)
             self._check(core, trans.phys_addr, part_size, False, cached)
@@ -125,6 +163,8 @@ class Session:
         offset = 0
         for part_vaddr, part_size in self._split(vaddr, len(data)):
             trans = self.aspace.translate(part_vaddr)
+            if trans.pte.damaged:
+                self.aspace.heal_lost(part_vaddr, part_size)
             if not trans.tlb_hit:
                 yield self.sim.timeout(TLB_WALK_NS)
             part = data[offset : offset + part_size]
@@ -231,6 +271,8 @@ class Session:
         offset = 0
         for part_vaddr, part_size in self._split(vaddr, len(data)):
             trans = self.aspace.translate(part_vaddr)
+            if trans.pte.damaged:
+                self.aspace.heal_lost(part_vaddr, part_size)
             self.cluster.fn_write(
                 c._prefixed(trans.phys_addr), data[offset : offset + part_size]
             )

@@ -20,10 +20,11 @@ from __future__ import annotations
 import math
 from typing import Generator, Optional
 
+from repro.cluster import health as _health
 from repro.cluster.node import Node
 from repro.cluster.regions import RegionManager
 from repro.cluster.reservation import Reservation
-from repro.config import ClusterConfig
+from repro.config import ClusterConfig, HealthConfig
 from repro.errors import AddressError, ConfigError, RemoteAccessError
 from repro.ht.packet import TagAllocator
 from repro.mem.addressmap import DEFAULT_NODE_SHIFT, AddressMap
@@ -88,6 +89,12 @@ class Cluster:
         #: fault injector, present only once :meth:`arm_faults` ran —
         #: a cluster that never arms one carries no failure machinery
         self.faults: Optional[FaultInjector] = None
+        #: health monitor, present only once :meth:`arm_health` ran —
+        #: same zero-cost-when-disarmed discipline as the fault layer
+        self.health: Optional["_health.HealthMonitor"] = None
+        #: donors already degraded (revoke/drop/poison ran), so the
+        #: fault callback and a health declaration never double-degrade
+        self._degraded: set[int] = set()
         #: sessions opened via :meth:`session`, so donor-death cleanup
         #: can reach every process's allocator and page table
         self._sessions: list = []
@@ -152,6 +159,8 @@ class Cluster:
             borrower, donor, reservation.prefixed_start, reservation.size
         )
         self.regions.check_invariants()
+        if self.health is not None and self.health.cfg.watch_on_borrow:
+            self.health.on_new_lease(borrower, reservation)
         return reservation
 
     def give_back(self, borrower: int, reservation: Reservation) -> None:
@@ -196,6 +205,41 @@ class Cluster:
         self.faults = injector
         return injector
 
+    def arm_health(
+        self, config: Optional[HealthConfig] = None
+    ) -> "_health.HealthMonitor":
+        """Attach failure detection (and, with a TTL, finite leases).
+
+        Until this is called no heartbeat, lease, or recovery machinery
+        exists anywhere — the simulation is bit-identical to a build
+        without the health subsystem. With ``lease_ttl_ns`` set, every
+        donor's grants become finite leases and every borrower runs a
+        renewal daemon per lease. Leases already held when arming are
+        picked up.
+        """
+        if self.health is not None:
+            raise ConfigError("the health subsystem is already armed")
+        cfg = config if config is not None else self.config.health
+        monitor = _health.HealthMonitor(self, cfg)
+        self.health = monitor
+        if cfg.lease_ttl_ns:
+            for n, node in self.nodes.items():
+                node.os.arm_leases(
+                    cfg.lease_ttl_ns,
+                    cfg.lease_grace_ns,
+                    is_down=lambda nid=n: (
+                        self.faults is not None
+                        and nid in self.faults.dead_nodes
+                    ),
+                )
+        if cfg.watch_on_borrow:
+            for node in self.nodes.values():
+                for start in sorted(node.reservations.held):
+                    monitor.on_new_lease(
+                        node.node_id, node.reservations.held[start]
+                    )
+        return monitor
+
     def kill_node(self, node_id: int) -> None:
         """Fail-stop *node_id* immediately (arms a default plan if needed)."""
         self.node(node_id)
@@ -212,25 +256,14 @@ class Cluster:
         self.faults.fail_link(a, b)
 
     def _on_node_death(self, dead: int) -> None:
-        """Degrade gracefully: revoke leases, unmap lost memory.
+        """Fault-injector death callback: delegate to the health layer.
 
-        Mirrors what each survivor's OS would do on a machine-check
-        storm from the fabric: leases from the dead donor are revoked,
-        its segments leave the borrowing regions, and every mapped page
-        it was backing is poisoned so a touch raises
-        :class:`~repro.errors.RemoteAccessError` instead of hanging.
+        The degradation logic (revoke leases, drop segments, poison
+        pages) lives in :func:`repro.cluster.health.degrade_donor` so
+        the injector callback and a heartbeat-driven declaration share
+        one idempotent path.
         """
-        for node_id, node in self.nodes.items():
-            if node_id == dead:
-                continue
-            lost = node.reservations.revoke_donor(dead)
-            if lost and self.faults is not None:
-                self.faults.note_revoked(node_id, len(lost))
-        self.regions.drop_donor_segments(dead)
-        for sess in self._sessions:
-            if sess.node_id != dead:
-                sess.allocator.revoke_donor(dead)
-        self.regions.check_invariants()
+        _health.degrade_donor(self, dead)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -435,7 +435,11 @@ class Core:
                     # machine-check completion: the remote side is gone
                     raise RemoteAccessError(
                         f"{self.name}: access to {request.addr:#x} failed — "
-                        f"{response.meta['error']}"
+                        f"{response.meta['error']}",
+                        node=response.meta.get("fault_node"),
+                        region=self.node_id,
+                        tag=response.meta.get("fault_tag", response.tag),
+                        retries=response.meta.get("retries"),
                     )
                 if response.ptype is not PacketType.NACK:
                     break
@@ -446,7 +450,10 @@ class Core:
                     raise RemoteAccessError(
                         f"{self.name}: local RMC kept rejecting "
                         f"{request.addr:#x}; gave up after "
-                        f"{cfg.max_retries} retries"
+                        f"{cfg.max_retries} retries",
+                        node=self.node_id,
+                        tag=request.tag,
+                        retries=cfg.max_retries,
                     )
                 yield self.sim.timeout(
                     cfg.backoff_ns(cfg.retry_backoff_ns, attempts)

@@ -1,0 +1,286 @@
+"""Failure detection: heartbeats, suspicion, quarantine, declaration.
+
+The reservation protocol assumes donors stay up (Section III-B); this
+module is the cluster's way of *noticing* when they do not. Design:
+
+* **Probes on the real path.** Each observer RMC sends periodic
+  liveness probes (:func:`repro.ht.packet.make_probe`) to the peers it
+  borrowed from. Probes are CTRL packets riding the exact fabric path
+  a real request takes — switches, links, the peer's control plane —
+  so whatever kills requests also kills probes.
+* **Suspicion, not verdicts.** A missed probe increments a per-
+  ``(observer, peer)`` suspicion counter; any answered probe resets
+  it. At ``quarantine_after`` consecutive misses the observer assumes
+  a flapping *link* first: the first suspect edge on the route — the
+  first hop not vouched for by another watched peer's answered
+  probes — is quarantined and the fabric reroutes around it where the
+  topology allows (:meth:`repro.noc.routing.RoutingTable.quarantine_edge`).
+  Only at ``miss_threshold`` misses is the peer declared dead.
+* **Declaration drives recovery.** A confirmed death runs
+  :func:`degrade_donor` (PR 4's graceful degradation) and, when
+  ``auto_recover`` is set, spawns
+  :func:`repro.cluster.rebalance.heal_sessions` as a competing
+  simulation process.
+
+**Zero-cost when disarmed.** A cluster carries ``health = None`` until
+:meth:`repro.cluster.cluster.Cluster.arm_health` runs; the only hot
+hook is one ``is not None`` check on the borrow path. An armed monitor
+with ``watch_on_borrow=False`` and no explicit watches schedules no
+events, so its timing is bit-identical to a disarmed run.
+
+**Stopping.** Heartbeats are periodic, so an armed monitor keeps the
+event queue non-empty forever; :meth:`HealthMonitor.stop` winds every
+probe loop and lease daemon down at its next wake-up so ``sim.run()``
+can drain. The idiom::
+
+    sim.run(until=horizon)
+    cluster.health.stop()
+    sim.run()   # drains the leftover timers as no-ops
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.cluster import rebalance
+from repro.config import HealthConfig
+from repro.errors import TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.reservation import Reservation
+
+__all__ = ["HealthMonitor", "degrade_donor", "expire_lease"]
+
+
+def degrade_donor(cluster: "Cluster", dead: int) -> None:
+    """Degrade gracefully after *dead*'s crash (idempotent).
+
+    Mirrors what each survivor's OS does on a machine-check storm from
+    the fabric: leases from the dead donor are revoked, its segments
+    leave the borrowing regions, and every mapped page it was backing
+    is poisoned so a touch raises
+    :class:`~repro.errors.RemoteAccessError` instead of hanging. Both
+    the fault injector's death callback and the health monitor's
+    declaration funnel here; whichever fires second is a no-op.
+    """
+    if dead in cluster._degraded:
+        return
+    cluster._degraded.add(dead)
+    for node_id, node in cluster.nodes.items():
+        if node_id == dead:
+            continue
+        lost = node.reservations.revoke_donor(dead)
+        if lost and cluster.faults is not None:
+            cluster.faults.note_revoked(node_id, len(lost))
+    cluster.regions.drop_donor_segments(dead)
+    for sess in cluster._sessions:
+        if sess.node_id != dead:
+            sess.allocator.revoke_donor(dead)
+    cluster.regions.check_invariants()
+
+
+def expire_lease(
+    cluster: "Cluster", borrower: int, reservation: "Reservation"
+) -> None:
+    """Tear down *borrower*'s view of an expired lease.
+
+    The donor is (presumed) alive but renewals stopped landing: the
+    donor may already have reclaimed and re-granted the range, so the
+    borrower must treat the memory as gone — segment dropped, arenas
+    retired, pages poisoned. The borrower-side state machine moved the
+    lease to EXPIRED before this runs.
+    """
+    region = cluster.regions.region_of(borrower)
+    segment = next(
+        (
+            s
+            for s in region.segments
+            if s.start == reservation.prefixed_start
+        ),
+        None,
+    )
+    if segment is not None:
+        cluster.regions.remove_segment(borrower, segment)
+    for sess in cluster._sessions:
+        if sess.node_id == borrower:
+            sess.allocator.expire_reservation(reservation)
+    cluster.regions.check_invariants()
+
+
+class HealthMonitor:
+    """Armed failure detection for one cluster."""
+
+    def __init__(self, cluster: "Cluster", config: HealthConfig) -> None:
+        self.cluster = cluster
+        self.cfg = config
+        self.sim = cluster.sim
+        #: (observer, peer) -> consecutive missed probes
+        self.suspicion: dict[tuple[int, int], int] = {}
+        self._watches: set[tuple[int, int]] = set()
+        #: peers some observer declared dead
+        self.confirmed_dead: set[int] = set()
+        #: undirected edges this monitor quarantined
+        self.quarantined: set[tuple[int, int]] = set()
+        #: (sim_ns, kind, detail) — the replay-comparable health record
+        self.events: list[tuple[float, str, str]] = []
+        #: :class:`~repro.cluster.rebalance.RecoveryReport` per death
+        self.recoveries: list = []
+        self.probes_sent = 0
+        self._stopped = False
+
+    # -- lifecycle --------------------------------------------------------
+    def stop(self) -> None:
+        """Wind down every probe loop and lease daemon (drainable run)."""
+        self._stopped = True
+        for node in self.cluster.nodes.values():
+            node.os.stop_leases()
+
+    # -- watch management -------------------------------------------------
+    def watch(self, observer: int, peer: int) -> None:
+        """Start (idempotent) heartbeat probing of *peer* by *observer*."""
+        key = (observer, peer)
+        if key in self._watches or observer == peer:
+            return
+        self._watches.add(key)
+        self.sim.process(
+            self._probe_loop(observer, peer),
+            name=f"health.{observer}->{peer}",
+        )
+
+    def on_new_lease(self, borrower: int, reservation: "Reservation") -> None:
+        """Hook run by the borrow path: watch the donor, start renewal."""
+        self.watch(borrower, reservation.donor_node)
+        if self.cfg.lease_ttl_ns:
+            client = self.cluster.node(borrower).reservations
+            self.sim.process(
+                client.lease_daemon(
+                    reservation,
+                    self.cfg.lease_ttl_ns,
+                    self.cfg.renew_margin_ns,
+                    self.cfg.lease_grace_ns,
+                    timeout_ns=self.cfg.probe_timeout_ns,
+                    on_expired=lambda res, b=borrower: self._on_lease_expired(
+                        b, res
+                    ),
+                    stop=lambda: self._stopped,
+                ),
+                name=(
+                    f"health.lease{borrower}"
+                    f"@{reservation.prefixed_start:#x}"
+                ),
+            )
+
+    # -- the probe loop ----------------------------------------------------
+    def _probe_loop(self, observer: int, peer: int) -> Generator:
+        cfg = self.cfg
+        node = self.cluster.node(observer)
+        seq = 0
+        while True:
+            yield self.sim.timeout(cfg.heartbeat_period_ns)
+            if self._stopped or peer in self.confirmed_dead:
+                return
+            faults = self.cluster.faults
+            if faults is not None and observer in faults.dead_nodes:
+                return  # dead observers probe nobody
+            seq += 1
+            self.probes_sent += 1
+            tag = node.rmc.tags.next()
+            ack_evt = node.os.expect_ack(tag)
+            yield node.rmc.send_probe(peer, tag, seq)
+            yield self.sim.any_of(
+                [ack_evt, self.sim.timeout(cfg.probe_timeout_ns)]
+            )
+            if ack_evt.triggered:
+                self._probe_ok(observer, peer)
+            else:
+                node.os.abandon_ack(tag)
+                self._probe_miss(observer, peer)
+                if peer in self.confirmed_dead:
+                    return
+
+    def _probe_ok(self, observer: int, peer: int) -> None:
+        if self.suspicion.pop((observer, peer), None):
+            self.events.append(
+                (self.sim.now, "cleared", f"{observer} trusts {peer} again")
+            )
+
+    def _probe_miss(self, observer: int, peer: int) -> None:
+        cfg = self.cfg
+        misses = self.suspicion.get((observer, peer), 0) + 1
+        self.suspicion[(observer, peer)] = misses
+        self.events.append(
+            (self.sim.now, "miss", f"{observer}->{peer} x{misses}")
+        )
+        if misses == cfg.quarantine_after and misses < cfg.miss_threshold:
+            # suspect the path before the peer: a flapping link on the
+            # route explains missed probes just as well as a death
+            self._quarantine_suspect_hop(observer, peer)
+        if misses >= cfg.miss_threshold:
+            self._declare_dead(observer, peer)
+
+    def _quarantine_suspect_hop(self, observer: int, peer: int) -> None:
+        """Route around the first *suspect* edge on the path to *peer*.
+
+        Walks the current route and skips over hops whose far end is a
+        watched peer with zero suspicion — their answered probes are
+        live evidence those edges carry traffic, so quarantining one
+        would sever a working path on a misattributed loss (the classic
+        way a detector turns one failure into two). The first hop with
+        no such alibi is the suspect; where the topology allows, the
+        fabric reroutes around it.
+        """
+        routing = self.cluster.network.routing
+        try:
+            path = routing.path(observer, peer)
+        except TopologyError:
+            return
+        for a, b in zip(path, path[1:]):
+            if (
+                b != peer
+                and (observer, b) in self._watches
+                and self.suspicion.get((observer, b), 0) == 0
+            ):
+                continue  # far end demonstrably reachable; edge cleared
+            if routing.quarantine_edge(a, b):
+                self.quarantined.add((min(a, b), max(a, b)))
+                self.events.append(
+                    (self.sim.now, "quarantine",
+                     f"edge {a}-{b} rerouted (suspect on {observer}->{peer})")
+                )
+            else:
+                self.events.append(
+                    (self.sim.now, "quarantine_refused",
+                     f"edge {a}-{b} is a cut edge")
+                )
+            return
+
+    def _declare_dead(self, observer: int, peer: int) -> None:
+        if peer in self.confirmed_dead:
+            return
+        self.confirmed_dead.add(peer)
+        self.events.append(
+            (self.sim.now, "dead",
+             f"node {peer} declared dead by observer {observer}")
+        )
+        degrade_donor(self.cluster, peer)
+        if self.cfg.auto_recover:
+            self.sim.process(
+                rebalance.heal_sessions(
+                    self.cluster, peer,
+                    detected_ns=self.sim.now,
+                    monitor=self,
+                ),
+                name=f"health.recover{peer}",
+            )
+
+    def _on_lease_expired(
+        self, borrower: int, reservation: "Reservation"
+    ) -> None:
+        self.events.append(
+            (self.sim.now, "lease_expired",
+             f"borrower {borrower} lost lease "
+             f"{reservation.prefixed_start:#x} on donor "
+             f"{reservation.donor_node}")
+        )
+        expire_lease(self.cluster, borrower, reservation)

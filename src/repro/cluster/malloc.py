@@ -114,9 +114,80 @@ class RegionAllocator:
             if self._remote_arenas[alloc.arena].donor_node != donor:
                 continue
             for i in range(-(-alloc.size // page)):
-                self.aspace.poison_page(alloc.vaddr + i * page)
+                self.aspace.poison_page(alloc.vaddr + i * page, donor=donor)
             lost += 1
         return lost
+
+    def expire_reservation(self, reservation: Reservation) -> int:
+        """Retire the arena backed by an *expired* lease.
+
+        The donor is (presumed) alive but the lease lapsed — the donor
+        may have reclaimed and re-granted the range, so the frames must
+        be treated exactly like a crashed donor's: the arena dies and
+        the allocations on it are poisoned. Returns allocations lost.
+        """
+        lost = 0
+        page = self.aspace.page_bytes
+        expired: set[int] = set()
+        for idx, arena in enumerate(self._remote_arenas):
+            if (
+                arena.freelist.base == reservation.prefixed_start
+                and arena.donor_node == reservation.donor_node
+                and not arena.dead
+            ):
+                arena.dead = True
+                expired.add(idx)
+        for alloc in self._allocations.values():
+            if alloc.remote and alloc.arena in expired:
+                for i in range(-(-alloc.size // page)):
+                    self.aspace.poison_page(
+                        alloc.vaddr + i * page, donor=reservation.donor_node
+                    )
+                lost += 1
+        return lost
+
+    # -- recovery hooks (driven by cluster/rebalance.py) -------------------
+    def lost_allocations(self, donor: int) -> list[Allocation]:
+        """Live allocations stranded on *donor*'s dead arenas, by vaddr."""
+        return sorted(
+            (
+                a
+                for a in self._allocations.values()
+                if a.remote
+                and self._remote_arenas[a.arena].dead
+                and self._remote_arenas[a.arena].donor_node == donor
+            ),
+            key=lambda a: a.vaddr,
+        )
+
+    def rebind_allocation(self, vaddr: int, arena_idx: int) -> int:
+        """Move an allocation's frames onto the (healthy) arena *arena_idx*.
+
+        Carves replacement frames out of the new arena and updates the
+        allocation record; the caller re-materializes page contents and
+        rewrites the PTEs. Returns the new physical start address.
+        """
+        alloc = self.allocation_at(vaddr)
+        if not alloc.remote:
+            raise AllocationError(
+                f"allocation at {vaddr:#x} is local — nothing to rebind"
+            )
+        arena = self._remote_arenas[arena_idx]
+        if arena.dead:
+            raise AllocationError(
+                f"cannot rebind {vaddr:#x} onto dead arena {arena_idx}"
+            )
+        page = self.aspace.page_bytes
+        rounded = -(-alloc.size // page) * page
+        phys = arena.freelist.alloc(rounded)
+        self._allocations[vaddr] = Allocation(
+            vaddr=vaddr,
+            size=alloc.size,
+            phys_start=phys,
+            remote=True,
+            arena=arena_idx,
+        )
+        return phys
 
     # -- the interposed entry points -----------------------------------------
     def malloc(self, size: int, placement: Placement = Placement.AUTO) -> int:

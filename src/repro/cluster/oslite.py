@@ -37,6 +37,26 @@ __all__ = ["FreeList", "OSLite", "Grant"]
 #: are — so a generous software cost is faithful.
 RESERVATION_SERVICE_NS: float = 15_000.0
 
+#: Handling time for a liveness probe / its ack: answered in the RMC's
+#: control firmware without touching allocator state, so it is far
+#: cheaper than a reservation — heartbeats must not saturate the
+#: control plane they are monitoring.
+PROBE_SERVICE_NS: float = 500.0
+
+#: Handling time for a lease renewal / its ack: a deadline-table update,
+#: no pool mutation.
+LEASE_SERVICE_NS: float = 2_000.0
+
+#: Per-message-kind service cost; anything unlisted (the original
+#: reserve/release exchanges and their acks) charges the full
+#: reservation cost, so disarmed runs are timed exactly as before.
+_SERVICE_NS: dict[str, float] = {
+    "probe": PROBE_SERVICE_NS,
+    "probe_ack": PROBE_SERVICE_NS,
+    "renew": LEASE_SERVICE_NS,
+    "renew_ack": LEASE_SERVICE_NS,
+}
+
 
 class FreeList:
     """First-fit contiguous range allocator over ``[base, base+size)``.
@@ -155,6 +175,17 @@ class OSLite:
         #: tags abandoned by an interrupted requester; a late ack for
         #: one of these is unwound instead of treated as a protocol bug
         self._orphaned: set[int] = set()
+        #: finite-lease state — ``None`` until :meth:`arm_leases`, so
+        #: the grant path pays a single ``is not None`` check when
+        #: leases are off (the zero-cost-when-disarmed discipline)
+        self._lease_deadlines: Optional[dict[int, float]] = None
+        self._lease_ttl = 0.0
+        self._lease_grace = 0.0
+        self._lease_stopped = False
+        self._lease_is_down: Optional[object] = None
+        #: (sim_ns, borrower, local_start) for every lease the expiry
+        #: daemon reclaimed — the donor-side audit trail
+        self.lease_reclaims: list[tuple[float, int, int]] = []
         self._daemon = sim.process(self._reservation_daemon(),
                                    name=f"os{node_id}.resd")
 
@@ -263,6 +294,10 @@ class OSLite:
             prefixed_start=self.amap.encode(self.node_id, start),
         )
         self.grants[start] = grant
+        if self._lease_deadlines is not None:
+            self._lease_deadlines[start] = (
+                self.sim.now + self._lease_ttl + self._lease_grace
+            )
         return grant
 
     def release_reservation(self, local_start: int) -> None:
@@ -272,7 +307,64 @@ class OSLite:
             raise ReservationError(
                 f"node {self.node_id}: no grant at {local_start:#x}"
             ) from None
+        if self._lease_deadlines is not None:
+            self._lease_deadlines.pop(local_start, None)
         self.donation_pool.free(grant.local_start, grant.size)
+
+    # -- donor-side finite leases ------------------------------------------
+    def arm_leases(
+        self, ttl_ns: float, grace_ns: float, *, is_down=None
+    ) -> None:
+        """Make every grant a finite lease that must be renewed.
+
+        A grant's deadline starts at ``now + ttl + grace`` and each
+        successful renewal pushes it out again; the expiry daemon
+        reclaims grants whose borrowers stopped renewing (borrower
+        death is the donor-side dual of donor death). *is_down* is an
+        optional zero-arg callable polled by the daemon so a killed
+        donor stops reclaiming — a dead node runs no OS.
+        """
+        if ttl_ns <= 0:
+            raise ReservationError("lease ttl must be positive when arming")
+        if self._lease_deadlines is not None:
+            raise ReservationError(
+                f"node {self.node_id}: leases already armed"
+            )
+        self._lease_deadlines = {
+            start: self.sim.now + ttl_ns + grace_ns for start in self.grants
+        }
+        self._lease_ttl = ttl_ns
+        self._lease_grace = grace_ns
+        self._lease_is_down = is_down
+        self.sim.process(
+            self._lease_expiry_daemon(), name=f"os{self.node_id}.leased"
+        )
+
+    def stop_leases(self) -> None:
+        """Stop the expiry daemon after its next tick (drains the run)."""
+        self._lease_stopped = True
+
+    def _lease_expiry_daemon(self) -> Generator:
+        period = self._lease_ttl / 2
+        while True:
+            yield self.sim.timeout(period)
+            if self._lease_stopped:
+                return
+            down = self._lease_is_down
+            if down is not None and down():
+                return
+            assert self._lease_deadlines is not None
+            for start in sorted(self._lease_deadlines):
+                if self._lease_deadlines[start] > self.sim.now:
+                    continue
+                grant = self.grants.get(start)
+                if grant is None:  # pragma: no cover - release cleans up
+                    del self._lease_deadlines[start]
+                    continue
+                self.lease_reclaims.append(
+                    (self.sim.now, grant.borrower_node, start)
+                )
+                self.release_reservation(start)
 
     # -- requester-side ack plumbing ---------------------------------------
     def expect_ack(self, req_tag: int):
@@ -305,13 +397,24 @@ class OSLite:
         acks complete the local requester's pending operation."""
         while True:
             msg: Packet = yield self.rmc.ctrl_in.get()
-            yield self.sim.timeout(RESERVATION_SERVICE_NS)
             kind = msg.meta.get("kind")
+            yield self.sim.timeout(_SERVICE_NS.get(kind, RESERVATION_SERVICE_NS))
             if kind == "reserve":
                 yield from self._handle_reserve(msg)
             elif kind == "release":
                 yield from self._handle_release(msg)
-            elif kind in ("reserve_ack", "release_ack"):
+            elif kind == "probe":
+                yield self.rmc.send_ctrl(
+                    msg.src,
+                    kind="probe_ack",
+                    req_tag=msg.tag,
+                    ok=True,
+                    seq=msg.meta.get("seq", 0),
+                )
+            elif kind == "renew":
+                yield from self._handle_renew(msg)
+            elif kind in ("reserve_ack", "release_ack",
+                          "probe_ack", "renew_ack"):
                 req_tag = msg.meta["req_tag"]
                 evt = self._pending_acks.pop(req_tag, None)
                 if evt is not None:
@@ -356,6 +459,25 @@ class OSLite:
                 ok=False,
                 error=str(exc),
             )
+
+    def _handle_renew(self, msg: Packet) -> Generator:
+        """Extend a lease's deadline; nack when the grant is gone.
+
+        A nack tells the borrower its lease already expired (the grant
+        was reclaimed or released) — the borrower-side state machine
+        moves the lease to EXPIRED and triggers recovery, exactly as if
+        the donor had died.
+        """
+        prefixed = msg.meta["prefixed_start"]
+        local = self.amap.strip_node(prefixed)
+        ok = local in self.grants
+        if ok and self._lease_deadlines is not None:
+            self._lease_deadlines[local] = (
+                self.sim.now + self._lease_ttl + self._lease_grace
+            )
+        yield self.rmc.send_ctrl(
+            msg.src, kind="renew_ack", req_tag=msg.tag, ok=ok
+        )
 
     def _handle_release(self, msg: Packet) -> Generator:
         prefixed = msg.meta["prefixed_start"]

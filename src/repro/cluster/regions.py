@@ -87,6 +87,12 @@ class RegionManager:
         self.regions: dict[int, MemoryRegion] = {
             n: MemoryRegion(home_node=n) for n in range(1, num_nodes + 1)
         }
+        #: per-region damage map written during recovery: home node ->
+        #: {prefixed line address on the dead donor -> donor id}. A line
+        #: appears here iff it was dirty-and-lost — written by the
+        #: tenant after its last recoverable snapshot, so no source
+        #: could re-materialize it. Everything else healed cleanly.
+        self.damage: dict[int, dict[int, int]] = {}
 
     def region_of(self, node: int) -> MemoryRegion:
         try:
@@ -146,6 +152,22 @@ class RegionManager:
             raise RegionError(
                 f"region {node} does not contain segment {segment}"
             ) from None
+
+    def record_damage(self, node: int, prefixed_line: int, donor: int) -> None:
+        """Record one dirty-and-lost line in *node*'s region damage map."""
+        self.damage.setdefault(node, {})[prefixed_line] = donor
+
+    def clear_damage(self, node: int, prefixed_line: int) -> None:
+        """Drop a damage entry (the tenant overwrote the whole line)."""
+        lines = self.damage.get(node)
+        if lines is not None:
+            lines.pop(prefixed_line, None)
+            if not lines:
+                del self.damage[node]
+
+    def damage_map(self, node: int) -> dict[int, int]:
+        """A copy of *node*'s damage map (prefixed line -> donor)."""
+        return dict(self.damage.get(node, {}))
 
     # -- queries ---------------------------------------------------------------
     def owner_region_of_addr(self, addr: int, accessing_node: int) -> MemoryRegion:

@@ -11,17 +11,71 @@ The sequence the paper walks through:
 
 Software is on the *reservation* path only, never on the access path,
 so generous OS costs here are faithful to the design.
+
+**Lease lifecycle.** With the health subsystem armed, a reservation is
+a *finite lease* moving through one state machine::
+
+    ACTIVE --renew timer--> RENEWING --ack ok-->  ACTIVE
+                            RENEWING --timeout--> GRACE  (slow donor?)
+                            RENEWING --nack---->  EXPIRED
+    GRACE  --retry ok---->  ACTIVE
+    GRACE  --grace spent->  EXPIRED
+    any live state --release--> RELEASED
+    any live state --donor crash--> REVOKED
+
+EXPIRED / REVOKED / RELEASED are terminal. Revocation (PR 4's donor
+death) is now one path through the same machine instead of a special
+case. The GRACE window is what distinguishes a *slow* donor (renewals
+time out but eventually land) from a *dead* one (the grace budget runs
+out and the lease expires).
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
-from typing import Generator
+from typing import Callable, Generator, Optional
 
 from repro.errors import ReservationError
 from repro.ht.packet import Packet
 
-__all__ = ["Reservation", "ReservationClient"]
+__all__ = ["Reservation", "ReservationClient", "LeaseState"]
+
+
+class LeaseState(enum.Enum):
+    """Borrower-side lifecycle state of one reservation."""
+
+    ACTIVE = "active"
+    RENEWING = "renewing"
+    GRACE = "grace"
+    EXPIRED = "expired"
+    REVOKED = "revoked"
+    RELEASED = "released"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            LeaseState.EXPIRED, LeaseState.REVOKED, LeaseState.RELEASED
+        )
+
+
+#: legal transitions; terminal states allow none
+_TRANSITIONS: dict[LeaseState, tuple[LeaseState, ...]] = {
+    LeaseState.ACTIVE: (
+        LeaseState.RENEWING, LeaseState.REVOKED, LeaseState.RELEASED,
+    ),
+    LeaseState.RENEWING: (
+        LeaseState.ACTIVE, LeaseState.GRACE, LeaseState.EXPIRED,
+        LeaseState.REVOKED, LeaseState.RELEASED,
+    ),
+    LeaseState.GRACE: (
+        LeaseState.RENEWING, LeaseState.EXPIRED,
+        LeaseState.REVOKED, LeaseState.RELEASED,
+    ),
+    LeaseState.EXPIRED: (),
+    LeaseState.REVOKED: (),
+    LeaseState.RELEASED: (),
+}
 
 
 @dataclass(frozen=True)
@@ -54,6 +108,28 @@ class ReservationClient:
         self.revoked: dict[int, Reservation] = {}
         #: starts of leases released normally (repeat release is a no-op)
         self._released: set[int] = set()
+        #: lifecycle state per lease ever held, keyed by prefixed start
+        self.lease_states: dict[int, LeaseState] = {}
+
+    def state_of(self, reservation: Reservation) -> LeaseState:
+        try:
+            return self.lease_states[reservation.prefixed_start]
+        except KeyError:
+            raise ReservationError(
+                f"node {self.node_id} never held a lease at "
+                f"{reservation.prefixed_start:#x}"
+            ) from None
+
+    def _transition(self, start: int, to: LeaseState) -> None:
+        cur = self.lease_states[start]
+        if cur is to:
+            return
+        if to not in _TRANSITIONS[cur]:
+            raise ReservationError(
+                f"illegal lease transition {cur.value} -> {to.value} "
+                f"for lease at {start:#x}"
+            )
+        self.lease_states[start] = to
 
     def reserve(self, donor_node: int, size: int) -> Generator:
         """Borrow *size* bytes from *donor_node*.
@@ -91,6 +167,7 @@ class ReservationClient:
             size=ack.meta["size"],
         )
         self.held[reservation.prefixed_start] = reservation
+        self.lease_states[reservation.prefixed_start] = LeaseState.ACTIVE
         return reservation
 
     def release(self, reservation: Reservation) -> Generator:
@@ -125,6 +202,7 @@ class ReservationClient:
             raise ReservationError(f"release failed: {ack.meta!r}")
         del self.held[start]
         self._released.add(start)
+        self._transition(start, LeaseState.RELEASED)
         return None
 
     def revoke_donor(self, donor_node: int) -> list[Reservation]:
@@ -140,4 +218,119 @@ class ReservationClient:
         for r in lost:
             del self.held[r.prefixed_start]
             self.revoked[r.prefixed_start] = r
+            self._transition(r.prefixed_start, LeaseState.REVOKED)
         return lost
+
+    def expire(self, reservation: Reservation) -> None:
+        """Mark a lease EXPIRED: renewals stopped landing for too long.
+
+        Locally indistinguishable from revocation — the memory must be
+        treated as gone (the donor may have reclaimed and re-granted
+        it) — so the lease joins :attr:`revoked` and a later ``release``
+        is a clean no-op. Idempotent; a no-op for leases that already
+        reached a terminal state.
+        """
+        start = reservation.prefixed_start
+        if start not in self.held:
+            return
+        if self.lease_states[start].terminal:
+            return
+        del self.held[start]
+        self.revoked[start] = reservation
+        self._transition(start, LeaseState.EXPIRED)
+
+    def renew(self, reservation: Reservation, timeout_ns: float) -> Generator:
+        """One renewal exchange; returns ``"ok"``/``"timeout"``/``"expired"``.
+
+        ``"ok"``      — the donor extended the lease (back to ACTIVE).
+        ``"timeout"`` — no answer within *timeout_ns*: the lease enters
+                        GRACE; the caller retries against its grace
+                        budget before giving up.
+        ``"expired"`` — the donor nacked (grant gone) or the lease hit
+                        a terminal state while the exchange was in
+                        flight; no further renewals make sense.
+        """
+        sim = self.oslite.sim
+        start = reservation.prefixed_start
+        state = self.lease_states.get(start)
+        if state is None or state.terminal:
+            return "expired"
+        self._transition(start, LeaseState.RENEWING)
+        tag = self.rmc.tags.next()
+        ack_evt = self.oslite.expect_ack(tag)
+        try:
+            yield self.rmc.send_ctrl(
+                reservation.donor_node,
+                tag=tag,
+                kind="renew",
+                prefixed_start=start,
+            )
+            yield sim.any_of([ack_evt, sim.timeout(timeout_ns)])
+        except BaseException:
+            self.oslite.abandon_ack(tag)
+            raise
+        # revocation may have raced the exchange (donor declared dead
+        # while our renew was on the wire) — the terminal state wins
+        if self.lease_states[start].terminal:
+            if not ack_evt.triggered:
+                self.oslite.abandon_ack(tag)
+            return "expired"
+        if not ack_evt.triggered:
+            self.oslite.abandon_ack(tag)
+            self._transition(start, LeaseState.GRACE)
+            return "timeout"
+        ack: Packet = ack_evt.value
+        if not ack.meta["ok"]:
+            self.expire(reservation)
+            return "expired"
+        self._transition(start, LeaseState.ACTIVE)
+        return "ok"
+
+    def lease_daemon(
+        self,
+        reservation: Reservation,
+        ttl_ns: float,
+        margin_ns: float,
+        grace_ns: float,
+        *,
+        timeout_ns: float,
+        on_expired: Optional[Callable[[Reservation], None]] = None,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> Generator:
+        """Keep one lease alive: renew every ``ttl - margin`` ns.
+
+        A renewal that times out enters the GRACE window and is retried
+        every *timeout_ns* until the ``grace_ns`` budget is spent; then
+        the lease is expired and *on_expired* fires (the health layer
+        hooks recovery there). *stop* is polled after every sleep so
+        the daemon winds down when the health subsystem is stopped —
+        otherwise its periodic timer would keep the event queue alive
+        forever.
+        """
+        if margin_ns >= ttl_ns:
+            raise ReservationError("renew margin must be below the ttl")
+        sim = self.oslite.sim
+        start = reservation.prefixed_start
+        while True:
+            yield sim.timeout(ttl_ns - margin_ns)
+            if stop is not None and stop():
+                return
+            state = self.lease_states.get(start)
+            if state is None or state is not LeaseState.ACTIVE:
+                return
+            outcome = yield from self.renew(reservation, timeout_ns)
+            retries = int(grace_ns // timeout_ns)
+            while outcome == "timeout" and retries > 0:
+                if stop is not None and stop():
+                    return
+                retries -= 1
+                outcome = yield from self.renew(reservation, timeout_ns)
+            if outcome == "ok":
+                continue
+            if outcome == "timeout":
+                # grace budget spent with the donor still silent
+                self.expire(reservation)
+            if self.lease_states[start] is LeaseState.EXPIRED:
+                if on_expired is not None:
+                    on_expired(reservation)
+            return

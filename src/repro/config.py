@@ -33,6 +33,7 @@ __all__ = [
     "NodeConfig",
     "RMCConfig",
     "SwapConfig",
+    "HealthConfig",
     "ClusterConfig",
 ]
 
@@ -372,6 +373,80 @@ class SwapConfig:
 
 
 @dataclass(frozen=True)
+class HealthConfig:
+    """Failure detection and lease lifecycle (the self-healing layer).
+
+    All machinery described here is dormant until
+    :meth:`~repro.cluster.cluster.Cluster.arm_health` is called — an
+    unarmed cluster schedules no probes, keeps no lease timers, and is
+    bit-identical to a build without the health subsystem.
+    """
+
+    #: Period between liveness probes from a borrower to each donor it
+    #: holds a lease from.
+    heartbeat_period_ns: float = 20_000.0
+    #: How long one probe waits for its ack before counting a miss.
+    #: Must comfortably exceed the control daemon's worst service
+    #: bubble: probes share one single-server daemon per node with the
+    #: reservation protocol, whose reserve/release ops each cost
+    #: ``RESERVATION_SERVICE_NS`` (15 us) — a timeout below that turns
+    #: every probe that queues behind one reservation into a false
+    #: miss, and a renewal-retry storm into control-plane collapse.
+    probe_timeout_ns: float = 30_000.0
+    #: Consecutive misses before the peer is declared dead.
+    miss_threshold: int = 3
+    #: Consecutive misses before the route to the peer is quarantined
+    #: (rerouted around its first hop where the topology allows) — the
+    #: link-flap escape hatch that fires *before* a death verdict.
+    quarantine_after: int = 2
+    #: Finite lease lifetime; 0 keeps the paper's infinite leases (no
+    #: renewal traffic, no expiry daemon).
+    lease_ttl_ns: float = 0.0
+    #: How long before expiry the borrower starts renewing (should
+    #: exceed ``probe_timeout_ns`` so one full renewal exchange fits
+    #: before the nominal deadline).
+    renew_margin_ns: float = 40_000.0
+    #: Grace window after a renewal first times out: a slow donor can
+    #: still answer a retry here; only when the grace budget is gone is
+    #: the lease expired (the slow-vs-dead distinction). Sized for
+    #: three retries at ``probe_timeout_ns`` so a transient link flap
+    #: is not promoted into an (unrecoverable) lease expiry.
+    lease_grace_ns: float = 90_000.0
+    #: On a confirmed donor death, automatically re-reserve capacity
+    #: from healthy donors and re-materialize recoverable pages.
+    auto_recover: bool = True
+    #: How long one replacement-reservation exchange may take before
+    #: recovery abandons the candidate donor and tries the next one —
+    #: the bound that keeps recovery live when the exchange itself is
+    #: black-holed (partition, dropped CTRL packet).
+    reserve_timeout_ns: float = 150_000.0
+    #: Start watching a donor (and its lease timer) on every borrow.
+    #: False arms the monitor without attaching anything — the empty
+    #: plan of the bit-identical equivalence test.
+    watch_on_borrow: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.heartbeat_period_ns > 0, "heartbeat period must be positive")
+        _require(self.probe_timeout_ns > 0, "probe timeout must be positive")
+        _require(self.miss_threshold >= 1, "miss_threshold must be >= 1")
+        _require(
+            1 <= self.quarantine_after <= self.miss_threshold,
+            "quarantine_after must be in [1, miss_threshold]",
+        )
+        _require(self.lease_ttl_ns >= 0, "lease TTL cannot be negative")
+        _require(self.renew_margin_ns > 0, "renew margin must be positive")
+        _require(self.lease_grace_ns >= 0, "lease grace cannot be negative")
+        _require(
+            self.reserve_timeout_ns > 0, "reserve timeout must be positive"
+        )
+        if self.lease_ttl_ns:
+            _require(
+                self.renew_margin_ns < self.lease_ttl_ns,
+                "renew margin must be smaller than the lease TTL",
+            )
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Top-level description of the whole prototype."""
 
@@ -379,6 +454,7 @@ class ClusterConfig:
     node: NodeConfig = field(default_factory=NodeConfig)
     rmc: RMCConfig = field(default_factory=RMCConfig)
     swap: SwapConfig = field(default_factory=SwapConfig)
+    health: HealthConfig = field(default_factory=HealthConfig)
     #: Root seed for all stochastic components.
     seed: int = 0xC1A5_7E12
 

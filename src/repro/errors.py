@@ -20,6 +20,7 @@ __all__ = [
     "ReservationError",
     "FaultError",
     "RemoteAccessError",
+    "RecoveryError",
     "CoherenceError",
     "SanitizeError",
 ]
@@ -86,6 +87,44 @@ class RemoteAccessError(MemoryError_):
     revoked. The paper is explicit (Section V) that remote memory adds
     no fault tolerance — this is the error that surfaces that fact to
     the issuing core instead of hanging the simulation.
+
+    Beyond the message, the error carries structured context so tests
+    and recovery code can discriminate without string matching:
+
+    * ``node`` — the fabric node the failure traces to (the dead or
+      unreachable peer, or the donor whose frame was revoked),
+    * ``region`` — the home node id of the memory region the access
+      belonged to (regions are keyed by their home node),
+    * ``tag`` — the transaction tag of the failed request, if any,
+    * ``retries`` — retransmission attempts burned before giving up.
+
+    All fields default to ``None``: raise sites fill in what they know.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        node: "int | None" = None,
+        region: "int | None" = None,
+        tag: "int | None" = None,
+        retries: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.node = node
+        self.region = region
+        self.tag = tag
+        self.retries = retries
+
+
+class RecoveryError(RemoteAccessError):
+    """Automatic region recovery after a donor death could not finish.
+
+    A subclass of :class:`RemoteAccessError` (it shares the structured
+    context fields) raised by the rebalance layer when no healthy donor
+    can supply replacement capacity for a lost allocation. The tenant's
+    poisoned pages stay poisoned — recovery degrades back to PR-4
+    fail-fast behaviour instead of silently dropping the region.
     """
 
 

@@ -50,6 +50,7 @@ __all__ = [
     "make_burst_write_req",
     "make_nack",
     "make_ctrl",
+    "make_probe",
     "make_fault",
     "clone_packet",
     "CORRUPT_KEY",
@@ -291,15 +292,49 @@ def make_ctrl(src: int, dst: int, tag: int, **meta: Any) -> Packet:
     )
 
 
-def make_fault(req: Packet, at_node: int, error: str) -> Packet:
+def make_probe(src: int, dst: int, tag: int, seq: int = 0) -> Packet:
+    """A liveness heartbeat probe from the RMC at *src* to *dst*.
+
+    Rides the fabric as a CTRL packet (the reservation daemon answers
+    it with a ``probe_ack``), so a probe exercises exactly the path a
+    real request would take — switches, links, and the peer's control
+    plane. *seq* is a monotonically increasing probe number for the
+    observer's bookkeeping.
+    """
+    return Packet(
+        PacketType.CTRL,
+        src,
+        dst,
+        addr=0,
+        size=0,
+        tag=tag,
+        meta={"kind": "probe", "seq": seq},
+    )
+
+
+def make_fault(
+    req: Packet, at_node: int, error: str, retries: Optional[int] = None
+) -> Packet:
     """Machine-check completion for *req* emitted by the RMC at *at_node*.
 
     Delivered straight to the issuing core's reply store (never onto
     the fabric) when a remote access fails permanently; the core raises
-    :class:`~repro.errors.RemoteAccessError` with *error*.
+    :class:`~repro.errors.RemoteAccessError` with *error*. The meta
+    carries structured context — the unreachable node (``fault_node``),
+    the failed transaction's tag, and the retransmissions burned — so
+    the raise site can populate the error's fields without parsing the
+    message.
     """
     if not req.ptype.is_request:
         raise ProtocolError("only requests can fault")
+    meta: dict[str, Any] = {
+        "error": error,
+        "faulted": req.ptype,
+        "fault_node": req.dst,
+        "fault_tag": req.tag,
+    }
+    if retries is not None:
+        meta["retries"] = retries
     return Packet(
         PacketType.FAULT,
         src=at_node,
@@ -307,5 +342,5 @@ def make_fault(req: Packet, at_node: int, error: str) -> Packet:
         addr=req.addr,
         size=0,
         tag=req.tag,
-        meta={"error": error, "faulted": req.ptype},
+        meta=meta,
     )

@@ -18,7 +18,7 @@ from typing import Iterator, Optional
 
 from repro.errors import AddressError, AllocationError, FaultError, RemoteAccessError
 from repro.mem.tlb import TLB
-from repro.units import PAGE_SIZE
+from repro.units import CACHE_LINE, PAGE_SIZE
 
 __all__ = ["PTE", "PageTable", "AddressSpace", "Translation"]
 
@@ -38,6 +38,10 @@ class PTE:
     #: the backing frame was revoked (its donor died); a touch raises
     #: :class:`~repro.errors.RemoteAccessError`, machine-check style
     poisoned: bool = False
+    #: the page was recovered after a donor death but some of its lines
+    #: were dirty-and-lost; accesses must consult the address space's
+    #: per-line damage record (precise loss, not whole-page loss)
+    damaged: bool = False
 
 
 @dataclass(frozen=True)
@@ -90,6 +94,16 @@ class PageTable:
             raise AddressError(f"vpn {vpn:#x} is not mapped") from None
         self._entries[vpn] = _dc_replace(pte, poisoned=True)
 
+    def replace(self, vpn: int, pte: PTE) -> None:
+        """Overwrite a mapped entry in place (the recovery PTE rewrite)."""
+        if vpn not in self._entries:
+            raise AddressError(f"vpn {vpn:#x} is not mapped")
+        if pte.phys_page % self.page_bytes:
+            raise AddressError(
+                f"frame base {pte.phys_page:#x} not page-aligned"
+            )
+        self._entries[vpn] = pte
+
     def entries(self) -> Iterator[tuple[int, PTE]]:
         return iter(sorted(self._entries.items()))
 
@@ -125,6 +139,16 @@ class AddressSpace:
         self.faults = 0
         #: machine-check faults raised for poisoned (revoked) pages
         self.poison_faults = 0
+        #: faults raised for dirty-and-lost lines on recovered pages
+        self.damage_faults = 0
+        #: vpn -> donor node whose death poisoned the page (context for
+        #: the structured RemoteAccessError)
+        self._poison_donor: dict[int, int] = {}
+        #: line-aligned vaddr -> donor node, for lines whose only copy
+        #: died with a donor (set by repoint_page during recovery)
+        self._lost: dict[int, int] = {}
+        #: granularity of the damage record (set at first repoint)
+        self._lost_line_bytes = CACHE_LINE
 
     @property
     def page_bytes(self) -> int:
@@ -156,7 +180,7 @@ class AddressSpace:
         self.tlb.invalidate(vpn)
         return self.page_table.unmap(vpn)
 
-    def poison_page(self, vaddr: int) -> None:
+    def poison_page(self, vaddr: int, donor: Optional[int] = None) -> None:
         """Poison a mapped page whose backing frame was revoked."""
         if vaddr % self.page_bytes:
             raise AddressError(f"vaddr {vaddr:#x} is not page-aligned")
@@ -165,6 +189,109 @@ class AddressSpace:
         # them down exactly like a real machine-check flow does
         self.tlb.invalidate(vpn)
         self.page_table.poison(vpn)
+        if donor is not None:
+            self._poison_donor[vpn] = donor
+
+    def repoint_page(
+        self,
+        vaddr: int,
+        new_phys_page: int,
+        lost_lines: tuple[int, ...] = (),
+        donor: Optional[int] = None,
+        line_bytes: int = CACHE_LINE,
+    ) -> None:
+        """Rewrite a (typically poisoned) page's translation in place.
+
+        The recovery path's PTE rewrite: the virtual page keeps its
+        identity but now points at *new_phys_page* on a healthy donor,
+        the poison mark clears, and the TLB entry is shot down so the
+        next access walks to the fresh translation. *lost_lines* are
+        the line-aligned virtual addresses inside this page whose only
+        copy died with the old donor — they are recorded in the
+        per-line damage map and the page is marked ``damaged`` so
+        accesses consult it (only touching a lost line raises).
+        """
+        if vaddr % self.page_bytes:
+            raise AddressError(f"vaddr {vaddr:#x} is not page-aligned")
+        if new_phys_page % self.page_bytes:
+            raise AddressError(
+                f"frame base {new_phys_page:#x} not page-aligned"
+            )
+        vpn = vaddr // self.page_bytes
+        pte = self.page_table.lookup(vpn)
+        if pte is None:
+            raise AddressError(f"vpn {vpn:#x} is not mapped")
+        for line in lost_lines:
+            if line % line_bytes or not vaddr <= line < vaddr + self.page_bytes:
+                raise AddressError(
+                    f"lost line {line:#x} is not a line of page {vaddr:#x}"
+                )
+        self.tlb.invalidate(vpn)
+        self.page_table.replace(
+            vpn,
+            _dc_replace(
+                pte,
+                phys_page=new_phys_page,
+                poisoned=False,
+                damaged=bool(lost_lines),
+            ),
+        )
+        self._poison_donor.pop(vpn, None)
+        self._lost_line_bytes = line_bytes
+        for line in lost_lines:
+            self._lost[line] = donor if donor is not None else -1
+
+    # -- damage queries -----------------------------------------------------
+    def check_lost(self, vaddr: int, size: int) -> None:
+        """Raise if [*vaddr*, *vaddr*+*size*) overlaps a lost line.
+
+        Called by the access layer only for pages whose PTE carries the
+        ``damaged`` mark, so undamaged runs never pay for it.
+        """
+        line = self._lost_line_bytes
+        first = vaddr - vaddr % line
+        last = (vaddr + size - 1) - (vaddr + size - 1) % line
+        for base in range(first, last + line, line):
+            donor = self._lost.get(base)
+            if donor is not None:
+                self.damage_faults += 1
+                raise RemoteAccessError(
+                    f"{self.name}: access to {vaddr:#x} overlaps line "
+                    f"{base:#x} whose only copy was dirty on donor node "
+                    f"{donor} when it died",
+                    node=donor,
+                )
+
+    def heal_lost(self, vaddr: int, size: int) -> None:
+        """Settle a write against the damage record.
+
+        Lines *fully covered* by the write are healed — the application
+        is re-initialising them, so the lost data no longer matters.
+        A write that merely grazes a lost line would mix fresh bytes
+        with lost ones, so partial overlap raises like a read would.
+        """
+        line = self._lost_line_bytes
+        end = vaddr + size
+        first = vaddr - vaddr % line
+        last = (end - 1) - (end - 1) % line
+        for base in range(first, last + line, line):
+            if base not in self._lost:
+                continue
+            if vaddr <= base and base + line <= end:
+                del self._lost[base]
+            else:
+                donor = self._lost[base]
+                self.damage_faults += 1
+                raise RemoteAccessError(
+                    f"{self.name}: partial write to {vaddr:#x} grazes lost "
+                    f"line {base:#x} (donor node {donor} died with the only "
+                    "copy); rewrite the whole line to heal it",
+                    node=donor,
+                )
+
+    def lost_lines(self) -> list[tuple[int, int]]:
+        """Sorted (line vaddr, donor) pairs still marked lost."""
+        return sorted(self._lost.items())
 
     # -- translation -------------------------------------------------------
     def translate(self, vaddr: int) -> Translation:
@@ -183,7 +310,8 @@ class AddressSpace:
                 self.poison_faults += 1
                 raise RemoteAccessError(
                     f"{self.name}: access to {vaddr:#x} whose backing "
-                    "frame was revoked (donor node died)"
+                    "frame was revoked (donor node died)",
+                    node=self._poison_donor.get(vpn),
                 )
             return Translation(phys_page + offset, tlb_hit=True, pte=pte)
         pte = self.page_table.lookup(vpn)
@@ -196,7 +324,8 @@ class AddressSpace:
             self.poison_faults += 1
             raise RemoteAccessError(
                 f"{self.name}: access to {vaddr:#x} whose backing "
-                "frame was revoked (donor node died)"
+                "frame was revoked (donor node died)",
+                node=self._poison_donor.get(vpn),
             )
         self.walks += 1
         self.tlb.insert(vpn, pte.phys_page)

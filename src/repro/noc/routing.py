@@ -7,6 +7,15 @@ shorter arc (lines have only one).
 
 The full ``(current, destination) -> next hop`` table is precomputed at
 construction; lookups on the critical path are a dict access.
+
+**Quarantine.** The health layer can mark a flapping link *degraded*
+with :meth:`RoutingTable.quarantine_edge`: the table is rebuilt to
+route around the quarantined edges where the topology allows it. The
+rebuild is refused (returns ``False``, table untouched) when avoiding
+the edge would disconnect some pair — a line topology, say, has no
+alternate path, so the health layer must fall back to suspicion
+escalation instead. The rebuilt routes come from a deterministic BFS
+(smallest-id neighbor wins ties), keeping simulations replayable.
 """
 
 from __future__ import annotations
@@ -23,6 +32,9 @@ class RoutingTable:
     def __init__(self, topology: Topology) -> None:
         self.topology = topology
         self._next: dict[tuple[int, int], int] = {}
+        #: directed edges the health layer routed around (both
+        #: directions of a quarantined link appear here)
+        self._quarantined: set[tuple[int, int]] = set()
         self._build()
 
     def next_hop(self, current: int, dest: int) -> int:
@@ -52,6 +64,78 @@ class RoutingTable:
 
     def hops(self, src: int, dst: int) -> int:
         return len(self.path(src, dst)) - 1
+
+    # -- quarantine --------------------------------------------------------
+    @property
+    def quarantined_edges(self) -> set[tuple[int, int]]:
+        """Undirected pairs currently routed around (canonical order)."""
+        return {(min(a, b), max(a, b)) for a, b in self._quarantined}
+
+    def quarantine_edge(self, a: int, b: int) -> bool:
+        """Route around the link *a*—*b* (both directions) if possible.
+
+        Returns ``True`` and commits a rebuilt next-hop table when every
+        node pair stays routable without the quarantined edges; returns
+        ``False`` and leaves the table (and the quarantine set) exactly
+        as they were when the edge is a cut edge — the caller should
+        escalate to declaring the peer dead instead.
+        """
+        self.topology._check(a)
+        self.topology._check(b)
+        avoided = self._quarantined | {(a, b), (b, a)}
+        rebuilt = self._rebuild_avoiding(avoided)
+        if rebuilt is None:
+            return False
+        self._quarantined = avoided
+        self._next = rebuilt
+        return True
+
+    def clear_quarantine(self) -> None:
+        """Forget all quarantined edges and restore the native routes."""
+        self._quarantined = set()
+        self._next = {}
+        self._build()
+
+    def _rebuild_avoiding(
+        self, avoided: set[tuple[int, int]]
+    ) -> "dict[tuple[int, int], int] | None":
+        """Next-hop table over the topology minus *avoided* directed edges.
+
+        Deterministic per-destination reverse BFS: a node forwards to
+        its smallest-id usable neighbor that is one hop closer to the
+        destination. Returns ``None`` if any (cur, dst) pair becomes
+        unroutable.
+        """
+        topo = self.topology
+        nodes = sorted(topo.graph.nodes)
+        table: dict[tuple[int, int], int] = {}
+        for dst in nodes:
+            # BFS distances *to* dst over usable directed edges
+            dist = {dst: 0}
+            frontier = [dst]
+            while frontier:
+                nxt_frontier: list[int] = []
+                for node in frontier:
+                    for nb in topo.neighbors(node):
+                        if (nb, node) in avoided or nb in dist:
+                            continue
+                        dist[nb] = dist[node] + 1
+                        nxt_frontier.append(nb)
+                frontier = sorted(nxt_frontier)
+            for cur in nodes:
+                if cur == dst:
+                    continue
+                if cur not in dist:
+                    return None
+                for nb in topo.neighbors(cur):
+                    if (cur, nb) in avoided:
+                        continue
+                    if dist.get(nb, -1) == dist[cur] - 1:
+                        table[(cur, dst)] = nb
+                        break
+                else:  # pragma: no cover - dist guarantees a hop exists
+                    return None
+        return table
 
     # -- construction ------------------------------------------------------
     def _build(self) -> None:

@@ -53,6 +53,7 @@ __all__ = [
     "FaultStats",
     "collect_faults",
     "format_fault_report",
+    "random_plan",
 ]
 
 _SITES = ("link", "switch", "crossbar")
@@ -165,6 +166,72 @@ class FaultPlan:
         return self
 
 
+def random_plan(
+    seed: int,
+    *,
+    nodes,
+    edges,
+    duration_ns: float,
+    kills: int = 1,
+    flaps: int = 1,
+    drops: int = 1,
+    corrupts: int = 1,
+    protect=(),
+) -> FaultPlan:
+    """A seeded random chaos schedule over *duration_ns* of sim time.
+
+    Draws victims, flapping links, and packet-fault rules from the
+    ``stream(seed, "chaosplan")`` child generator, so the same seed
+    always yields byte-identical timelines — the replay contract the
+    chaos soak's bit-identical assertion relies on. Nodes in *protect*
+    are never killed and their links never flapped (the soak protects
+    the borrower and one stable donor so every run has a recovery
+    target). *edges* is the undirected link list of the topology.
+    """
+    if duration_ns <= 0:
+        raise ConfigError("duration_ns must be positive")
+    rng = stream(seed, "chaosplan")
+    shielded = set(protect)
+    plan = FaultPlan(seed=seed)
+
+    killable = sorted(n for n in nodes if n not in shielded)
+    n_kills = min(kills, len(killable))
+    if n_kills:
+        picks = rng.choice(len(killable), size=n_kills, replace=False)
+        for i in sorted(int(p) for p in picks):
+            at = float(rng.uniform(0.2, 0.6)) * duration_ns
+            plan.kill_node(killable[i], at)
+
+    flappable = sorted(
+        (min(a, b), max(a, b))
+        for a, b in edges
+        if a not in shielded and b not in shielded
+    )
+    for _ in range(flaps):
+        if not flappable:
+            break
+        a, b = flappable[int(rng.integers(len(flappable)))]
+        at = float(rng.uniform(0.1, 0.5)) * duration_ns
+        span = float(rng.uniform(0.05, 0.2)) * duration_ns
+        plan.fail_link(a, b, at, until_ns=at + span)
+
+    for _ in range(drops):
+        plan.drop_packets(
+            site="link",
+            after_ns=float(rng.uniform(0.1, 0.5)) * duration_ns,
+            count=int(rng.integers(1, 4)),
+            probability=float(rng.uniform(0.002, 0.02)),
+        )
+    for _ in range(corrupts):
+        plan.corrupt_packets(
+            site="link",
+            after_ns=float(rng.uniform(0.1, 0.5)) * duration_ns,
+            count=int(rng.integers(1, 3)),
+            probability=float(rng.uniform(0.002, 0.02)),
+        )
+    return plan
+
+
 class FaultInjector:
     """The armed runtime for one :class:`FaultPlan` on one simulator.
 
@@ -236,13 +303,23 @@ class FaultInjector:
             cb(node_id)
 
     def fail_link(self, a: int, b: int) -> None:
-        """Take both directions of the *a*<->*b* lane down now."""
+        """Take both directions of the *a*<->*b* lane down now; idempotent.
+
+        Failing an already-down pair (overlapping flaps, kill-then-fail
+        interleavings) is a no-op and leaves no duplicate log entry, so
+        a replayed schedule produces the same log regardless of how the
+        caller arrived at the same link state.
+        """
+        if (a, b) in self.down_links and (b, a) in self.down_links:
+            return
         self.down_links.add((a, b))
         self.down_links.add((b, a))
         self.log.append((self.sim.now, "fail_link", f"{a}<->{b}"))
 
     def restore_link(self, a: int, b: int) -> None:
-        """Bring the *a*<->*b* lane pair back up."""
+        """Bring the *a*<->*b* lane pair back up; no-op if not down."""
+        if (a, b) not in self.down_links and (b, a) not in self.down_links:
+            return
         self.down_links.discard((a, b))
         self.down_links.discard((b, a))
         self.log.append((self.sim.now, "restore_link", f"{a}<->{b}"))

@@ -1,0 +1,272 @@
+"""Failure detection and lease lifecycle (cluster/health.py).
+
+Covers the detector state machine (miss -> suspect-hop quarantine ->
+declaration), the vouching rule that keeps one failure from becoming
+two, the zero-cost-when-disarmed contract, and the borrower/donor lease
+state machines including the GRACE window and expiry ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.malloc import Placement
+from repro.cluster.reservation import LeaseState
+from repro.config import ClusterConfig, HealthConfig, NetworkConfig, RMCConfig
+from repro.errors import RemoteAccessError
+from repro.sim.faults import FaultPlan
+from repro.units import mib
+
+
+def _line(n=3, **kw):
+    return Cluster(
+        ClusterConfig(network=NetworkConfig(topology="line", dims=(n, 1)), **kw)
+    )
+
+
+def _ring(n=4, **kw):
+    return Cluster(
+        ClusterConfig(network=NetworkConfig(topology="ring", dims=(n, 1)), **kw)
+    )
+
+
+def _kinds(monitor):
+    return [kind for _, kind, _ in monitor.events]
+
+
+def _run_and_drain(cluster, horizon_ns):
+    cluster.sim.run(until=cluster.sim.now + horizon_ns)
+    cluster.health.stop()
+    cluster.sim.run()
+
+
+# -- detection -------------------------------------------------------------
+
+
+def test_probe_loop_declares_dead_donor():
+    cluster = _line(3)
+    cluster.borrow(1, 2, mib(2))
+    health = cluster.arm_health(HealthConfig(auto_recover=False))
+    kill_at = cluster.sim.now + 10_000
+    cluster.arm_faults(FaultPlan().kill_node(2, at_ns=kill_at))
+    _run_and_drain(cluster, 300_000)
+
+    assert health.confirmed_dead == {2}
+    kinds = _kinds(health)
+    assert "dead" in kinds
+    # enough consecutive misses to cross the threshold, none cleared
+    assert kinds.count("miss") >= health.cfg.miss_threshold
+    assert "cleared" not in kinds
+    # detection happened after the kill, through real probe timeouts
+    dead_at = next(t for t, k, _ in health.events if k == "dead")
+    assert dead_at > kill_at
+    # degradation ran: the lease is revoked, the region shrank
+    assert len(cluster.node(1).reservations.revoked) == 1
+    assert cluster.regions.region_of(1).remote_bytes == 0
+    cluster.regions.check_invariants()
+
+
+def test_answered_probe_resets_suspicion():
+    """A transient link flap earns a miss, not a death: the next
+    answered probe clears the suspicion counter."""
+    cluster = _line(3)
+    cluster.borrow(1, 2, mib(2))
+    health = cluster.arm_health(HealthConfig(auto_recover=False))
+    t0 = cluster.sim.now
+    cluster.arm_faults(
+        FaultPlan().fail_link(1, 2, at_ns=t0 + 15_000, until_ns=t0 + 45_000)
+    )
+    _run_and_drain(cluster, 200_000)
+
+    kinds = _kinds(health)
+    assert "miss" in kinds          # the flap was noticed
+    assert "cleared" in kinds       # and forgiven on the next answer
+    assert "dead" not in kinds
+    assert health.confirmed_dead == set()
+    assert health.suspicion.get((1, 2), 0) == 0
+
+
+def test_quarantine_skips_edges_vouched_by_healthy_peers():
+    """On a 6-ring the route 1->5 runs through 6. Node 6's answered
+    probes are live evidence the 1-6 edge works, so when 5 dies the
+    detector must quarantine the 5-6 hop, not sever the working 1-6
+    edge (which would turn one failure into two)."""
+    cluster = _ring(6)
+    assert cluster.network.routing.path(1, 5) == [1, 6, 5]
+    cluster.borrow(1, 6, mib(2))
+    cluster.borrow(1, 5, mib(2))
+    health = cluster.arm_health(HealthConfig(auto_recover=False))
+    kill_at = cluster.sim.now + 10_000
+    cluster.arm_faults(FaultPlan().kill_node(5, at_ns=kill_at))
+    _run_and_drain(cluster, 300_000)
+
+    assert health.confirmed_dead == {5}
+    assert health.quarantined == {(5, 6)}
+    assert health.suspicion.get((1, 6), 0) == 0  # the alibi held
+
+
+def test_quarantine_refused_on_cut_edge():
+    """A line topology has no alternate route: the detector must not
+    sever the only path, and still escalates to a declaration."""
+    cluster = _line(3)
+    cluster.borrow(1, 2, mib(2))
+    health = cluster.arm_health(HealthConfig(auto_recover=False))
+    cluster.arm_faults(
+        FaultPlan().kill_node(2, at_ns=cluster.sim.now + 10_000)
+    )
+    _run_and_drain(cluster, 300_000)
+
+    assert "quarantine_refused" in _kinds(health)
+    assert health.quarantined == set()
+    assert health.confirmed_dead == {2}
+
+
+def test_armed_idle_health_is_bit_identical():
+    """An armed monitor with no watches and no lease TTL schedules
+    nothing: same final clock, same counters as a disarmed run, through
+    a NACK storm."""
+
+    def run(armed):
+        cluster = _line(
+            3, rmc=RMCConfig(buffer_entries=2, retry_backoff_ns=200.0)
+        )
+        if armed:
+            cluster.arm_health(HealthConfig(watch_on_borrow=False))
+        app = cluster.session(1)
+        app.borrow_remote(2, mib(4))
+        ptr = app.malloc(mib(1), Placement.REMOTE)
+        sim = cluster.sim
+
+        def hammer(n):
+            for i in range(n):
+                yield from app.g_read(ptr + (i % 16) * 4096, 64, cached=False)
+
+        procs = [sim.process(hammer(30)) for _ in range(3)]
+        sim.run()
+        assert all(p.ok for p in procs)
+        if armed:
+            assert cluster.health.probes_sent == 0
+            assert cluster.health.events == []
+        return (
+            sim.now,
+            cluster.node(1).rmc.retransmissions.value,
+            cluster.node(1).rmc.client_nacks.value,
+            cluster.node(2).rmc.server_nacks.value,
+        )
+
+    assert run(armed=False) == run(armed=True)
+
+
+# -- lease lifecycle -------------------------------------------------------
+
+
+def test_lease_renewal_keeps_lease_active():
+    cluster = _line(3)
+    app = cluster.session(1)
+    res = app.borrow_remote(2, mib(2))
+    # arm after the synchronous setup: lease daemons are periodic, so a
+    # run_process-based borrow would never drain once they exist
+    cluster.arm_health(
+        HealthConfig(
+            lease_ttl_ns=100_000.0,
+            renew_margin_ns=40_000.0,
+            lease_grace_ns=90_000.0,
+            auto_recover=False,
+        )
+    )
+    _run_and_drain(cluster, 500_000)  # several renewal cycles
+
+    client = cluster.node(1).reservations
+    assert client.state_of(res) is LeaseState.ACTIVE
+    assert res.prefixed_start in client.held
+    # renewals landed: the donor never reclaimed (it would have within
+    # ttl + grace + one daemon period had they stopped)
+    assert cluster.node(2).os.lease_reclaims == []
+    assert "lease_expired" not in _kinds(cluster.health)
+
+
+def test_renew_nack_expires_lease_immediately():
+    """A nacked renewal means the grant is gone — no GRACE window, the
+    lease expires at once and the pages are poisoned."""
+    cluster = _line(3)
+    app = cluster.session(1)
+    res = app.borrow_remote(2, mib(2))
+    ptr = app.malloc(4096, Placement.REMOTE)
+    app.write_u64(ptr, 7)
+    # the donor's grant vanishes out from under the lease (the dual of
+    # a borrower that stopped renewing: here the donor reclaimed first)
+    local = cluster.amap.strip_node(res.prefixed_start)
+    cluster.node(2).os.release_reservation(local)
+    cluster.arm_health(
+        HealthConfig(
+            lease_ttl_ns=100_000.0,
+            renew_margin_ns=40_000.0,
+            lease_grace_ns=60_000.0,
+            auto_recover=False,
+        )
+    )
+    t0 = cluster.sim.now
+    _run_and_drain(cluster, 300_000)
+
+    client = cluster.node(1).reservations
+    assert client.state_of(res) is LeaseState.EXPIRED
+    assert res.prefixed_start in client.revoked
+    expired_at = next(
+        t for t, k, _ in cluster.health.events if k == "lease_expired"
+    )
+    # the first renewal (ttl - margin after grant) got the nack; no
+    # grace retries pushed expiry out
+    assert expired_at - t0 < 100_000.0
+    with pytest.raises(RemoteAccessError):
+        app.read(ptr, 8, cached=False)
+    cluster.regions.check_invariants()
+
+
+def test_grace_spent_expires_before_donor_reclaims():
+    """A partition the detector is blind to (miss_threshold too high):
+    renewals time out into GRACE, the grace budget buys retries, and
+    the borrower-side expiry lands *before* the donor-side reclaim —
+    the borrower must never use frames the donor may have re-granted."""
+    cluster = _line(2)
+    app = cluster.session(1)
+    res = app.borrow_remote(2, mib(2))
+    ptr = app.malloc(4096, Placement.REMOTE)
+    cluster.arm_health(
+        HealthConfig(
+            lease_ttl_ns=200_000.0,
+            renew_margin_ns=60_000.0,
+            lease_grace_ns=90_000.0,
+            probe_timeout_ns=30_000.0,
+            miss_threshold=100,
+            quarantine_after=99,
+            auto_recover=False,
+        )
+    )
+    t0 = cluster.sim.now
+    renew_start = t0 + 200_000.0 - 60_000.0
+    cluster.arm_faults(FaultPlan().fail_link(1, 2, at_ns=t0 + 50_000))
+    _run_and_drain(cluster, 450_000)
+
+    health = cluster.health
+    client = cluster.node(1).reservations
+    assert client.state_of(res) is LeaseState.EXPIRED
+    assert health.confirmed_dead == set()  # detector stayed blind
+    expired_at = next(
+        t for t, k, _ in health.events if k == "lease_expired"
+    )
+    # expiry waited for the full grace budget (timeout + 3 retries at
+    # 30k each), not a single missed renewal
+    assert expired_at - renew_start >= 90_000.0
+    # donor-side reclaim (ttl + grace after the grant) came later
+    reclaims = cluster.node(2).os.lease_reclaims
+    assert len(reclaims) == 1
+    reclaimed_at, borrower, local = reclaims[0]
+    assert borrower == 1
+    assert local == cluster.amap.strip_node(res.prefixed_start)
+    assert reclaimed_at > expired_at
+    # the donor got its capacity back; the borrower's page is poisoned
+    assert cluster.node(2).os.grants == {}
+    with pytest.raises(RemoteAccessError):
+        app.read(ptr, 8, cached=False)
+    cluster.regions.check_invariants()

@@ -4,9 +4,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.cluster.cluster import Cluster
 from repro.cluster.malloc import Placement
+from repro.config import ClusterConfig, HealthConfig, NetworkConfig
 from repro.errors import AllocationError, ReservationError
-from repro.units import mib
+from repro.sim.faults import FaultPlan
+from repro.units import PAGE_SIZE, mib
 
 
 @pytest.fixture
@@ -86,3 +89,82 @@ def test_malloc_through_reclaimed_memory_end_to_end(small_cluster):
 def test_free_outside_every_pool_rejected(os1):
     with pytest.raises(AllocationError):
         os1.free_local(os1.config.total_memory_bytes - 4096, 4096)
+
+
+# -- hot-plug under the failure model --------------------------------------
+
+
+def test_hot_removed_capacity_is_excluded_from_recovery():
+    """Recovery candidates are ranked by distance, but a donor whose
+    donation pool was hot-removed for local use has nothing to give:
+    re-reserve must skip it, not race its local processes for frames."""
+    cluster = Cluster(
+        ClusterConfig(network=NetworkConfig(topology="ring", dims=(4, 1)))
+    )
+    app = cluster.session(1)
+    app.borrow_remote(2, PAGE_SIZE)
+    app.malloc(PAGE_SIZE, Placement.REMOTE)
+    # node 4 is the nearest surviving candidate (1 hop vs 2 to node 3)
+    # — drain its donation pool into local use before the crash
+    os4 = cluster.node(4).os
+    os4.hot_remove_donation(os4.donated_free_bytes)
+    assert os4.donated_free_bytes == 0
+    health = cluster.arm_health(HealthConfig())
+    cluster.arm_faults(
+        FaultPlan().kill_node(2, at_ns=cluster.sim.now + 10_000)
+    )
+    cluster.sim.run(until=cluster.sim.now + 400_000)
+    cluster.health.stop()
+    cluster.sim.run()
+
+    (report,) = health.recoveries
+    assert report.unhealed == 0
+    assert report.new_donors == (3,)
+    cluster.regions.check_invariants()
+
+
+def test_kill_of_node_with_hot_removed_memory_keeps_invariants(
+    small_cluster,
+):
+    cluster = small_cluster
+    app = cluster.session(1)
+    app.borrow_remote(2, mib(4))
+    os2 = cluster.node(2).os
+    start = os2.hot_remove_donation(mib(8))
+    os2.alloc_local(os2.private_pool.free_bytes)  # drain the boot pool
+    local = os2.alloc_local(mib(1))  # spills into the reclaimed range
+    assert local >= os2.private_pool.size
+    cluster.kill_node(2)
+    # the dead node's hot-plug state is inert, the survivors'
+    # bookkeeping degraded cleanly
+    assert os2.hot_removed_bytes == mib(8)
+    assert start in os2._reclaimed
+    assert len(cluster.node(1).reservations.revoked) == 1
+    cluster.regions.check_invariants()
+
+
+def test_lease_reclaim_returns_range_for_hot_remove(small_cluster):
+    """Donor-side close of the lease loop: a borrower that stops
+    renewing loses its grant at ttl + grace, and the reclaimed range
+    is ordinary donation capacity again — hot-removable for local
+    pressure."""
+    cluster = small_cluster
+    os2 = cluster.node(2).os
+    donated_before = os2.donated_free_bytes
+    cluster.borrow(1, 2, mib(4))
+    # arm donor-side leases only: no borrower renewal daemon exists, so
+    # the grant must lapse
+    os2.arm_leases(100_000.0, 50_000.0)
+    cluster.sim.run(until=cluster.sim.now + 400_000)
+    os2.stop_leases()
+    cluster.sim.run()
+
+    assert len(os2.lease_reclaims) == 1
+    _, borrower, _ = os2.lease_reclaims[0]
+    assert borrower == 1
+    assert os2.grants == {}
+    assert os2.donated_free_bytes == donated_before
+    # the whole pool, lapsed lease included, can leave the cluster
+    start = os2.hot_remove_donation(donated_before)
+    assert os2.donated_free_bytes == 0
+    os2.hot_add_donation(start)

@@ -333,8 +333,14 @@ def test_retry_exhaustion_surfaces_remote_access_error():
             site="link", edge=(1, 2), ptype=PacketType.READ_REQ
         )
     )
-    with pytest.raises(RemoteAccessError):
+    with pytest.raises(RemoteAccessError) as ei:
         app.read(ptr, 64, cached=False)
+    # the error is structured, not just a message: callers can tell
+    # which peer failed, whose region it was, and what was spent
+    assert ei.value.node == 2          # the unreachable donor
+    assert ei.value.region == 1        # the issuing node's region
+    assert isinstance(ei.value.tag, int)
+    assert ei.value.retries == cluster.config.rmc.max_retries
     rmc = cluster.node(1).rmc
     assert rmc.retries_exhausted.value == 1
     assert rmc.timeouts.value == cluster.config.rmc.max_retries + 1
@@ -384,6 +390,51 @@ def test_fault_replay_is_deterministic():
                 collect_faults(cluster))
 
     assert run() == run()
+
+
+def test_kill_node_is_idempotent():
+    """A double kill (timeline entry racing a manual kill, or a health
+    declaration on an already-killed node) must not re-run the death
+    callbacks or duplicate the log."""
+    cluster = _line(3)
+    app = cluster.session(1)
+    app.borrow_remote(2, mib(2))
+    inj = cluster.arm_faults()
+    cluster.kill_node(2)
+    log_after_first = list(inj.log)
+    assert inj.revoked_leases == {1: 1}
+    cluster.kill_node(2)
+    assert inj.log == log_after_first
+    assert inj.dead_nodes == {2}
+    # degradation ran exactly once: one revoked lease, counted once
+    assert inj.revoked_leases == {1: 1}
+    assert len(cluster.node(1).reservations.revoked) == 1
+    cluster.regions.check_invariants()
+
+
+def test_fail_and_restore_link_are_idempotent_and_order_safe():
+    cluster = _line(3)
+    inj = cluster.arm_faults()
+    inj.restore_link(1, 2)  # restoring an up link: no-op, no log entry
+    assert inj.log == []
+    cluster.fail_link(1, 2)
+    cluster.fail_link(1, 2)  # repeat: still one entry
+    assert [k for _, k, _ in inj.log] == ["fail_link"]
+    inj.restore_link(1, 2)
+    inj.restore_link(1, 2)
+    assert [k for _, k, _ in inj.log] == ["fail_link", "restore_link"]
+    assert inj.down_links == set()
+    # kill-then-fail interleavings: each state change logs exactly once
+    cluster.kill_node(2)
+    cluster.fail_link(1, 2)
+    cluster.fail_link(2, 3)
+    cluster.kill_node(2)
+    cluster.fail_link(1, 2)
+    kinds = [k for _, k, _ in inj.log]
+    assert kinds.count("kill_node") == 1
+    assert kinds.count("fail_link") == 3
+    assert inj.down_links == {(1, 2), (2, 1), (2, 3), (3, 2)}
+    cluster.regions.check_invariants()
 
 
 def test_region_invariants_survive_churn(small_cluster):

@@ -33,6 +33,13 @@ _PACKET_FACTORY = ("ht/packet.py",)
 _RNG = ("sim/rng.py",)
 #: the only module allowed to arm fault hooks or damage packets
 _FAULT_LAYER = ("sim/faults.py",)
+#: the modules allowed to initiate recovery actions (health drives,
+#: rebalance executes, regions keeps the damage book)
+_RECOVERY_LAYER = (
+    "cluster/health.py",
+    "cluster/rebalance.py",
+    "cluster/regions.py",
+)
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -513,6 +520,99 @@ class SIM007FaultInjectionLayer(Rule):
                 )
 
 
+class SIM008RecoveryDiscipline(Rule):
+    """Failure errors stay loud; recovery actions stay layered.
+
+    * ``except RemoteAccessError: pass`` (or ``RecoveryError``, or a
+      tuple containing either) silently swallows a machine-check-style
+      failure — exactly the error class PR 6 made structured so callers
+      can react. Handle it (degrade, record, re-raise) or let it
+      propagate.
+    * Recovery *actions* — repointing pages, dropping a dead donor's
+      segments, recording damage, rebinding allocations, re-reserving
+      capacity — may only be initiated from the recovery layer
+      (``cluster/health.py`` drives, ``cluster/rebalance.py`` executes,
+      ``cluster/regions.py`` keeps the damage book). Anywhere else they
+      bypass the idempotence guards and the MTTR accounting. Tests are
+      exempt from the layering (they exercise the mechanics directly)
+      but never from the swallow check.
+    """
+
+    code = "SIM008"
+    title = "RemoteAccessError swallowed / recovery action outside recovery layer"
+
+    _ERRORS = frozenset({"RemoteAccessError", "RecoveryError"})
+    _ACTIONS = frozenset(
+        {
+            "repoint_page",
+            "drop_donor_segments",
+            "record_damage",
+            "rebind_allocation",
+            "re_reserve",
+            "heal_sessions",
+            "expire_reservation",
+        }
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(ctx, node)
+            elif (
+                isinstance(node, ast.Call)
+                and not ctx.is_test
+                and not ctx.in_module(*_RECOVERY_LAYER)
+            ):
+                name = _call_name(node)
+                if name in self._ACTIONS:
+                    yield ctx.violation(
+                        node,
+                        self.code,
+                        f"recovery action '{name}()' initiated outside the "
+                        "recovery layer — route it through cluster/health.py "
+                        "or cluster/rebalance.py so idempotence guards and "
+                        "MTTR accounting apply",
+                    )
+
+    def _check_handler(
+        self, ctx: FileContext, node: ast.ExceptHandler
+    ) -> Iterator[Violation]:
+        caught = self._caught_names(node.type)
+        named = caught & self._ERRORS
+        if not named:
+            return
+        if all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in node.body
+        ):
+            yield ctx.violation(
+                node,
+                self.code,
+                f"'{sorted(named)[0]}' swallowed by an empty except "
+                "handler — a machine-check-style failure must be "
+                "handled (degrade, record, re-raise), not hidden",
+            )
+
+    def _caught_names(self, type_node: "ast.expr | None") -> set[str]:
+        if type_node is None:
+            return set()
+        if isinstance(type_node, ast.Tuple):
+            names = set()
+            for elt in type_node.elts:
+                names |= self._caught_names(elt)
+            return names
+        if isinstance(type_node, ast.Attribute):
+            return {type_node.attr}
+        if isinstance(type_node, ast.Name):
+            return {type_node.id}
+        return set()
+
+
 #: registration order == reporting precedence
 ALL_RULES: list[Type[Rule]] = [
     SIM001EngineInternals,
@@ -522,6 +622,7 @@ ALL_RULES: list[Type[Rule]] = [
     SIM005BatchTwinCoverage,
     SIM006DeterminismHazards,
     SIM007FaultInjectionLayer,
+    SIM008RecoveryDiscipline,
 ]
 
 
