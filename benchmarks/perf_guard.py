@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Simulator performance guard: fast tier, packet tier AND engine tier.
 
-Measures host-side simulation throughput on the hot paths of all three
-layers (plain ``perf_counter`` loops, no plugin needed), records the
+Measures host-side simulation throughput on the hot paths of every
+layer (plain ``perf_counter`` loops, no plugin needed), records the
 rates in ``BENCH_fasttier.json`` / ``BENCH_packettier.json`` /
-``BENCH_enginetier.json`` at the repository root, and **exits non-zero
+``BENCH_columnartier.json`` / ``BENCH_enginetier.json`` at the
+repository root, and **exits non-zero
 if any path regressed more than 30%** against the committed
 ``baseline_ops_per_sec`` — run it before committing changes that touch
 ``sim/``, ``mem/``, ``model/``, ``ht/``, ``rmc/`` or ``cluster/``.
@@ -255,6 +256,88 @@ def bench_packet_btree_search(batch: bool = True) -> float:
 
 
 # ---------------------------------------------------------------------------
+# Columnar tier
+# ---------------------------------------------------------------------------
+
+
+def _fast_column(n: int = 65_536, seed: int = 7):
+    """A remote fast-tier accessor holding an *n*-element uint64 column."""
+    from repro.apps.columnar import Column
+
+    lat = LatencyModel.from_config(ClusterConfig())
+    acc = RemoteMemAccessor(lat, BackingStore(mib(4)), hops=1)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 32, size=n, dtype=np.uint64)
+    acc.bulk_write(0, data.tobytes())
+    return acc, Column(0, n, "uint64")
+
+
+def bench_column_sum_fast() -> float:
+    """Whole-column aggregate through zero-copy windows (fast tier);
+    ops/sec counts *elements*, so the seed ratio is the O(elements) ->
+    O(windows) host-work drop the columnar plane exists for."""
+    from repro.apps.columnar import ColumnScan
+
+    acc, col = _fast_column()
+    scan = ColumnScan(acc)
+    return _rate(lambda: scan.sum(col), col.count)
+
+
+def bench_column_sum_fast_seed() -> float:
+    """Per-element `read_u64` loop over the same column — the scalar
+    data plane every accessor offered before this tier existed."""
+    from repro.apps.columnar import scan_sum_ref
+
+    acc, col = _fast_column()
+    return _rate(lambda: scan_sum_ref(acc, col), col.count)
+
+
+def bench_column_select_fast() -> float:
+    """Filter + selection-vector build through the same windows."""
+    from repro.apps.columnar import ColumnScan
+
+    acc, col = _fast_column(seed=8)
+    scan = ColumnScan(acc)
+    return _rate(lambda: scan.select(col, 1 << 20, 1 << 31), col.count)
+
+
+def bench_column_select_fast_seed() -> float:
+    from repro.apps.columnar import select_ref
+
+    acc, col = _fast_column(seed=8)
+    return _rate(lambda: select_ref(acc, col, 1 << 20, 1 << 31), col.count)
+
+
+def _packet_column(n: int = 16_384, seed: int = 9):
+    from repro.apps.access import SessionAccessor
+    from repro.apps.columnar import Column
+
+    cluster, app = _packet_session()
+    app.borrow_remote(2, mib(8))
+    acc = SessionAccessor(app, n * 8, placement=Placement.REMOTE)
+    rng = np.random.default_rng(seed)
+    acc.bulk_write(0, rng.integers(0, 1 << 32, size=n, dtype=np.uint64).tobytes())
+    return acc, Column(0, n, "uint64")
+
+
+def bench_column_sum_packet() -> float:
+    """Whole-column remote aggregate with every byte riding real burst
+    packets — the O(bursts) event path end to end."""
+    from repro.apps.columnar import ColumnScan
+
+    acc, col = _packet_column()
+    scan = ColumnScan(acc)
+    return _rate(lambda: scan.sum(col), col.count)
+
+
+def bench_column_sum_packet_seed() -> float:
+    from repro.apps.columnar import scan_sum_ref
+
+    acc, col = _packet_column()
+    return _rate(lambda: scan_sum_ref(acc, col), col.count)
+
+
+# ---------------------------------------------------------------------------
 # Engine tier
 # ---------------------------------------------------------------------------
 
@@ -362,6 +445,22 @@ SUITES: dict = {
             ),
         },
     ),
+    # The columnar tier's committed `min_speedup_vs_seed` (10x) turns
+    # the seed ratio into a gate: windows must stay an order of
+    # magnitude faster than the per-element read_u64 loops they replace.
+    "columnartier": (
+        REPO_ROOT / "BENCH_columnartier.json",
+        {
+            "column_sum_fast": bench_column_sum_fast,
+            "column_select_fast": bench_column_select_fast,
+            "column_sum_packet": bench_column_sum_packet,
+        },
+        {
+            "column_sum_fast": bench_column_sum_fast_seed,
+            "column_select_fast": bench_column_select_fast_seed,
+            "column_sum_packet": bench_column_sum_packet_seed,
+        },
+    ),
     # The engine-tier seed is NOT a seed fn: it is the pre-rework
     # heapq-only engine, which no longer exists in the tree. Its rates
     # (measured with these exact bench bodies immediately before the
@@ -411,6 +510,14 @@ def run_suite(suite: str, update: bool) -> list[tuple[str, float, float]]:
     doc["speedup_vs_seed"] = {
         k: round(v / seed[k], 2) for k, v in measured.items() if k in seed
     }
+    min_speedup = doc.get("min_speedup_vs_seed")
+    if min_speedup:
+        for k, v in measured.items():
+            if k in seed and v < seed[k] * min_speedup:
+                failures.append(
+                    (f"{k} (vs {min_speedup:.0f}x seed)", v,
+                     seed[k] * min_speedup)
+                )
     if update or not baseline:
         doc["baseline_ops_per_sec"] = measured
         print(f"[{suite}] baseline updated")

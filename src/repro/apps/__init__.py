@@ -12,11 +12,14 @@ or on a swap baseline:
 * :mod:`repro.apps.parsec`  — synthetic analogues of the four PARSEC
   benchmarks of Fig. 11, matched by footprint and access pattern;
 * :mod:`repro.apps.streams` — sequential-bandwidth kernel (sanity
-  baseline and ablation support).
+  baseline and ablation support);
+* :mod:`repro.apps.columnar` — OLAP-style scan/filter/aggregate
+  operators over typed column views (the zero-copy data plane).
 """
 
 from repro.apps.access import SessionAccessor, TraceRecorder
 from repro.apps.btree import BTree
+from repro.apps.columnar import Column, ColumnScan
 from repro.apps.hashindex import HashIndex
 from repro.apps.randbench import RandomAccessBenchmark, RandResult
 from repro.apps.parsec import (
@@ -32,6 +35,8 @@ __all__ = [
     "SessionAccessor",
     "TraceRecorder",
     "BTree",
+    "Column",
+    "ColumnScan",
     "HashIndex",
     "RandomAccessBenchmark",
     "RandResult",

@@ -73,10 +73,31 @@ class SessionAccessor:
     def write_u64(self, addr: int, value: int) -> None:
         self.write(addr, int(value).to_bytes(8, "little", signed=False))
 
-    def read_array(self, addr: int, count: int, dtype) -> np.ndarray:
-        dt = np.dtype(dtype)
-        raw = self.read(addr, count * dt.itemsize)
-        return np.frombuffer(raw, dtype=dt).copy()
+    def read_array(
+        self, addr: int, count: int, dtype, batch: bool = True
+    ) -> np.ndarray:
+        if not self.cached:
+            dt = np.dtype(dtype)
+            raw = self.read(addr, count * dt.itemsize)
+            return np.frombuffer(raw, dtype=dt).copy()
+        self.accesses += 1
+        return self.session.read_array(
+            self.base + addr, count, dtype, self.core, batch
+        )
+
+    def view_array(
+        self, addr: int, count: int, dtype, batch: bool = True
+    ) -> np.ndarray:
+        """Columnar window via :meth:`Session.view_array` — zero-copy
+        over the owner's backing chunk when view-legal, a fresh copy
+        otherwise. Uncached accessors have no span path to charge
+        through, so they fall back to the copying read."""
+        if not self.cached:
+            return self.read_array(addr, count, dtype)
+        self.accesses += 1
+        return self.session.view_array(
+            self.base + addr, count, dtype, self.core, batch
+        )
 
     def write_array(self, addr: int, values: np.ndarray) -> None:
         self.write(addr, np.ascontiguousarray(values).tobytes())
@@ -131,6 +152,16 @@ class TraceRecorder:
     def accesses(self) -> int:
         return self.inner.accesses
 
+    @property
+    def backing(self):
+        """Passthrough so capacity probes (e.g. MiniDB's) see the inner
+        accessor's store."""
+        return getattr(self.inner, "backing", None)
+
+    @property
+    def capacity(self):
+        return getattr(self.inner, "capacity", None)
+
     def _record(self, addr: int, size: int, is_write: bool) -> None:
         if self.max_entries is None or len(self.trace) < self.max_entries:
             self.trace.append(TraceEntry(addr, size, is_write))
@@ -155,6 +186,13 @@ class TraceRecorder:
         dt = np.dtype(dtype)
         self._record(addr, count * dt.itemsize, False)
         return self.inner.read_array(addr, count, dtype)
+
+    def view_array(
+        self, addr: int, count: int, dtype, batch: bool = True
+    ) -> np.ndarray:
+        dt = np.dtype(dtype)
+        self._record(addr, count * dt.itemsize, False)
+        return self.inner.view_array(addr, count, dtype, batch=batch)
 
     def write_array(self, addr: int, values: np.ndarray) -> None:
         self._record(addr, values.nbytes, True)

@@ -25,11 +25,16 @@ from repro.errors import ConfigError
 from repro.mem.paging import AddressSpace
 from repro.units import PAGE_SIZE
 
-__all__ = ["Session"]
+__all__ = ["Session", "COLUMN_WINDOW_BYTES"]
 
 #: Extra latency charged for a TLB miss (page-table walk through the
 #: cache hierarchy; constant, as the walk hits local memory).
 TLB_WALK_NS: float = 60.0
+
+#: Default window for whole-column streaming: one backing-store chunk,
+#: so a chunk-aligned column serves every full window as a zero-copy
+#: view (DESIGN.md §13).
+COLUMN_WINDOW_BYTES: int = 64 * 1024
 
 
 class Session:
@@ -281,14 +286,157 @@ class Session:
     def write_array(self, vaddr: int, values: np.ndarray, core: int = 0) -> None:
         self.write(vaddr, np.ascontiguousarray(values).tobytes(), core)
 
-    def read_array(
-        self, vaddr: int, count: int, dtype, core: int = 0
-    ) -> np.ndarray:
+    # -- the columnar data plane (DESIGN.md §13) ---------------------------
+    def g_read_array(
+        self, vaddr: int, count: int, dtype, core: int = 0, batch: bool = True
+    ) -> Generator:
+        """Typed read returning a fresh **writable** array, one copy total.
+
+        Timing is charged through the cached span path over physically
+        contiguous frame runs (O(bursts) simulated events); the data is
+        then copied once from the owner's backing storage into the
+        result — no ``bytes`` assembly, no ``frombuffer(...).copy()``
+        double copy. Single-run reads (any column that fits one stretch
+        of contiguous frames) take the backing store's chunk-slice fast
+        path directly.
+        """
         dt = np.dtype(dtype)
-        raw = self.read(vaddr, count * dt.itemsize, core)
-        return np.frombuffer(raw, dtype=dt).copy()
+        if count == 0:
+            return np.empty(0, dtype=dt)
+        c = self._core(core)
+        runs = yield from self._g_column_touch(
+            vaddr, count * dt.itemsize, core, batch
+        )
+        if len(runs) == 1:
+            return self.cluster.fn_read_array(
+                c._prefixed(runs[0][0]), count, dt
+            )
+        out = np.empty(count, dtype=dt)
+        mv = memoryview(out).cast("B")
+        pos = 0
+        for start, rsize, _damaged in runs:
+            self.cluster.fn_read_into(c._prefixed(start), mv[pos : pos + rsize])
+            pos += rsize
+        return out
+
+    def g_view_array(
+        self, vaddr: int, count: int, dtype, core: int = 0, batch: bool = True
+    ) -> Generator:
+        """A typed column window over region-backed memory.
+
+        Same timing as :meth:`g_read_array`; the data comes back as a
+        **read-only zero-copy ndarray view** straight over the owner's
+        backing chunk when the window is *view-legal* — one physically
+        contiguous frame run, inside one storage chunk, no damaged
+        pages — and as a fresh writable copy otherwise. Views alias
+        live simulated memory: they observe later writes and must not
+        outlive the scan that requested them (lifetime rules in
+        DESIGN.md §13).
+        """
+        dt = np.dtype(dtype)
+        if count == 0:
+            return np.empty(0, dtype=dt)
+        c = self._core(core)
+        runs = yield from self._g_column_touch(
+            vaddr, count * dt.itemsize, core, batch
+        )
+        if len(runs) == 1 and not runs[0][2]:
+            view = self.cluster.fn_view_array(
+                c._prefixed(runs[0][0]), count, dt
+            )
+            if view is not None:
+                return view
+        out = np.empty(count, dtype=dt)
+        mv = memoryview(out).cast("B")
+        pos = 0
+        for start, rsize, _damaged in runs:
+            self.cluster.fn_read_into(c._prefixed(start), mv[pos : pos + rsize])
+            pos += rsize
+        return out
+
+    def read_array(
+        self, vaddr: int, count: int, dtype, core: int = 0, batch: bool = True
+    ) -> np.ndarray:
+        return self.sim.run_process(
+            self.g_read_array(vaddr, count, dtype, core, batch)
+        )
+
+    def view_array(
+        self, vaddr: int, count: int, dtype, core: int = 0, batch: bool = True
+    ) -> np.ndarray:
+        return self.sim.run_process(
+            self.g_view_array(vaddr, count, dtype, core, batch)
+        )
+
+    def column_windows(
+        self,
+        vaddr: int,
+        count: int,
+        dtype,
+        core: int = 0,
+        batch: bool = True,
+        window_bytes: int = COLUMN_WINDOW_BYTES,
+    ):
+        """Stream a column as typed windows: yields ``(offset, window)``.
+
+        *offset* is the element index of the window's first element.
+        Windows split at ``window_bytes``-aligned virtual boundaries, so
+        a chunk-aligned column serves every full window zero-copy.
+        """
+        dt = np.dtype(dtype)
+        item = dt.itemsize
+        if window_bytes < item or window_bytes % item:
+            raise ConfigError(
+                f"window_bytes {window_bytes} must be a multiple of the "
+                f"{item}-byte element size"
+            )
+        pos = 0
+        while pos < count:
+            addr = vaddr + pos * item
+            boundary = (addr // window_bytes + 1) * window_bytes
+            take = min(count - pos, (boundary - addr) // item)
+            yield pos, self.view_array(addr, take, dt, core=core, batch=batch)
+            pos += take
 
     # -- internals ----------------------------------------------------------
+    def _g_column_touch(
+        self, vaddr: int, size: int, core: int, batch: bool
+    ) -> Generator:
+        """Charge a column read's timing; return its physical runs.
+
+        Translates the span page by page, merges pages whose frames are
+        physically contiguous into runs, then charges every run through
+        :meth:`Core.cached_touch` — page-table walks collapse into one
+        timeout under ``batch`` and stay per-walk on the scalar
+        reference path (identical total time, enforced by the
+        twin-cluster suites). Damaged pages go through ``check_lost``
+        (touching a lost line raises) and taint their run so the view
+        plane falls back to a copy.
+        """
+        c = self._core(core)
+        runs: list[list] = []
+        walks = 0
+        for part_vaddr, part_size in self._split(vaddr, size):
+            trans = self.aspace.translate(part_vaddr)
+            if trans.pte.damaged:
+                self.aspace.check_lost(part_vaddr, part_size)
+            if not trans.tlb_hit:
+                walks += 1
+            if runs and runs[-1][0] + runs[-1][1] == trans.phys_addr:
+                runs[-1][1] += part_size
+                runs[-1][2] = runs[-1][2] or trans.pte.damaged
+            else:
+                runs.append([trans.phys_addr, part_size, trans.pte.damaged])
+        if walks:
+            if batch:
+                yield self.sim.timeout(walks * TLB_WALK_NS)
+            else:
+                for _ in range(walks):
+                    yield self.sim.timeout(TLB_WALK_NS)
+        for start, rsize, _damaged in runs:
+            self._check(core, start, rsize, False, True)
+            yield from c.cached_touch(start, rsize, is_write=False, batch=batch)
+        return runs
     def _core(self, idx: int):
         try:
             return self.node.cores[idx]

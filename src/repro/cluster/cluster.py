@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from typing import Generator, Optional
 
+import numpy as np
+
 from repro.cluster import health as _health
 from repro.cluster.node import Node
 from repro.cluster.regions import RegionManager
@@ -132,6 +134,22 @@ class Cluster:
         """Zero-time write by prefixed physical address."""
         node, local = self._resolve(paddr)
         node.backing.write(local, data)
+
+    def fn_read_array(self, paddr: int, count: int, dtype) -> np.ndarray:
+        """Zero-time typed read: a fresh writable array, one copy total."""
+        node, local = self._resolve(paddr)
+        return node.backing.read_array(local, count, np.dtype(dtype))
+
+    def fn_view_array(self, paddr: int, count: int, dtype) -> "np.ndarray | None":
+        """Zero-time, zero-copy read-only window over the owner's chunk
+        storage, or ``None`` when the range has no contiguous buffer."""
+        node, local = self._resolve(paddr)
+        return node.backing.view_array(local, count, np.dtype(dtype))
+
+    def fn_read_into(self, paddr: int, out) -> None:
+        """Zero-time read into a caller buffer (one copy, no staging)."""
+        node, local = self._resolve(paddr)
+        node.backing.read_into(local, out)
 
     # -- control plane ---------------------------------------------------------
     def borrow(self, borrower: int, donor: int, size: int) -> Reservation:

@@ -168,6 +168,30 @@ class Core:
         self.functional_mem.fn_write(self._prefixed(paddr), data)
         return None
 
+    def cached_touch(
+        self, paddr: int, size: int, is_write: bool = False, batch: bool = True
+    ) -> Generator:
+        """Charge a cached access's timing without assembling its data.
+
+        The columnar data plane splits timing from data movement: the
+        span's cache classification, miss bursts and write-backs are
+        charged here exactly as :meth:`cached_read` /
+        :meth:`cached_write` would charge them, while the caller fetches
+        (or zero-copy views) the bytes straight from functional memory.
+        Counts one load/store, like its data-moving twins.
+        """
+        if self.cache is None or self.functional_mem is None:
+            raise ProtocolError(
+                f"{self.name}: cached_touch needs a cache and functional "
+                "memory (uncached cores move data with every packet)"
+            )
+        if is_write:
+            self.stores.add()
+        else:
+            self.loads.add()
+        yield from self._touch_lines(paddr, size, is_write=is_write, batch=batch)
+        return None
+
     # -- coherent operations (intra-node shared memory) --------------------
     def coherent_read(self, paddr: int, size: int, batch: bool = True) -> Generator:
         """Load through the node's MESI domain — valid for shared,

@@ -35,6 +35,7 @@ from repro.harness import (  # noqa: F401,E402
     extC_readonly,
     extD_database,
     extE_scaling,
+    extF_columnar,
     fig06,
     fig07,
     fig08,

@@ -1,0 +1,137 @@
+"""Extension F — OLAP column scans over borrowed memory.
+
+The zero-copy columnar data plane turns the Section VI database
+objective into an OLAP-scale figure: whole-column scan/aggregate
+throughput as a function of column size and of donor distance. Two
+sweeps, both on the packet tier (every byte rides real burst packets):
+
+* **column size** at a fixed 1-hop donor — does scan throughput hold
+  as the column outgrows every cache level (the "memory-hungry" regime
+  the paper targets)?
+* **donor distance** at a fixed column — how much of the per-line
+  fabric latency survives burst coalescing, compared against the
+  per-element `read_u64` loop a scalar data plane would issue.
+
+The per-element column reports Python-level accessor calls per scan,
+making the O(elements) -> O(windows) drop visible alongside the
+simulated-time ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.access import SessionAccessor
+from repro.apps.columnar import Column, ColumnScan, scan_sum_ref
+from repro.cluster.cluster import Cluster
+from repro.cluster.malloc import Placement
+from repro.config import ClusterConfig
+from repro.harness.experiments import ExperimentResult, register
+from repro.sim.rng import stream
+from repro.units import kib, mib
+
+__all__ = ["run"]
+
+
+def _scan_cluster(cfg: ClusterConfig, donor: int, col_bytes: int):
+    """A fresh cluster with one remote column of *col_bytes* on *donor*."""
+    cluster = Cluster(cfg)
+    session = cluster.session(1)
+    session.borrow_remote(donor, max(mib(2), 2 * col_bytes))
+    acc = SessionAccessor(session, col_bytes, placement=Placement.REMOTE)
+    return cluster, session, acc
+
+
+@register("extF")
+def run(
+    max_col_mib: int = 4,
+    distance_col_kib: int = 256,
+    config: Optional[ClusterConfig] = None,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    cfg = config if config is not None else ClusterConfig().with_nodes(8)
+    max_col_bytes = max(kib(64), int(mib(max_col_mib) * scale))
+
+    result = ExperimentResult(
+        exp_id="extF",
+        title="columnar scan throughput over borrowed memory",
+        columns=[
+            "sweep",
+            "column_kib",
+            "donor_hops",
+            "scan_ms",
+            "gib_per_s",
+            "accessor_calls",
+            "per_element_x",
+        ],
+        notes=(
+            "uint64 sum over a remote column via zero-copy windows; "
+            "per_element_x = simulated-time ratio of a read_u64 loop "
+            "over the same column (scalar data plane)"
+        ),
+    )
+
+    rng = stream(seed, "extF")
+
+    def one_scan(donor: int, col_bytes: int, ref: bool = False):
+        """(simulated ms, accessor calls) for one whole-column scan."""
+        cluster, _session, acc = _scan_cluster(cfg, donor, col_bytes)
+        count = col_bytes // 8
+        data = rng.integers(0, 1 << 32, size=count, dtype=np.uint64)
+        acc.bulk_write(0, data.tobytes())
+        col = Column(0, count, "uint64")
+        scan = ColumnScan(acc)
+        t0 = cluster.sim.now
+        calls0 = acc.accesses
+        if ref:
+            total = scan_sum_ref(acc, col)
+        else:
+            total = scan.sum(col)
+        assert total == int(data.sum(dtype=np.uint64))
+        return (cluster.sim.now - t0) / 1e6, acc.accesses - calls0
+
+    # -- sweep 1: column size at 1 hop -----------------------------------
+    col_bytes = kib(64)
+    while col_bytes <= max_col_bytes:
+        ms, calls = one_scan(2, col_bytes)
+        ref_ms, _ = one_scan(2, min(col_bytes, kib(256)), ref=True)
+        # the reference loop is O(elements) Python work; cap its column
+        # and scale the ratio so big sweeps stay tractable
+        ratio = (ref_ms * (col_bytes / min(col_bytes, kib(256)))) / ms
+        result.rows.append(
+            {
+                "sweep": "size",
+                "column_kib": col_bytes // 1024,
+                "donor_hops": 1,
+                "scan_ms": ms,
+                "gib_per_s": col_bytes / (ms * 1e-3) / 2**30 if ms else 0.0,
+                "accessor_calls": calls,
+                "per_element_x": ratio,
+            }
+        )
+        col_bytes *= 4
+
+    # -- sweep 2: donor distance at a fixed column -----------------------
+    probe = Cluster(cfg)  # for fabric distances only
+    col_bytes = kib(distance_col_kib)
+    for donor in (2, 3, 5, 8):
+        if donor > cfg.num_nodes:
+            continue
+        ms, calls = one_scan(donor, col_bytes)
+        ref_ms, _ = one_scan(donor, col_bytes, ref=True)
+        hops = probe.hops(1, donor)
+        result.rows.append(
+            {
+                "sweep": "distance",
+                "column_kib": col_bytes // 1024,
+                "donor_hops": hops,
+                "scan_ms": ms,
+                "gib_per_s": col_bytes / (ms * 1e-3) / 2**30 if ms else 0.0,
+                "accessor_calls": calls,
+                "per_element_x": ref_ms / ms,
+            }
+        )
+    return result

@@ -21,7 +21,16 @@ per-element Python objects):
 * :meth:`read_array` / :meth:`write_array` slice the chunk ndarray
   directly instead of bouncing through ``bytes``. Returned arrays are
   fresh copies — callers must never observe later writes through a
-  previously returned buffer (see the aliasing tests).
+  previously returned buffer (see the aliasing tests);
+* :meth:`view_array` / :meth:`view` hand out **zero-copy read-only
+  windows** straight over the chunk storage for ranges that stay
+  inside one chunk — the columnar data plane's fast path (DESIGN.md
+  §13). A range that crosses a chunk boundary has no contiguous host
+  buffer, so these return ``None`` and the caller falls back to a
+  copying read;
+* :meth:`read_into` assembles a multi-chunk range directly into a
+  caller-provided buffer, so the copying fallback still makes exactly
+  one copy (no intermediate ``bytes`` staging).
 """
 
 from __future__ import annotations
@@ -55,6 +64,8 @@ class BackingStore:
         self._views: dict[int, memoryview] = {}
         #: cached uint64 reinterpretation per chunk (typed fast path)
         self._u64: dict[int, np.ndarray] = {}
+        #: lazily-built zero block for read_into over untouched chunks
+        self._zeros: bytes | None = None
 
     def _materialize(self, cidx: int) -> np.ndarray:
         chunk = np.zeros(self.chunk_bytes, dtype=np.uint8)
@@ -86,6 +97,30 @@ class BackingStore:
                 out[pos : pos + take] = view[off : off + take]
             pos += take
         return bytes(out)
+
+    def read_into(self, addr: int, out: memoryview) -> None:
+        """Read ``len(out)`` bytes at *addr* straight into *out*.
+
+        The multi-chunk assembly path of the columnar plane: exactly one
+        copy, from chunk storage into the caller's buffer (no ``bytes``
+        staging). Untouched chunks contribute zeros.
+        """
+        size = len(out)
+        if size < 0 or addr < 0 or addr + size > self.capacity:
+            self._check_range(addr, size)
+        pos = 0
+        while pos < size:
+            cidx = (addr + pos) >> self._shift
+            off = (addr + pos) & self._mask
+            take = min(size - pos, self.chunk_bytes - off)
+            view = self._views.get(cidx)
+            if view is not None:
+                out[pos : pos + take] = view[off : off + take]
+            else:
+                if self._zeros is None:
+                    self._zeros = bytes(self.chunk_bytes)
+                out[pos : pos + take] = self._zeros[:take]
+            pos += take
 
     def write(self, addr: int, data: bytes) -> None:
         """Write *data* starting at *addr*."""
@@ -152,8 +187,49 @@ class BackingStore:
             # reinterpret the chunk slice in place, then copy out — one
             # copy total instead of slice->bytes->frombuffer->copy
             return chunk[off : off + size].view(dt).copy()
-        raw = self.read(addr, size)
-        return np.frombuffer(raw, dtype=dt).copy()
+        out = np.empty(count, dtype=dt)
+        self.read_into(addr, memoryview(out).cast("B"))
+        return out
+
+    # -- zero-copy views (the columnar plane's fast path) ------------------
+    def view(self, addr: int, size: int) -> "memoryview | None":
+        """A read-only zero-copy window, or ``None`` if the range has no
+        contiguous host buffer (it crosses a chunk boundary).
+
+        The view aliases live chunk storage: it observes later writes
+        and must not outlive the scan that requested it (DESIGN.md §13
+        documents the lifetime rules). Untouched ranges materialize
+        their chunk so the view is well-defined (still zeros).
+        """
+        if size < 0 or addr < 0 or addr + size > self.capacity:
+            self._check_range(addr, size)
+        off = addr & self._mask
+        if off + size > self.chunk_bytes:
+            return None
+        cidx = addr >> self._shift
+        if cidx not in self._chunks:
+            self._materialize(cidx)
+        return self._views[cidx][off : off + size].toreadonly()
+
+    def view_array(self, addr: int, count: int, dtype: np.dtype) -> "np.ndarray | None":
+        """A read-only typed zero-copy window over *count* elements, or
+        ``None`` when the range crosses a chunk boundary (no contiguous
+        buffer to view). Same aliasing/lifetime rules as :meth:`view`.
+        """
+        dt = np.dtype(dtype)
+        size = count * dt.itemsize
+        if size < 0 or addr < 0 or addr + size > self.capacity:
+            self._check_range(addr, size)
+        off = addr & self._mask
+        if off + size > self.chunk_bytes:
+            return None
+        cidx = addr >> self._shift
+        chunk = self._chunks.get(cidx)
+        if chunk is None:
+            chunk = self._materialize(cidx)
+        window = chunk[off : off + size].view(dt)
+        window.flags.writeable = False
+        return window
 
     def write_array(self, addr: int, values: np.ndarray) -> None:
         values = np.ascontiguousarray(values)

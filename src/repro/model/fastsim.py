@@ -68,6 +68,7 @@ class Accessor(Protocol):
     def read_u64(self, addr: int) -> int: ...
     def write_u64(self, addr: int, value: int) -> None: ...
     def read_array(self, addr: int, count: int, dtype) -> np.ndarray: ...
+    def view_array(self, addr: int, count: int, dtype) -> np.ndarray: ...
     def write_array(self, addr: int, values: np.ndarray) -> None: ...
     def bulk_write(self, addr: int, data: bytes) -> None: ...
     def compute(self, ns: float) -> None: ...
@@ -132,6 +133,29 @@ class _BaseAccessor:
     def read_array(self, addr: int, count: int, dtype) -> np.ndarray:
         dt = np.dtype(dtype)
         self._charge(addr, count * dt.itemsize, False)
+        return self.backing.read_array(addr, count, dt)
+
+    def view_array(
+        self, addr: int, count: int, dtype, batch: bool = True
+    ) -> np.ndarray:
+        """Typed column window: a zero-copy read-only view when the
+        range stays inside one backing chunk, a fresh copy otherwise.
+        Charged exactly like :meth:`read_array`; ``batch=False`` forces
+        the scalar per-line reference path for this one access (the
+        columnar equivalence suites' hook). Views alias live backing
+        storage — they observe later writes and must not outlive the
+        scan that requested them (DESIGN.md §13).
+        """
+        dt = np.dtype(dtype)
+        prev = self.batch
+        self.batch = prev and batch
+        try:
+            self._charge(addr, count * dt.itemsize, False)
+        finally:
+            self.batch = prev
+        view = self.backing.view_array(addr, count, dt)
+        if view is not None:
+            return view
         return self.backing.read_array(addr, count, dt)
 
     def write_array(self, addr: int, values: np.ndarray) -> None:

@@ -452,6 +452,13 @@ class Simulator:
         return self._now
 
     @property
+    def events_scheduled(self) -> int:
+        """Events scheduled so far — the host-work complexity measure
+        the O(bursts) accounting tests assert on (a whole-column scan
+        must schedule O(bursts) events, not O(elements))."""
+        return self._seq
+
+    @property
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active

@@ -182,6 +182,37 @@ def test_sim005_vacuous_without_test_files(tmp_path):
     assert _codes(tmp_path, {"src/core.py": _ACCESSOR}) == []
 
 
+def test_sim005_covers_columnar_accessor_pairs(tmp_path):
+    """The scan reaches the columnar plane's accessor pairs: every
+    view/window accessor defaulting batch=True needs a scalar-twin
+    call, and one covering call per *name* clears all same-named
+    defs across classes (Session.view_array + accessor adapters)."""
+    src = (
+        "class Session:\n"
+        "    def view_array(self, vaddr, count, dtype, batch=True):\n"
+        "        return None\n"
+        "    def column_windows(self, vaddr, count, dtype, batch=True):\n"
+        "        yield 0, None\n"
+        "class SessionAccessor:\n"
+        "    def view_array(self, addr, count, dtype, batch=True):\n"
+        "        return None\n"
+    )
+    bare = "def test_nothing():\n    assert True\n"
+    codes = _codes(
+        tmp_path, {"src/api.py": src, "tests/test_x.py": bare}
+    )
+    assert codes == ["SIM005", "SIM005", "SIM005"]
+    covering = (
+        "def test_twins(app):\n"
+        "    app.view_array(0, 8, 'uint64', batch=False)\n"
+        "    list(app.column_windows(0, 8, 'uint64', batch=False))\n"
+    )
+    codes = _codes(
+        tmp_path, {"src/api.py": src, "tests/test_x.py": covering}
+    )
+    assert codes == []
+
+
 # -- SIM006: determinism hazards -----------------------------------------
 
 @pytest.mark.parametrize(
