@@ -25,7 +25,35 @@ step() {
 
 step "tier-1 test suite" python -m pytest -x -q
 
-step "simcheck (SIM001-SIM008)" python -m simcheck src tests
+step "simcheck (SIM001-SIM012, strict pragmas)" \
+    python -m simcheck src tests --strict-pragmas
+
+# the analyzer must satisfy its own rules (separate cache file so the
+# project-tier entry of the src/tests run is not evicted)
+step "simcheck self-check (tools/simcheck)" \
+    python -m simcheck tools/simcheck --strict-pragmas \
+    --cache .simcheck-cache-tools.json
+
+# re-run the full scan against the cache just written above and hold
+# it to the warm-run latency budget; the timing lives here, not in the
+# tool, so the self-check never sees a wall-clock call
+simcheck_warm_budget() {
+    python - <<'PY'
+import subprocess
+import sys
+import time
+
+t0 = time.monotonic()
+rc = subprocess.call(
+    [sys.executable, "-m", "simcheck", "src", "tests", "--strict-pragmas"],
+    stdout=subprocess.DEVNULL,
+)
+dt = time.monotonic() - t0
+print(f"warm simcheck over src+tests: {dt:.2f}s (budget 5.00s)")
+sys.exit(0 if rc == 0 and dt <= 5.0 else 1)
+PY
+}
+step "simcheck warm-cache budget" simcheck_warm_budget
 
 step "fault smoke (donor kill)" python benchmarks/fault_smoke.py
 

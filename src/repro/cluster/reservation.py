@@ -167,7 +167,9 @@ class ReservationClient:
             size=ack.meta["size"],
         )
         self.held[reservation.prefixed_start] = reservation
-        self.lease_states[reservation.prefixed_start] = LeaseState.ACTIVE
+        self.lease_states[reservation.prefixed_start] = (  # simcheck: disable=SIM012 -- initial install: a fresh lease has no prior state to transition from
+            LeaseState.ACTIVE
+        )
         return reservation
 
     def release(self, reservation: Reservation) -> Generator:

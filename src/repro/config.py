@@ -22,7 +22,7 @@ from dataclasses import dataclass, field, replace
 from typing import Tuple
 
 from repro.errors import ConfigError
-from repro.units import CACHE_LINE, GIB, PAGE_SIZE, gib
+from repro.units import CACHE_LINE, GIB, PAGE_SIZE, bandwidth_time, gib
 
 __all__ = [
     "LinkConfig",
@@ -61,7 +61,9 @@ class LinkConfig:
 
     def serialization_ns(self, payload_bytes: int) -> float:
         """Time to clock a packet of *payload_bytes* onto the wire."""
-        return (payload_bytes + self.header_bytes) / self.bandwidth_Bpns
+        return bandwidth_time(
+            payload_bytes + self.header_bytes, self.bandwidth_Bpns
+        )
 
 
 @dataclass(frozen=True)
@@ -360,7 +362,7 @@ class SwapConfig:
         return (
             self.os_fault_ns
             + self.net_setup_ns
-            + self.page_bytes / self.net_bandwidth_Bpns
+            + bandwidth_time(self.page_bytes, self.net_bandwidth_Bpns)
         )
 
     def disk_page_ns(self) -> float:
@@ -368,7 +370,7 @@ class SwapConfig:
         return (
             self.os_fault_ns
             + self.disk_seek_ns
-            + self.page_bytes / self.disk_bandwidth_Bpns
+            + bandwidth_time(self.page_bytes, self.disk_bandwidth_Bpns)
         )
 
 

@@ -279,7 +279,7 @@ class Process(Event):
             self._value = stop.value
             sim._schedule(self, 0.0)
             return
-        except BaseException as exc:
+        except BaseException as exc:  # simcheck: disable=SIM011 -- trampoline: the failure becomes the process outcome; joiners re-raise it
             self._ok = False
             self._value = exc
             if not sim._catch_process_errors:
@@ -443,7 +443,9 @@ class Simulator:
         #: byte-conservation audit the packet tier reports into. Off by
         #: default so benchmark baselines are unaffected.
         self.debug: bool = debug
-        self.audit: Optional[PacketAudit] = PacketAudit() if debug else None
+        self.audit: Optional[PacketAudit] = (  # simcheck: disable=SIM010 -- armed with the sanitizer, not by the fault layer; benchmarks run debug=False
+            PacketAudit() if debug else None
+        )
 
     # -- clock ----------------------------------------------------------------
     @property

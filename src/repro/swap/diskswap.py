@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.config import SwapConfig
 from repro.swap.pagecache import LRUPageCache
+from repro.units import bandwidth_time
 
 __all__ = ["DiskSwap"]
 
@@ -43,7 +44,9 @@ class DiskSwap:
         # Writes can be queued but must eventually pay seek + transfer.
         return (
             self.config.disk_seek_ns
-            + self.config.page_bytes / self.config.disk_bandwidth_Bpns
+            + bandwidth_time(
+                self.config.page_bytes, self.config.disk_bandwidth_Bpns
+            )
         )
 
     def access_ns(self, addr: int, is_write: bool = False) -> float:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.config import SwapConfig
 from repro.swap.pagecache import LRUPageCache
+from repro.units import bandwidth_time
 
 __all__ = ["RemoteSwap"]
 
@@ -53,7 +54,9 @@ class RemoteSwap:
         OS entry, which is shared with the fault)."""
         return (
             self.config.net_setup_ns
-            + self.config.page_bytes / self.config.net_bandwidth_Bpns
+            + bandwidth_time(
+                self.config.page_bytes, self.config.net_bandwidth_Bpns
+            )
         )
 
     def access_ns(self, addr: int, is_write: bool = False) -> float:

@@ -1,0 +1,504 @@
+"""Good/bad fixture pairs for the flow-aware rules (SIM009–SIM012).
+
+Same conventions as ``test_simcheck.py``: synthetic files under
+``tmp_path`` with ``root=tmp_path`` so hot-path / recovery-layer
+suffix matching behaves exactly as in the real tree. Each rule gets
+at least one fixture that *requires* dataflow (a guard, a binding, a
+join) so a regression to syntactic matching fails loudly.
+"""
+
+from __future__ import annotations
+
+from simcheck.engine import check_paths
+from simcheck.rules import ALL_RULES
+
+
+def _write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+def _codes(tmp_path, files, rules=None):
+    paths = [_write(tmp_path, rel, src) for rel, src in files.items()]
+    active = [cls() for cls in (rules or ALL_RULES)]
+    _, violations = check_paths(paths, rules=active, root=tmp_path)
+    return [v.code for v in violations]
+
+
+def _only(code):
+    return [cls for cls in ALL_RULES if cls.code == code]
+
+
+# -- SIM009: unit inference ----------------------------------------------
+
+def test_sim009_flags_mixed_add(tmp_path):
+    src = "def f(lat_ns, size_bytes):\n    return lat_ns + size_bytes\n"
+    assert _codes(tmp_path, {"pkg/m.py": src}, _only("SIM009")) == ["SIM009"]
+
+
+def test_sim009_flags_mix_through_assignment(tmp_path):
+    # the bytes unit must flow through the local binding to the add
+    src = (
+        "def f(lat_ns, size_bytes):\n"
+        "    staged = size_bytes\n"
+        "    return lat_ns + staged\n"
+    )
+    assert _codes(tmp_path, {"pkg/m.py": src}, _only("SIM009")) == ["SIM009"]
+
+
+def test_sim009_flags_misnamed_assignment_and_return(tmp_path):
+    src = (
+        "def total_ns(buf_bytes):\n"
+        "    wait_ns = buf_bytes\n"
+        "    return buf_bytes\n"
+    )
+    codes = _codes(tmp_path, {"pkg/m.py": src}, _only("SIM009"))
+    assert codes == ["SIM009", "SIM009"]
+
+
+def test_sim009_flags_mixed_comparison(tmp_path):
+    src = "def f(lat_ns, size_bytes):\n    return lat_ns < size_bytes\n"
+    assert _codes(tmp_path, {"pkg/m.py": src}, _only("SIM009")) == ["SIM009"]
+
+
+def test_sim009_allows_rate_division_and_scaling(tmp_path):
+    src = (
+        "def f(nbytes, bytes_per_ns, lat_ns):\n"
+        "    xfer_ns = nbytes / bytes_per_ns\n"
+        "    total_ns = lat_ns + xfer_ns\n"
+        "    scaled_ns = lat_ns * 4\n"
+        "    return total_ns + scaled_ns\n"
+    )
+    assert _codes(tmp_path, {"pkg/m.py": src}, _only("SIM009")) == []
+
+
+def test_sim009_allows_min_max_and_branch_join(tmp_path):
+    # min() is unit-transparent; a join of different units is unknown
+    src = (
+        "def f(a_ns, b_ns, size_bytes, flag):\n"
+        "    best_ns = min(a_ns, b_ns)\n"
+        "    x = a_ns if flag else size_bytes\n"
+        "    return best_ns + x\n"
+    )
+    assert _codes(tmp_path, {"pkg/m.py": src}, _only("SIM009")) == []
+
+
+def test_sim009_units_layer_is_exempt(tmp_path):
+    src = "def ns(value_ns, scale_bytes):\n    return value_ns + scale_bytes\n"
+    assert _codes(tmp_path, {"units.py": src}, _only("SIM009")) == []
+
+
+def test_sim009_flags_call_argument_mismatch_across_files(tmp_path):
+    files = {
+        "pkg/latency.py": "def charge(delay_ns):\n    return delay_ns\n",
+        "pkg/caller.py": (
+            "from pkg.latency import charge\n"
+            "def f(size_bytes):\n"
+            "    return charge(size_bytes)\n"
+        ),
+    }
+    assert _codes(tmp_path, files, _only("SIM009")) == ["SIM009"]
+
+
+def test_sim009_flags_keyword_argument_mismatch(tmp_path):
+    files = {
+        "pkg/latency.py": "def charge(delay_ns=0.0):\n    return delay_ns\n",
+        "pkg/caller.py": (
+            "from pkg.latency import charge\n"
+            "def f(size_bytes):\n"
+            "    return charge(delay_ns=size_bytes)\n"
+        ),
+    }
+    assert _codes(tmp_path, files, _only("SIM009")) == ["SIM009"]
+
+
+def test_sim009_allows_matching_call_arguments(tmp_path):
+    files = {
+        "pkg/latency.py": "def charge(delay_ns):\n    return delay_ns\n",
+        "pkg/caller.py": (
+            "from pkg.latency import charge\n"
+            "def f(lat_ns):\n"
+            "    return charge(lat_ns)\n"
+        ),
+    }
+    assert _codes(tmp_path, files, _only("SIM009")) == []
+
+
+def test_sim009_rate_named_values_are_not_their_suffix(tmp_path):
+    # bytes_per_ns ends in _ns but is a rate, not a time
+    src = (
+        "def f(lat_ns, bytes_per_ns):\n"
+        "    return lat_ns + bytes_per_ns * lat_ns\n"
+    )
+    assert _codes(tmp_path, {"pkg/m.py": src}, _only("SIM009")) == []
+
+
+# -- SIM010: disarmed-path proof -----------------------------------------
+
+_HOT = "ht/dev.py"
+
+
+def test_sim010_flags_unguarded_hook_use(tmp_path):
+    src = (
+        "class Dev:\n"
+        "    def step(self, pkt):\n"
+        "        self._faults.filter_link(0, pkt)\n"
+    )
+    assert _codes(tmp_path, {_HOT: src}, _only("SIM010")) == ["SIM010"]
+
+
+def test_sim010_allows_dominating_guard(tmp_path):
+    src = (
+        "class Dev:\n"
+        "    def step(self, pkt):\n"
+        "        if self._faults is not None:\n"
+        "            self._faults.filter_link(0, pkt)\n"
+    )
+    assert _codes(tmp_path, {_HOT: src}, _only("SIM010")) == []
+
+
+def test_sim010_allows_short_circuit_idioms(tmp_path):
+    src = (
+        "class Dev:\n"
+        "    def step(self, pkt):\n"
+        "        lost = self._faults is not None and self._faults.drop(pkt)\n"
+        "        if self._faults is None or not self._faults.scrub(pkt):\n"
+        "            return lost\n"
+    )
+    assert _codes(tmp_path, {_HOT: src}, _only("SIM010")) == []
+
+
+def test_sim010_wrong_guard_does_not_count(tmp_path):
+    src = (
+        "class Dev:\n"
+        "    def step(self, pkt, debug):\n"
+        "        if debug:\n"
+        "            self._faults.filter_link(0, pkt)\n"
+    )
+    assert _codes(tmp_path, {_HOT: src}, _only("SIM010")) == ["SIM010"]
+
+
+def test_sim010_rebinding_voids_the_proof(tmp_path):
+    src = (
+        "class Dev:\n"
+        "    def step(self, pkt):\n"
+        "        if self._faults is not None:\n"
+        "            self._faults = None\n"
+        "            self._faults.filter_link(0, pkt)\n"
+    )
+    assert _codes(tmp_path, {_HOT: src}, _only("SIM010")) == ["SIM010"]
+
+
+def test_sim010_guard_must_hold_on_every_path(tmp_path):
+    # guarded on one branch only: the join loses the fact
+    src = (
+        "class Dev:\n"
+        "    def step(self, pkt, flag):\n"
+        "        if flag:\n"
+        "            if self._faults is None:\n"
+        "                return\n"
+        "        self._faults.filter_link(0, pkt)\n"
+    )
+    assert _codes(tmp_path, {_HOT: src}, _only("SIM010")) == ["SIM010"]
+
+
+def test_sim010_early_return_guard_dominates(tmp_path):
+    src = (
+        "class Dev:\n"
+        "    def step(self, pkt):\n"
+        "        if self._faults is None:\n"
+        "            return\n"
+        "        self._faults.filter_link(0, pkt)\n"
+    )
+    assert _codes(tmp_path, {_HOT: src}, _only("SIM010")) == []
+
+
+def test_sim010_constructor_must_disarm(tmp_path):
+    bad = (
+        "class Dev:\n"
+        "    def __init__(self, plan):\n"
+        "        self._faults = plan\n"
+    )
+    good = (
+        "class Dev:\n"
+        "    def __init__(self):\n"
+        "        self._faults = None\n"
+    )
+    assert _codes(tmp_path, {_HOT: bad}, _only("SIM010")) == ["SIM010"]
+    assert _codes(tmp_path, {"ht/dev2.py": good}, _only("SIM010")) == []
+
+
+def test_sim010_cold_modules_and_tests_exempt(tmp_path):
+    src = (
+        "class Dev:\n"
+        "    def step(self, pkt):\n"
+        "        self._faults.filter_link(0, pkt)\n"
+    )
+    files = {"cluster/dev.py": src, "tests/ht/test_dev.py": src}
+    assert _codes(tmp_path, files, _only("SIM010")) == []
+
+
+# -- SIM011: exception-flow audit ----------------------------------------
+
+_RAISER = (
+    "class RemoteAccessError(Exception):\n"
+    "    pass\n"
+    "def issue():\n"
+    "    raise RemoteAccessError('nack')\n"
+    "def middle():\n"
+    "    return issue()\n"
+)
+
+
+def test_sim011_flags_broad_swallow_of_reachable_error(tmp_path):
+    files = {
+        "cluster/core.py": _RAISER,
+        "pkg/app.py": (
+            "from cluster.core import middle\n"
+            "def run():\n"
+            "    try:\n"
+            "        middle()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        ),
+    }
+    assert _codes(tmp_path, files, _only("SIM011")) == ["SIM011"]
+
+
+def test_sim011_flags_explicit_catch_without_reraise(tmp_path):
+    files = {
+        "cluster/core.py": _RAISER,
+        "pkg/app.py": (
+            "from cluster.core import RemoteAccessError, middle\n"
+            "def run():\n"
+            "    try:\n"
+            "        middle()\n"
+            "    except RemoteAccessError:\n"
+            "        return None\n"
+        ),
+    }
+    assert _codes(tmp_path, files, _only("SIM011")) == ["SIM011"]
+
+
+def test_sim011_conditional_reraise_is_not_enough(tmp_path):
+    files = {
+        "cluster/core.py": _RAISER,
+        "pkg/app.py": (
+            "from cluster.core import middle\n"
+            "def run(strict):\n"
+            "    try:\n"
+            "        middle()\n"
+            "    except Exception:\n"
+            "        if strict:\n"
+            "            raise\n"
+        ),
+    }
+    assert _codes(tmp_path, files, _only("SIM011")) == ["SIM011"]
+
+
+def test_sim011_allows_unconditional_reraise(tmp_path):
+    files = {
+        "cluster/core.py": _RAISER,
+        "pkg/app.py": (
+            "from cluster.core import middle\n"
+            "def run(log):\n"
+            "    try:\n"
+            "        middle()\n"
+            "    except Exception:\n"
+            "        log.warn('remote op failed')\n"
+            "        raise\n"
+        ),
+    }
+    assert _codes(tmp_path, files, _only("SIM011")) == []
+
+
+def test_sim011_allows_unreachable_try_bodies(tmp_path):
+    files = {
+        "cluster/core.py": _RAISER,
+        "pkg/app.py": (
+            "def run():\n"
+            "    try:\n"
+            "        print('plotting')\n"
+            "    except Exception:\n"
+            "        return None\n"
+        ),
+    }
+    assert _codes(tmp_path, files, _only("SIM011")) == []
+
+
+def test_sim011_sanctioned_layer_may_consume(tmp_path):
+    files = {
+        "cluster/core.py": _RAISER,
+        "cluster/rebalance.py": (
+            "from cluster.core import RemoteAccessError, middle\n"
+            "def heal():\n"
+            "    try:\n"
+            "        middle()\n"
+            "    except RemoteAccessError:\n"
+            "        return 'rebalanced'\n"
+        ),
+    }
+    assert _codes(tmp_path, files, _only("SIM011")) == []
+
+
+def test_sim011_generator_stepping_counts_as_risky(tmp_path):
+    files = {
+        "cluster/core.py": _RAISER,
+        "sim/engine.py": (
+            "def trampoline(gen):\n"
+            "    try:\n"
+            "        return next(gen)\n"
+            "    except Exception:\n"
+            "        return None\n"
+        ),
+    }
+    assert _codes(tmp_path, files, _only("SIM011")) == ["SIM011"]
+
+
+def test_sim011_quiet_without_any_raiser(tmp_path):
+    files = {
+        "sim/engine.py": (
+            "def trampoline(gen):\n"
+            "    try:\n"
+            "        return next(gen)\n"
+            "    except Exception:\n"
+            "        return None\n"
+        ),
+    }
+    assert _codes(tmp_path, files, _only("SIM011")) == []
+
+
+# -- SIM012: state-machine conformance -----------------------------------
+
+_LEASE_MACHINE = (
+    "import enum\n"
+    "class LeaseState(enum.Enum):\n"
+    "    ACTIVE = 'active'\n"
+    "    GRACE = 'grace'\n"
+    "    EXPIRED = 'expired'\n"
+    "_TRANSITIONS = {\n"
+    "    LeaseState.ACTIVE: (LeaseState.GRACE,),\n"
+    "    LeaseState.GRACE: (LeaseState.ACTIVE, LeaseState.EXPIRED),\n"
+    "    LeaseState.EXPIRED: (),\n"
+    "}\n"
+)
+
+
+def test_sim012_flags_unproven_source_state(tmp_path):
+    src = _LEASE_MACHINE + (
+        "class Book:\n"
+        "    def expire(self, key):\n"
+        "        self.states[key] = LeaseState.EXPIRED\n"
+    )
+    assert _codes(tmp_path, {"cluster/res.py": src}, _only("SIM012")) == [
+        "SIM012"
+    ]
+
+
+def test_sim012_flags_illegal_edge_under_guard(tmp_path):
+    src = _LEASE_MACHINE + (
+        "class Book:\n"
+        "    def revive(self, key):\n"
+        "        if self.states[key] is LeaseState.EXPIRED:\n"
+        "            self.states[key] = LeaseState.ACTIVE\n"
+    )
+    assert _codes(tmp_path, {"cluster/res.py": src}, _only("SIM012")) == [
+        "SIM012"
+    ]
+
+
+def test_sim012_allows_legal_edge_under_guard(tmp_path):
+    src = _LEASE_MACHINE + (
+        "class Book:\n"
+        "    def lapse(self, key):\n"
+        "        if self.states[key] is LeaseState.ACTIVE:\n"
+        "            self.states[key] = LeaseState.GRACE\n"
+    )
+    assert _codes(tmp_path, {"cluster/res.py": src}, _only("SIM012")) == []
+
+
+def test_sim012_membership_guard_proves_the_source_set(tmp_path):
+    # `in (A, B)` narrows to {A, B}; both edges must be legal
+    src = _LEASE_MACHINE + (
+        "class Book:\n"
+        "    def lapse(self, key):\n"
+        "        st = self.states.get(key, LeaseState.ACTIVE)\n"
+        "        if st in (LeaseState.GRACE,):\n"
+        "            self.states[key] = LeaseState.EXPIRED\n"
+    )
+    assert _codes(tmp_path, {"cluster/res.py": src}, _only("SIM012")) == []
+
+
+def test_sim012_negative_guard_narrows_by_exclusion(tmp_path):
+    # not-EXPIRED leaves {ACTIVE, GRACE}; GRACE->GRACE is not an edge
+    src = _LEASE_MACHINE + (
+        "class Book:\n"
+        "    def lapse(self, key):\n"
+        "        st = self.states[key]\n"
+        "        if st is not LeaseState.EXPIRED:\n"
+        "            self.states[key] = LeaseState.GRACE\n"
+    )
+    assert _codes(tmp_path, {"cluster/res.py": src}, _only("SIM012")) == [
+        "SIM012"
+    ]
+
+
+def test_sim012_items_loop_binding_aliases_the_entry(tmp_path):
+    src = _LEASE_MACHINE + (
+        "class Book:\n"
+        "    def sweep(self):\n"
+        "        for key, st in list(self.states.items()):\n"
+        "            if st is LeaseState.ACTIVE:\n"
+        "                self.states[key] = LeaseState.GRACE\n"
+    )
+    assert _codes(tmp_path, {"cluster/res.py": src}, _only("SIM012")) == []
+
+
+def test_sim012_event_scoped_nested_table(tmp_path):
+    src = (
+        "import enum\n"
+        "class MESIState(enum.Enum):\n"
+        "    MODIFIED = 'M'\n"
+        "    SHARED = 'S'\n"
+        "    INVALID = 'I'\n"
+        "_LEGAL_TRANSITIONS = {\n"
+        "    'peer_read': {\n"
+        "        MESIState.MODIFIED: frozenset({MESIState.SHARED}),\n"
+        "    },\n"
+        "    'local_write': {\n"
+        "        MESIState.SHARED: frozenset({MESIState.MODIFIED}),\n"
+        "    },\n"
+        "}\n"
+        "class Dir:\n"
+        "    def read(self, sharers, i):\n"
+        "        st = sharers.get(i, MESIState.INVALID)\n"
+        "        if st is MESIState.MODIFIED:\n"
+        "            sharers[i] = MESIState.SHARED\n"
+        "    def write(self, sharers, i):\n"
+        "        st = sharers.get(i, MESIState.INVALID)\n"
+        "        if st is MESIState.MODIFIED:\n"
+        "            sharers[i] = MESIState.SHARED\n"
+    )
+    # read() uses a *_read edge: legal; write() is scoped to the
+    # write events, where MODIFIED->SHARED is not an edge
+    codes = _codes(tmp_path, {"mem/coh.py": src}, _only("SIM012"))
+    assert codes == ["SIM012"]
+
+
+def test_sim012_dynamic_rhs_and_tests_are_exempt(tmp_path):
+    dynamic = _LEASE_MACHINE + (
+        "class Book:\n"
+        "    def apply(self, key, to):\n"
+        "        self.states[key] = to\n"
+    )
+    forged = _LEASE_MACHINE + (
+        "def test_forge(book):\n"
+        "    book.states['k'] = LeaseState.EXPIRED\n"
+    )
+    files = {
+        "cluster/res.py": dynamic,
+        "tests/cluster/test_res.py": forged,
+    }
+    assert _codes(tmp_path, files, _only("SIM012")) == []

@@ -14,7 +14,7 @@ import json
 import pytest
 
 from simcheck.engine import check_paths
-from simcheck.reporters import render_json, render_text
+from simcheck.reporters import render_json, render_sarif, render_text
 from simcheck.rules import ALL_RULES, rule_catalogue
 from simcheck.__main__ import main as simcheck_main
 
@@ -498,8 +498,97 @@ def test_cli_reports_syntax_errors_as_exit_2(tmp_path, capsys):
     assert "error" in capsys.readouterr().err
 
 
+# -- SARIF reporter -------------------------------------------------------
+
+def test_sarif_reporter_structure(tmp_path):
+    src = "def pad(cost_ns):\n    return cost_ns * 1.5\n"
+    reports, violations = check_paths(
+        [_write(tmp_path, "pkg/p.py", src)], root=tmp_path
+    )
+    doc = json.loads(render_sarif(reports, violations))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {code for code, _, _ in rule_catalogue()} <= declared
+    result = run["results"][0]
+    assert result["ruleId"] == "SIM003"
+    assert result["level"] == "error"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "pkg/p.py"
+    assert loc["region"]["startLine"] == 2
+    assert result["ruleId"] in declared
+
+
+def test_cli_sarif_output_parses(tmp_path, capsys):
+    dirty = _write(
+        tmp_path, "pkg/dirty.py", "def pad(c_ns):\n    return c_ns * 1.5\n"
+    )
+    assert simcheck_main([str(dirty), "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["results"][0]["ruleId"] == "SIM003"
+
+
+# -- stale-pragma detection (--strict-pragmas) ----------------------------
+
+def test_strict_pragmas_flags_dead_suppressions(tmp_path):
+    src = (
+        "X = 1  # simcheck: disable=SIM003 -- nothing here needs this\n"
+        "# simcheck: disable-file=SIM005\n"
+    )
+    path = _write(tmp_path, "pkg/stale.py", src)
+    _, relaxed = check_paths([path], root=tmp_path)
+    assert [v.code for v in relaxed] == []
+    _, strict = check_paths([path], root=tmp_path, strict_pragmas=True)
+    assert [v.code for v in strict] == ["SIM000", "SIM000"]
+    assert {v.line for v in strict} == {1, 2}
+    assert all("suppresses nothing" in v.message for v in strict)
+
+
+def test_strict_pragmas_keeps_live_suppressions(tmp_path):
+    src = (
+        "def pad(cost_ns):\n"
+        "    return cost_ns * 1.5  # simcheck: disable=SIM003 -- derived\n"
+    )
+    path = _write(tmp_path, "pkg/live.py", src)
+    reports, strict = check_paths([path], root=tmp_path, strict_pragmas=True)
+    assert [v.code for v in strict] == []
+    assert reports[0].suppressed == 1
+
+
+def test_strict_pragmas_stale_findings_cannot_be_suppressed(tmp_path):
+    # a pragma "suppressing" SIM000 is itself dead and gets reported
+    src = "X = 1  # simcheck: disable=SIM000 -- meta\n"
+    path = _write(tmp_path, "pkg/meta.py", src)
+    _, strict = check_paths([path], root=tmp_path, strict_pragmas=True)
+    assert [v.code for v in strict] == ["SIM000"]
+
+
+def test_cli_strict_pragmas_exit_code(tmp_path, capsys):
+    stale = _write(
+        tmp_path, "pkg/stale.py", "X = 1  # simcheck: disable=SIM003 -- why\n"
+    )
+    assert simcheck_main([str(stale)]) == 0
+    assert simcheck_main([str(stale), "--strict-pragmas"]) == 1
+    assert "SIM000" in capsys.readouterr().out
+
+
+# -- cache-aware CLI ------------------------------------------------------
+
+def test_cli_cache_roundtrip_and_no_cache(tmp_path, capsys):
+    dirty = _write(
+        tmp_path, "pkg/dirty.py", "def pad(c_ns):\n    return c_ns * 1.5\n"
+    )
+    cache = tmp_path / "cache.json"
+    argv = [str(dirty), "--cache", str(cache)]
+    assert simcheck_main(argv) == 1
+    assert cache.exists()
+    assert simcheck_main(argv) == 1  # replayed verdict is identical
+    assert simcheck_main([str(dirty), "--no-cache"]) == 1
+    capsys.readouterr()
+
+
 # -- the real tree stays clean --------------------------------------------
 
 def test_repo_src_is_clean():
-    """`python -m simcheck src` exits 0 — all eight rules active."""
-    assert simcheck_main(["src"]) == 0
+    """`python -m simcheck src` exits 0 — all twelve rules active."""
+    assert simcheck_main(["src", "--no-cache"]) == 0

@@ -22,12 +22,36 @@ SIM005    every public accessor defaulting ``batch=True`` has a
 SIM006    determinism hazards: unseeded stdlib ``random``/wall-clock
           ``time`` use, set-order iteration, mutable default args,
           bare ``except``
+SIM007    fault hooks armed / packets damaged only from the fault
+          layer (``sim/faults.py``)
+SIM008    recovery actions initiated only from the recovery layer, no
+          silently swallowed ``RemoteAccessError``
+========  =============================================================
+
+Version 2 adds a flow-aware layer (symbol table + call graph +
+intraprocedural dataflow, see ``simcheck/dataflow.py``) with four
+rules that reason across assignments, branches and call boundaries:
+
+========  =============================================================
+code      invariant
+========  =============================================================
+SIM009    unit inference: no mixed ns/bytes/lines arithmetic, returns,
+          or call arguments (supersedes SIM003's literal heuristic)
+SIM010    disarmed-path proof: hot-path hook use (``_faults``,
+          ``audit``) dominated by an ``is not None`` guard
+SIM011    exception-flow audit: no ``except`` swallows
+          ``RemoteAccessError`` before the recovery layer
+SIM012    state-machine conformance: every literal LeaseState/MESI
+          store is a legal transition-table edge from proven sources
 ========  =============================================================
 
 Violations are suppressed per line with ``# simcheck: disable=SIMxxx``
-or per file with ``# simcheck: disable-file=SIMxxx``. Run as::
+or per file with ``# simcheck: disable-file=SIMxxx``; with
+``--strict-pragmas``, pragmas that suppress nothing are reported as
+SIM000. Results are cached by content hash (``.simcheck-cache.json``)
+so warm runs are fast. Run as::
 
-    PYTHONPATH=src:tools python -m simcheck src tests
+    PYTHONPATH=src:tools python -m simcheck src tests --strict-pragmas
 """
 
 from __future__ import annotations
@@ -35,7 +59,7 @@ from __future__ import annotations
 from simcheck.engine import FileReport, Project, Violation, check_paths
 from simcheck.rules import ALL_RULES, rule_catalogue
 
-__version__ = "1.0"
+__version__ = "2.0"
 
 __all__ = [
     "ALL_RULES",

@@ -8,6 +8,9 @@ Examples::
     PYTHONPATH=src:tools python -m simcheck src --format json
     PYTHONPATH=src:tools python -m simcheck --list-rules
     PYTHONPATH=src:tools python -m simcheck src --select SIM003,SIM006
+    PYTHONPATH=src:tools python -m simcheck src tests --strict-pragmas
+    PYTHONPATH=src:tools python -m simcheck src --format sarif
+    PYTHONPATH=src:tools python -m simcheck src --no-cache
 """
 
 from __future__ import annotations
@@ -17,8 +20,9 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from simcheck.cache import ResultCache
 from simcheck.engine import check_paths
-from simcheck.reporters import render_json, render_text
+from simcheck.reporters import render_json, render_sarif, render_text
 from simcheck.rules import ALL_RULES, rule_catalogue
 
 
@@ -39,9 +43,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--strict-pragmas",
+        action="store_true",
+        help="report stale suppression pragmas as SIM000 violations",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=".simcheck-cache.json",
+        help="result-cache file (default: .simcheck-cache.json)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache for this run",
     )
     parser.add_argument(
         "--select",
@@ -83,13 +103,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if cls.code in selected and cls.code not in disabled
     ]
 
+    cache = None if args.no_cache else ResultCache(args.cache)
     try:
-        reports, violations = check_paths(paths, rules=rules)
+        reports, violations = check_paths(
+            paths,
+            rules=rules,
+            cache=cache,
+            strict_pragmas=args.strict_pragmas,
+        )
     except (FileNotFoundError, SyntaxError, ValueError) as exc:
         print(f"simcheck: error: {exc}", file=sys.stderr)
         return 2
 
-    render = render_json if args.format == "json" else render_text
+    render = {
+        "json": render_json,
+        "sarif": render_sarif,
+    }.get(args.format, render_text)
     print(render(reports, violations))
     return 1 if violations else 0
 

@@ -1,0 +1,214 @@
+"""Content-hash result caching for warm simcheck runs.
+
+Two tiers, both keyed on content only (no mtimes — edits that revert
+byte-for-byte re-hit the cache, edits that change one byte miss):
+
+* **project tier** — a fingerprint over the tool's own sources, the
+  active rule codes, the strict-pragmas flag and every scanned file's
+  ``(rel_path, sha256)`` pair. A full hit replays the entire run
+  (reports, violations, suppressed counts) without parsing anything;
+  this is the steady-state of ``benchmarks/check.sh``.
+* **file tier** — per-file entries keyed on the file's own hash plus
+  the same tool/rule fingerprint. A partial hit (some files edited)
+  re-parses the tree — the cross-file passes need every AST — but
+  skips re-running the per-file rules, including the dataflow rules,
+  on unchanged files.
+
+The store is one JSON document. Any decode problem, schema mismatch
+or tool-fingerprint change silently degrades to a cold run: the cache
+is an accelerator, never a source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from simcheck.engine import FileReport, Violation
+
+__all__ = ["ResultCache", "tool_fingerprint"]
+
+_SCHEMA = 1
+
+_tool_fp_memo: dict[str, str] = {}
+
+
+def tool_fingerprint() -> str:
+    """sha256 over the simcheck package's own sources: any edit to the
+    analyzer invalidates every cached result."""
+    pkg_dir = str(Path(__file__).resolve().parent)
+    memo = _tool_fp_memo.get(pkg_dir)
+    if memo is not None:
+        return memo
+    digest = hashlib.sha256()
+    for path in sorted(Path(pkg_dir).glob("*.py")):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    fp = digest.hexdigest()
+    _tool_fp_memo[pkg_dir] = fp
+    return fp
+
+
+def _violations_to_json(violations: Sequence[Violation]) -> list[dict]:
+    return [
+        {
+            "path": v.path,
+            "line": v.line,
+            "col": v.col,
+            "code": v.code,
+            "message": v.message,
+        }
+        for v in violations
+    ]
+
+
+def _violations_from_json(raw: Any) -> list[Violation]:
+    return [
+        Violation(
+            path=entry["path"],
+            line=int(entry["line"]),
+            col=int(entry["col"]),
+            code=entry["code"],
+            message=entry["message"],
+        )
+        for entry in raw
+    ]
+
+
+class ResultCache:
+    """The on-disk store plus hit/miss accounting for one run."""
+
+    def __init__(self, path: "Path | str") -> None:
+        self.path = Path(path)
+        self.file_hits = 0
+        self.file_misses = 0
+        self.project_hit = False
+        self._data = self._load()
+
+    def _load(self) -> dict:
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            raw = None
+        if (
+            not isinstance(raw, dict)
+            or raw.get("schema") != _SCHEMA
+            or raw.get("tool_fingerprint") != tool_fingerprint()
+        ):
+            raw = {
+                "schema": _SCHEMA,
+                "tool_fingerprint": tool_fingerprint(),
+                "project": {},
+                "files": {},
+            }
+        return raw
+
+    def save(self) -> None:
+        try:
+            self.path.write_text(json.dumps(self._data, sort_keys=True))
+        except OSError:  # pragma: no cover - read-only tree
+            pass
+
+    # -- keys -------------------------------------------------------------
+    @staticmethod
+    def content_hash(source: str) -> str:
+        return hashlib.sha256(source.encode()).hexdigest()
+
+    @staticmethod
+    def run_key(rule_codes: Sequence[str], strict_pragmas: bool) -> str:
+        return ",".join(sorted(rule_codes)) + (":strict" if strict_pragmas else "")
+
+    @staticmethod
+    def project_key(
+        run_key: str, file_hashes: Sequence[tuple[str, str]]
+    ) -> str:
+        digest = hashlib.sha256(run_key.encode())
+        for rel, fhash in file_hashes:
+            digest.update(rel.encode())
+            digest.update(fhash.encode())
+        return digest.hexdigest()
+
+    # -- project tier ------------------------------------------------------
+    def lookup_project(
+        self, key: str
+    ) -> "Optional[tuple[list[FileReport], list[Violation]]]":
+        entry = self._data["project"].get(key)
+        if entry is None:
+            return None
+        reports = [
+            FileReport(
+                rel_path=r["rel_path"],
+                violations=_violations_from_json(r["violations"]),
+                suppressed=int(r["suppressed"]),
+            )
+            for r in entry["reports"]
+        ]
+        flat = _violations_from_json(entry["violations"])
+        self.project_hit = True
+        return reports, flat
+
+    def store_project(
+        self,
+        key: str,
+        reports: Sequence[FileReport],
+        violations: Sequence[Violation],
+    ) -> None:
+        # one project entry per store: the previous tree state is
+        # superseded, keeping the cache O(tree) instead of O(history)
+        self._data["project"] = {
+            key: {
+                "reports": [
+                    {
+                        "rel_path": r.rel_path,
+                        "violations": _violations_to_json(r.violations),
+                        "suppressed": r.suppressed,
+                    }
+                    for r in reports
+                ],
+                "violations": _violations_to_json(violations),
+            }
+        }
+
+    # -- file tier ---------------------------------------------------------
+    def lookup_file(
+        self, rel_path: str, content_hash: str, run_key: str
+    ) -> "Optional[dict]":
+        entry = self._data["files"].get(rel_path)
+        if (
+            entry is None
+            or entry.get("hash") != content_hash
+            or entry.get("run_key") != run_key
+        ):
+            self.file_misses += 1
+            return None
+        self.file_hits += 1
+        return {
+            "violations": _violations_from_json(entry["violations"]),
+            "suppressed": int(entry["suppressed"]),
+            "suppressed_lines": [int(x) for x in entry["suppressed_lines"]],
+            "used_file_codes": list(entry["used_file_codes"]),
+            "file_wide_uses": int(entry["file_wide_uses"]),
+        }
+
+    def store_file(
+        self,
+        rel_path: str,
+        content_hash: str,
+        run_key: str,
+        violations: Sequence[Violation],
+        suppressed: int,
+        suppressed_lines: Sequence[int],
+        used_file_codes: Sequence[str],
+        file_wide_uses: int,
+    ) -> None:
+        self._data["files"][rel_path] = {
+            "hash": content_hash,
+            "run_key": run_key,
+            "violations": _violations_to_json(violations),
+            "suppressed": suppressed,
+            "suppressed_lines": list(suppressed_lines),
+            "used_file_codes": sorted(used_file_codes),
+            "file_wide_uses": file_wide_uses,
+        }

@@ -1,0 +1,183 @@
+"""Conservative may-call graph over the symbol table.
+
+Resolution is name-based — precise enough for the repo's invariants,
+deliberately over-approximate everywhere else:
+
+* ``self.m(...)`` / ``cls.m(...)`` inside a method of class ``C``
+  resolves to ``m`` on ``C`` and its name-known bases (falling back to
+  every method named ``m`` when ``C`` doesn't define one — mixin
+  pattern);
+* ``obj.m(...)`` resolves to **every** method named ``m`` plus every
+  module-level function named ``m`` (module-alias calls like
+  ``rebalance.heal_sessions(...)``);
+* ``f(...)`` resolves to module-level functions named ``f`` (same
+  file preferred) and to ``__init__`` of classes named ``f``.
+
+An edge that doesn't exist in reality can only make reachability
+queries *more* inclusive, which is the safe direction for the
+exception-flow audit (SIM011): the rule asks "could this handler see
+a RemoteAccessError?", and a spurious yes is a reviewable pragma, a
+missing yes is a swallowed machine check.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from simcheck.symbols import FunctionInfo, SymbolTable
+
+__all__ = ["CallSite", "CallGraph"]
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a known function."""
+
+    caller: str
+    node: ast.Call
+    callee_name: str
+    #: qualnames the call may dispatch to (may be empty: unknown callee)
+    candidates: tuple[str, ...]
+
+
+class CallGraph:
+    """May-call edges between the symbol table's functions."""
+
+    def __init__(self, symbols: SymbolTable) -> None:
+        self.symbols = symbols
+        self.sites: list[CallSite] = []
+        self.sites_by_caller: dict[str, list[CallSite]] = {}
+        self.edges: dict[str, set[str]] = {}
+        self.callers_of: dict[str, set[str]] = {}
+        for info in symbols.functions.values():
+            self._index_function(info)
+
+    # -- construction ----------------------------------------------------
+    def _index_function(self, info: FunctionInfo) -> None:
+        sites = self.sites_by_caller.setdefault(info.qualname, [])
+        out = self.edges.setdefault(info.qualname, set())
+        for node in self._own_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._callee_name(node)
+            if name is None:
+                continue
+            candidates = tuple(
+                sorted(
+                    f.qualname for f in self.resolve(node, caller=info)
+                )
+            )
+            site = CallSite(info.qualname, node, name, candidates)
+            sites.append(site)
+            self.sites.append(site)
+            for callee in candidates:
+                out.add(callee)
+                self.callers_of.setdefault(callee, set()).add(info.qualname)
+
+    @staticmethod
+    def _own_nodes(
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+    ) -> Iterable[ast.AST]:
+        """Walk *fn* without descending into nested def/class bodies
+        (those are separate call-graph nodes)."""
+        stack: list[ast.AST] = []
+        for stmt in fn.body:
+            stack.append(stmt)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _callee_name(call: ast.Call) -> "str | None":
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return None
+
+    def resolve(
+        self, call: ast.Call, caller: FunctionInfo
+    ) -> list[FunctionInfo]:
+        """Candidate definitions one call expression may dispatch to."""
+        func = call.func
+        symbols = self.symbols
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            recv = func.value
+            if (
+                isinstance(recv, ast.Name)
+                and recv.id in ("self", "cls")
+                and caller.class_name is not None
+            ):
+                own = symbols.class_method(caller.class_name, name)
+                if own:
+                    return own
+            return symbols.methods_named(name) + symbols.functions_named(name)
+        if isinstance(func, ast.Name):
+            name = func.id
+            funcs = symbols.functions_named(name)
+            local = [f for f in funcs if f.rel_path == caller.rel_path]
+            out = local if local else list(funcs)
+            for cls_info in symbols.classes.get(name, ()):
+                init = cls_info.methods.get("__init__")
+                if init is not None:
+                    out.append(init)
+            return out
+        return []
+
+    # -- queries ----------------------------------------------------------
+    def functions_raising(self, *exc_names: str) -> dict[str, ast.Raise]:
+        """qualname -> one representative ``raise`` site, for every
+        function whose own body raises one of *exc_names*."""
+        wanted = set(exc_names)
+        out: dict[str, ast.Raise] = {}
+        for info in self.symbols.functions.values():
+            for node in self._own_nodes(info.node):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                exc = node.exc
+                if isinstance(exc, ast.Call):
+                    exc = exc.func
+                name = None
+                if isinstance(exc, ast.Attribute):
+                    name = exc.attr
+                elif isinstance(exc, ast.Name):
+                    name = exc.id
+                if name in wanted and info.qualname not in out:
+                    out[info.qualname] = node
+        return out
+
+    def can_reach(self, seeds: Iterable[str]) -> set[str]:
+        """Transitive closure over may-call edges, starting at *seeds*:
+        every function that can (indirectly) invoke one of them."""
+        closure = set(seeds)
+        worklist = list(closure)
+        while worklist:
+            target = worklist.pop()
+            for caller in self.callers_of.get(target, ()):
+                if caller not in closure:
+                    closure.add(caller)
+                    worklist.append(caller)
+        return closure
+
+    def calls_reaching(
+        self, site_nodes: Sequence[ast.Call], raisers: set[str]
+    ) -> "ast.Call | None":
+        """First call in *site_nodes* whose candidate set intersects
+        *raisers* (used to tie a try-body to a raise origin)."""
+        by_node = {id(s.node): s for s in self.sites}
+        for node in site_nodes:
+            site = by_node.get(id(node))
+            if site is None:
+                continue
+            if any(c in raisers for c in site.candidates):
+                return node
+        return None

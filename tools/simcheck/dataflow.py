@@ -1,0 +1,496 @@
+"""Intraprocedural forward dataflow over a statement-level CFG.
+
+This is the engine under the flow-aware rules (SIM009–SIM012): a
+control-flow graph built from one function body, a small abstract-
+domain API, and a worklist solver that runs any finite-height domain
+to a fixpoint. The design goal is *sound enough for the repo's
+invariants*, not a general-purpose analyzer:
+
+* blocks hold **simple statements only** — branching structure lives
+  in edges, each optionally labeled with the branch condition and the
+  taken polarity, so domains can refine state on `if x is not None:`
+  style guards (the static form of the DESIGN §10/§12 "zero-cost when
+  disarmed" contract);
+* compound statements are flattened: `for`/`with` headers become
+  synthetic binding statements (:class:`LoopBind` and a plain
+  ``ast.Assign``) so domains see every name binding exactly once and
+  expression walks never visit a sub-statement twice;
+* `try` is approximated conservatively — every block of the protected
+  body gets an edge into each handler, so a handler's entry state is
+  the join over all points the exception may have left;
+* nested function/class definitions are opaque statements (each
+  nested function is analyzed separately by the rules).
+
+Domains implement four hooks (:class:`Domain`): ``initial`` /
+``copy`` / ``join`` mutate-free state handling, a per-statement
+``transfer``, and ``refine_atom`` for the leaf comparisons of branch
+conditions. Boolean structure (``not`` / ``and`` / ``or`` /
+constants) is handled once, here, by :func:`apply_refinement`, so
+domains only reason about atoms.
+
+:func:`CFG.dominators` provides classic iterative dominator sets; the
+guard analysis of SIM010 is the dataflow-refinement formulation of
+"every path from entry to the use crosses a dominating guard", which
+coincides with dominator-based guarding on the CFGs this codebase
+produces (guards without intervening kills).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+__all__ = [
+    "LoopBind",
+    "Block",
+    "CFG",
+    "build_cfg",
+    "Domain",
+    "Analysis",
+    "analyze",
+    "apply_refinement",
+    "iter_expressions",
+    "dump_key",
+]
+
+
+class LoopBind(ast.stmt):
+    """Synthetic statement: *target* is bound to one element of *iter*.
+
+    Emitted at the top of a ``for`` body (and once per comprehension
+    generator) so domains observe the binding without re-walking the
+    loop's sub-statements.
+    """
+
+    _fields = ("target", "iter")
+
+    def __init__(self, target: ast.expr, iter: ast.expr) -> None:  # noqa: A002
+        super().__init__()
+        self.target = target
+        self.iter = iter
+
+
+class Block:
+    """One basic block: simple statements plus labeled out-edges."""
+
+    __slots__ = ("idx", "stmts", "succs", "preds")
+
+    def __init__(self, idx: int) -> None:
+        self.idx = idx
+        self.stmts: list[ast.stmt] = []
+        #: (target block index, branch test or None, polarity or None)
+        self.succs: list[tuple[int, Optional[ast.expr], Optional[bool]]] = []
+        self.preds: list[int] = []
+
+
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.entry = self._new().idx
+        self.exit = self._new().idx
+
+    def _new(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _edge(
+        self,
+        src: int,
+        dst: int,
+        test: Optional[ast.expr] = None,
+        branch: Optional[bool] = None,
+    ) -> None:
+        self.blocks[src].succs.append((dst, test, branch))
+        self.blocks[dst].preds.append(src)
+
+    def dominators(self) -> list[set[int]]:
+        """``dom[b]`` = indices of blocks on *every* entry→b path.
+
+        Classic iterative fixpoint; unreachable blocks dominate
+        vacuously (their set is the full block set).
+        """
+        every = set(range(len(self.blocks)))
+        dom: list[set[int]] = [set(every) for _ in self.blocks]
+        dom[self.entry] = {self.entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.blocks:
+                if block.idx == self.entry:
+                    continue
+                preds = block.preds
+                if not preds:
+                    continue
+                new = set(every)
+                for p in preds:
+                    new &= dom[p]
+                new.add(block.idx)
+                if new != dom[block.idx]:
+                    dom[block.idx] = new
+                    changed = True
+        return dom
+
+
+class _Builder:
+    """Recursive CFG construction with break/continue targets."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.current = self.cfg.entry
+        #: (continue target, break target) stack
+        self.loops: list[tuple[int, int]] = []
+        #: blocks of the innermost active try body (for handler edges)
+        self.try_blocks: list[list[int]] = []
+
+    # -- helpers ---------------------------------------------------------
+    def _start(self) -> int:
+        block = self.cfg._new()
+        return block.idx
+
+    def _note(self, idx: int) -> None:
+        for scope in self.try_blocks:
+            scope.append(idx)
+
+    def _append(self, stmt: ast.stmt) -> None:
+        self.cfg.blocks[self.current].stmts.append(stmt)
+
+    def _split(self) -> int:
+        """Close the current block and continue in a fresh successor."""
+        new = self._start()
+        self._note(new)
+        self.cfg._edge(self.current, new)
+        self.current = new
+        return new
+
+    # -- statement dispatch ----------------------------------------------
+    def build(self, body: Sequence[ast.stmt]) -> None:
+        self._note(self.current)
+        self.emit_body(body)
+        self.cfg._edge(self.current, self.cfg.exit)
+
+    def emit_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.emit(stmt)
+
+    def emit(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._emit_if(stmt)
+        elif isinstance(stmt, (ast.While,)):
+            self._emit_while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._emit_for(stmt)
+        elif isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            self._emit_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._emit_with(stmt)
+        elif isinstance(stmt, ast.Assert):
+            self._emit_assert(stmt)
+        elif isinstance(stmt, (ast.Return, ast.Raise)):
+            self._append(stmt)
+            self.cfg._edge(self.current, self.cfg.exit)
+            self.current = self._start()  # unreachable continuation
+            self._note(self.current)
+        elif isinstance(stmt, ast.Break):
+            if self.loops:
+                self.cfg._edge(self.current, self.loops[-1][1])
+            self.current = self._start()
+            self._note(self.current)
+        elif isinstance(stmt, ast.Continue):
+            if self.loops:
+                self.cfg._edge(self.current, self.loops[-1][0])
+            self.current = self._start()
+            self._note(self.current)
+        elif isinstance(stmt, ast.Match):
+            self._emit_match(stmt)
+        else:
+            # simple statement (incl. nested FunctionDef/ClassDef,
+            # which rules treat as opaque)
+            self._append(stmt)
+
+    def _emit_if(self, stmt: ast.If) -> None:
+        head = self.current
+        then_start = self._start()
+        self._note(then_start)
+        self.cfg._edge(head, then_start, stmt.test, True)
+        self.current = then_start
+        self.emit_body(stmt.body)
+        then_end = self.current
+
+        else_start = self._start()
+        self._note(else_start)
+        self.cfg._edge(head, else_start, stmt.test, False)
+        self.current = else_start
+        self.emit_body(stmt.orelse)
+        else_end = self.current
+
+        join = self._start()
+        self._note(join)
+        self.cfg._edge(then_end, join)
+        self.cfg._edge(else_end, join)
+        self.current = join
+
+    def _emit_while(self, stmt: ast.While) -> None:
+        header = self._split()
+        after = self._start()
+        self._note(after)
+        body_start = self._start()
+        self._note(body_start)
+        self.cfg._edge(header, body_start, stmt.test, True)
+        self.cfg._edge(header, after, stmt.test, False)
+        self.loops.append((header, after))
+        self.current = body_start
+        self.emit_body(stmt.body)
+        self.cfg._edge(self.current, header)
+        self.loops.pop()
+        # while/else: else runs on normal exit; approximated by the
+        # false edge already pointing at `after`
+        self.current = after
+        self.emit_body(stmt.orelse)
+
+    def _emit_for(self, stmt: "ast.For | ast.AsyncFor") -> None:
+        header = self._split()
+        after = self._start()
+        self._note(after)
+        body_start = self._start()
+        self._note(body_start)
+        self.cfg._edge(header, body_start)
+        self.cfg._edge(header, after)
+        bind = LoopBind(stmt.target, stmt.iter)
+        ast.copy_location(bind, stmt)
+        self.cfg.blocks[body_start].stmts.append(bind)
+        self.loops.append((header, after))
+        self.current = body_start
+        self.emit_body(stmt.body)
+        self.cfg._edge(self.current, header)
+        self.loops.pop()
+        self.current = after
+        self.emit_body(stmt.orelse)
+
+    def _emit_try(self, stmt: ast.Try) -> None:
+        scope: list[int] = []
+        self.try_blocks.append(scope)
+        self._split()  # noted into `scope` (and any enclosing try)
+        self.emit_body(stmt.body)
+        body_end = self.current
+        self.try_blocks.pop()
+
+        self.current = body_end
+        self.emit_body(stmt.orelse)
+        clean_end = self.current
+
+        join = self._start()
+        self._note(join)
+        self.cfg._edge(clean_end, join)
+        for handler in stmt.handlers:
+            h_start = self._start()
+            self._note(h_start)
+            for idx in scope:
+                self.cfg._edge(idx, h_start)
+            self.current = h_start
+            if handler.name:
+                # `except E as e:` binds e; model as an opaque assign
+                bind = ast.Assign(
+                    targets=[ast.Name(id=handler.name, ctx=ast.Store())],
+                    value=ast.Constant(value=None),
+                )
+                ast.copy_location(bind, handler)
+                ast.fix_missing_locations(bind)
+                self._append(bind)
+            self.emit_body(handler.body)
+            self.cfg._edge(self.current, join)
+        self.current = join
+        self.emit_body(stmt.finalbody)
+
+    def _emit_with(self, stmt: "ast.With | ast.AsyncWith") -> None:
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                bind = ast.Assign(
+                    targets=[item.optional_vars], value=item.context_expr
+                )
+                ast.copy_location(bind, stmt)
+                ast.fix_missing_locations(bind)
+                self._append(bind)
+            else:
+                expr = ast.Expr(value=item.context_expr)
+                ast.copy_location(expr, stmt)
+                self._append(expr)
+        self.emit_body(stmt.body)
+
+    def _emit_assert(self, stmt: ast.Assert) -> None:
+        head = self.current
+        self.cfg._edge(head, self.cfg.exit, stmt.test, False)
+        cont = self._start()
+        self._note(cont)
+        self.cfg._edge(head, cont, stmt.test, True)
+        self.current = cont
+
+    def _emit_match(self, stmt: ast.Match) -> None:
+        head = self.current
+        join = self._start()
+        self._note(join)
+        for case in stmt.cases:
+            c_start = self._start()
+            self._note(c_start)
+            self.cfg._edge(head, c_start)
+            self.current = c_start
+            self.emit_body(case.body)
+            self.cfg._edge(self.current, join)
+        self.cfg._edge(head, join)  # no case matched
+        self.current = join
+
+
+def build_cfg(fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> CFG:
+    """Build the CFG of *fn*'s body (sub-functions are opaque)."""
+    builder = _Builder()
+    builder.build(fn.body)
+    return builder.cfg
+
+
+class Domain:
+    """Abstract-domain API for the forward solver.
+
+    States must be treated as values: the solver calls :meth:`copy`
+    before mutating via :meth:`transfer` / :meth:`refine_atom`, and
+    :meth:`join` must return a fresh state. All domains used here have
+    finite height, so the worklist terminates.
+    """
+
+    def initial(self, fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> Any:
+        raise NotImplementedError
+
+    def copy(self, state: Any) -> Any:
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def equal(self, a: Any, b: Any) -> bool:
+        return bool(a == b)
+
+    def transfer(self, state: Any, stmt: ast.stmt) -> None:
+        """Mutate *state* across one simple statement."""
+
+    def refine_atom(self, state: Any, expr: ast.expr, positive: bool) -> None:
+        """Mutate *state* knowing atom *expr* evaluated to *positive*."""
+
+
+def apply_refinement(
+    domain: Domain, state: Any, test: ast.expr, positive: bool
+) -> None:
+    """Push branch knowledge ``test == positive`` into *state*.
+
+    Handles the boolean skeleton (``not``, ``and``/``or`` with
+    short-circuit polarity, parenthesized nesting, ``x if c else y``
+    ignored); leaf atoms go to ``domain.refine_atom``.
+    """
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        apply_refinement(domain, state, test.operand, not positive)
+        return
+    if isinstance(test, ast.BoolOp):
+        is_and = isinstance(test.op, ast.And)
+        if positive is is_and:
+            # `and` true / `or` false: every operand has that polarity
+            for value in test.values:
+                apply_refinement(domain, state, value, positive)
+        # `and` false / `or` true: unknown which operand decided; no info
+        return
+    if isinstance(test, ast.Constant):
+        return
+    domain.refine_atom(state, test, positive)
+
+
+class Analysis:
+    """Solved dataflow of one function: per-block entry states."""
+
+    def __init__(self, cfg: CFG, domain: Domain, block_in: list[Any]) -> None:
+        self.cfg = cfg
+        self.domain = domain
+        #: entry state per block; None == unreachable
+        self.block_in = block_in
+
+    def statement_states(self) -> Iterator[tuple[ast.stmt, Any]]:
+        """Yield ``(stmt, state_before_stmt)`` over every reachable
+        statement, in block order. The yielded state is a private copy
+        per block walk; callers may inspect but must not keep it."""
+        for block in self.cfg.blocks:
+            state = self.block_in[block.idx]
+            if state is None:
+                continue
+            state = self.domain.copy(state)
+            for stmt in block.stmts:
+                yield stmt, state
+                self.domain.transfer(state, stmt)
+
+
+def analyze(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef", domain: Domain
+) -> Analysis:
+    """Run *domain* forward over *fn* to a fixpoint."""
+    cfg = build_cfg(fn)
+    block_in: list[Any] = [None] * len(cfg.blocks)
+    block_in[cfg.entry] = domain.initial(fn)
+    worklist = [cfg.entry]
+    while worklist:
+        idx = worklist.pop()
+        state = block_in[idx]
+        if state is None:  # pragma: no cover - defensive
+            continue
+        out = domain.copy(state)
+        for stmt in cfg.blocks[idx].stmts:
+            domain.transfer(out, stmt)
+        for target, test, branch in cfg.blocks[idx].succs:
+            edge_state = domain.copy(out)
+            if test is not None and branch is not None:
+                apply_refinement(domain, edge_state, test, branch)
+            old = block_in[target]
+            new = edge_state if old is None else domain.join(old, edge_state)
+            if old is None or not domain.equal(new, old):
+                block_in[target] = new
+                worklist.append(target)
+    return Analysis(cfg, domain, block_in)
+
+
+# -- expression utilities shared by the flow rules ------------------------
+
+_OPAQUE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def iter_expressions(node: ast.AST) -> Iterator[ast.expr]:
+    """Walk the expressions of one *simple* statement (or expression),
+    pruning nested function/class/lambda bodies, which are analyzed
+    separately."""
+    stack = list(ast.iter_child_nodes(node))
+    if isinstance(node, ast.expr):
+        stack = [node]
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _OPAQUE):
+            continue
+        if isinstance(child, ast.expr):
+            yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def dump_key(expr: ast.expr) -> Optional[str]:
+    """A structural key for Name/Attribute/Subscript chains, used to
+    match a guard's subject against a later use (``self._faults``,
+    ``sharers[i]``). Returns None for expressions that are not stable
+    l-value-like chains (calls, literals, arithmetic)."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = dump_key(expr.value)
+        return None if base is None else f"{base}.{expr.attr}"
+    if isinstance(expr, ast.Subscript):
+        base = dump_key(expr.value)
+        if base is None:
+            return None
+        index = expr.slice
+        if isinstance(index, ast.Constant):
+            return f"{base}[{index.value!r}]"
+        key = dump_key(index)
+        return None if key is None else f"{base}[{key}]"
+    return None

@@ -63,21 +63,57 @@ class Violation:
 
 @dataclass
 class _Pragmas:
-    """Parsed suppression pragmas of one file."""
+    """Parsed suppression pragmas of one file, with use tracking.
+
+    Every suppression records which pragma fired so that
+    ``--strict-pragmas`` can flag the ones that no longer suppress
+    anything (stale pragmas, reported as SIM000).
+    """
 
     #: line number -> codes disabled on that line (empty set == all)
     by_line: dict[int, set[str]] = field(default_factory=dict)
     #: codes disabled for the entire file (empty set member "" == all)
     file_wide: set[str] = field(default_factory=set)
     all_file_wide: bool = False
+    #: declaration line of each file-wide code / the bare disable-file
+    file_wide_lines: dict[str, int] = field(default_factory=dict)
+    all_file_wide_line: int = 0
+    # -- use tracking (filled during a run) --
+    used_lines: set[int] = field(default_factory=set)
+    used_file_codes: set[str] = field(default_factory=set)
+    file_wide_uses: int = 0
 
     def suppresses(self, violation: Violation) -> bool:
-        if self.all_file_wide or violation.code in self.file_wide:
+        if self.all_file_wide:
+            self.file_wide_uses += 1
+            return True
+        if violation.code in self.file_wide:
+            self.used_file_codes.add(violation.code)
             return True
         codes = self.by_line.get(violation.line)
         if codes is None:
             return False
-        return not codes or violation.code in codes
+        if not codes or violation.code in codes:
+            self.used_lines.add(violation.line)
+            return True
+        return False
+
+    def stale(self) -> list[tuple[int, str]]:
+        """``(line, description)`` for every pragma that suppressed
+        nothing in this run."""
+        out: list[tuple[int, str]] = []
+        for line, codes in self.by_line.items():
+            if line not in self.used_lines:
+                what = ",".join(sorted(codes)) if codes else "all codes"
+                out.append((line, f"disable={what}"))
+        for code in self.file_wide:
+            if code not in self.used_file_codes:
+                out.append(
+                    (self.file_wide_lines.get(code, 1), f"disable-file={code}")
+                )
+        if self.all_file_wide and self.file_wide_uses == 0:
+            out.append((self.all_file_wide_line or 1, "disable-file"))
+        return sorted(out)
 
 
 def _parse_pragmas(source: str, path: str) -> _Pragmas:
@@ -108,8 +144,12 @@ def _parse_pragmas(source: str, path: str) -> _Pragmas:
         if match.group("kind") == "disable-file":
             if codes:
                 pragmas.file_wide |= codes
+                for code in codes:
+                    pragmas.file_wide_lines.setdefault(code, tok.start[0])
             else:
                 pragmas.all_file_wide = True
+                if not pragmas.all_file_wide_line:
+                    pragmas.all_file_wide_line = tok.start[0]
         else:
             pragmas.by_line.setdefault(tok.start[0], set()).update(codes)
             if not codes:
@@ -163,6 +203,8 @@ class Project:
 
     def __init__(self, files: Sequence[FileContext]) -> None:
         self.files = list(files)
+        self._symbols = None
+        self._callgraph = None
 
     @property
     def test_files(self) -> list[FileContext]:
@@ -175,6 +217,25 @@ class Project:
     @property
     def has_tests(self) -> bool:
         return bool(self.test_files)
+
+    @property
+    def symbols(self):
+        """Lazily built project-wide symbol table (flow rules only pay
+        for it when a cross-file rule is active)."""
+        if self._symbols is None:
+            from simcheck.symbols import SymbolTable
+
+            self._symbols = SymbolTable.build(self.files)
+        return self._symbols
+
+    @property
+    def callgraph(self):
+        """Lazily built conservative may-call graph."""
+        if self._callgraph is None:
+            from simcheck.callgraph import CallGraph
+
+            self._callgraph = CallGraph(self.symbols)
+        return self._callgraph
 
 
 def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -191,6 +252,8 @@ def check_paths(
     paths: Sequence[str | Path],
     rules: Optional[Sequence["Rule"]] = None,
     root: Optional[Path] = None,
+    cache=None,
+    strict_pragmas: bool = False,
 ) -> tuple[list[FileReport], list[Violation]]:
     """Run *rules* over every ``.py`` file under *paths*.
 
@@ -198,20 +261,46 @@ def check_paths(
     and the flat, sorted list of surviving violations. Cross-file rule
     output (no single home file) is appended to the file it points at
     when that file was scanned, else to a synthetic report.
+
+    With *cache* (a :class:`simcheck.cache.ResultCache`), an unchanged
+    tree replays the whole previous result without parsing (project
+    tier), and a partially changed tree skips the per-file rules on
+    unchanged files (file tier; cross-file rules always run live).
+
+    With *strict_pragmas*, every suppression pragma that suppressed
+    nothing this run is reported as a SIM000 violation — stale
+    suppressions hide future regressions and must be pruned.
     """
     from simcheck.rules import ALL_RULES
 
     active = list(rules) if rules is not None else [cls() for cls in ALL_RULES]
     root = root if root is not None else Path.cwd()
 
-    contexts: list[FileContext] = []
+    entries: list[tuple[Path, str, str]] = []
     for file_path in _iter_python_files([Path(p) for p in paths]):
         try:
             rel = file_path.resolve().relative_to(root.resolve()).as_posix()
         except ValueError:
             rel = file_path.as_posix()
-        contexts.append(FileContext(file_path, rel, file_path.read_text()))
+        entries.append((file_path, rel, file_path.read_text()))
 
+    run_key = project_key = None
+    if cache is not None:
+        run_key = cache.run_key(
+            [rule.code for rule in active], strict_pragmas
+        )
+        project_key = cache.project_key(
+            run_key,
+            [(rel, cache.content_hash(source)) for _, rel, source in entries],
+        )
+        hit = cache.lookup_project(project_key)
+        if hit is not None:
+            return hit
+
+    contexts = [
+        FileContext(file_path, rel, source)
+        for file_path, rel, source in entries
+    ]
     project = Project(contexts)
     reports = {ctx.rel_path: FileReport(ctx.rel_path) for ctx in contexts}
 
@@ -227,14 +316,60 @@ def check_paths(
 
     by_path = {ctx.rel_path: ctx for ctx in contexts}
     for ctx in contexts:
+        report = reports[ctx.rel_path]
+        cached = (
+            cache.lookup_file(
+                ctx.rel_path, cache.content_hash(ctx.source), run_key
+            )
+            if cache is not None
+            else None
+        )
+        if cached is not None:
+            report.violations.extend(cached["violations"])
+            report.suppressed += cached["suppressed"]
+            ctx.pragmas.used_lines.update(cached["suppressed_lines"])
+            ctx.pragmas.used_file_codes.update(cached["used_file_codes"])
+            ctx.pragmas.file_wide_uses += cached["file_wide_uses"]
+            continue
         for rule in active:
             for violation in rule.check_file(ctx):
                 _record(ctx, violation)
+        if cache is not None:
+            cache.store_file(
+                ctx.rel_path,
+                cache.content_hash(ctx.source),
+                run_key,
+                report.violations,
+                report.suppressed,
+                sorted(ctx.pragmas.used_lines),
+                sorted(ctx.pragmas.used_file_codes),
+                ctx.pragmas.file_wide_uses,
+            )
     for rule in active:
         for violation in rule.finalize(project):
             _record(by_path.get(violation.path), violation)
 
+    if strict_pragmas:
+        for ctx in contexts:
+            for line, what in ctx.pragmas.stale():
+                # SIM000 is itself never suppressible: a pragma that
+                # only suppresses its own staleness report is the
+                # degenerate case the flag exists to kill
+                _file(ctx.rel_path).violations.append(
+                    Violation(
+                        path=ctx.rel_path,
+                        line=line,
+                        col=1,
+                        code="SIM000",
+                        message=f"stale pragma ({what}) suppresses "
+                        "nothing — remove it",
+                    )
+                )
+
     ordered = [reports[ctx.rel_path] for ctx in contexts]
     ordered += [r for p, r in sorted(reports.items()) if p not in by_path]
     flat = sorted(v for r in ordered for v in r.violations)
+    if cache is not None:
+        cache.store_project(project_key, ordered, flat)
+        cache.save()
     return ordered, flat

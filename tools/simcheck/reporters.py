@@ -6,6 +6,9 @@
   entrypoint and any dashboarding. The schema is intentionally frozen;
   bump ``schema_version`` on any incompatible change and keep the
   reporter test in ``tests/tools/test_simcheck.py`` in sync.
+* sarif — minimal SARIF 2.1.0 for code-scanning UIs (one run, one
+  result per violation, the rule catalogue as ``rules``). Only the
+  properties those UIs actually read are emitted.
 
 JSON schema (version 1)::
 
@@ -32,7 +35,7 @@ from typing import Sequence
 from simcheck.engine import FileReport, Violation
 from simcheck.rules import rule_catalogue
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(
@@ -72,6 +75,76 @@ def render_json(
                 "message": v.message,
             }
             for v in violations
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    reports: Sequence[FileReport], violations: Sequence[Violation]
+) -> str:
+    """SARIF 2.1.0, minimal profile.
+
+    SIM000 (stale pragma) can appear in *violations* without being in
+    the registered catalogue; it gets a synthetic rule entry so every
+    result's ``ruleId`` resolves.
+    """
+    catalogue = rule_catalogue()
+    known = {code for code, _, _ in catalogue}
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": title},
+            "fullDescription": {"text": doc.splitlines()[0] if doc else title},
+        }
+        for code, title, doc in catalogue
+    ]
+    if any(v.code not in known for v in violations):
+        rules.insert(
+            0,
+            {
+                "id": "SIM000",
+                "shortDescription": {"text": "stale suppression pragma"},
+                "fullDescription": {
+                    "text": "a simcheck pragma that suppresses nothing"
+                },
+            },
+        )
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simcheck",
+                        "informationUri": "DESIGN.md",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": v.code,
+                        "level": "error",
+                        "message": {"text": v.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": v.path},
+                                    "region": {
+                                        "startLine": v.line,
+                                        "startColumn": v.col,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for v in violations
+                ],
+            }
         ],
     }
     return json.dumps(doc, indent=2, sort_keys=True)

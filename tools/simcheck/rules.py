@@ -1,4 +1,6 @@
-"""The repo-specific rule set (SIM001–SIM007).
+"""The repo-specific rule set (SIM001–SIM008; the flow-aware
+SIM009–SIM012 live in :mod:`simcheck.flowrules` and are registered
+here).
 
 Each rule is a small AST pass over one :class:`~simcheck.engine.FileContext`
 plus an optional cross-file ``finalize`` over the whole
@@ -613,6 +615,16 @@ class SIM008RecoveryDiscipline(Rule):
         return set()
 
 
+# the flow-aware rules live in their own module (they need the
+# dataflow engine); imported here, after Rule is defined, so that
+# ALL_RULES stays the single registry
+from simcheck.flowrules import (  # noqa: E402
+    SIM009UnitInference,
+    SIM010DisarmedPathProof,
+    SIM011ExceptionFlowAudit,
+    SIM012StateMachineConformance,
+)
+
 #: registration order == reporting precedence
 ALL_RULES: list[Type[Rule]] = [
     SIM001EngineInternals,
@@ -623,6 +635,10 @@ ALL_RULES: list[Type[Rule]] = [
     SIM006DeterminismHazards,
     SIM007FaultInjectionLayer,
     SIM008RecoveryDiscipline,
+    SIM009UnitInference,
+    SIM010DisarmedPathProof,
+    SIM011ExceptionFlowAudit,
+    SIM012StateMachineConformance,
 ]
 
 

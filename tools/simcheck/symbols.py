@@ -1,0 +1,181 @@
+"""Project-wide symbol table.
+
+One pass over every scanned file collects the definitions the
+cross-file rules resolve against: functions and methods (with their
+parameter lists), classes (with their method maps and base-class
+names), and module-level constants. The table is name-indexed — the
+repo is a single package, so short-name resolution plus the class
+context of ``self`` calls is enough for the conservative may-call
+graph in :mod:`simcheck.callgraph`.
+
+Qualified names are ``<rel_path>::<Class>.<method>`` /
+``<rel_path>::<function>`` so a symbol is addressable in diagnostics
+without inventing an import system.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from simcheck.engine import FileContext
+
+__all__ = ["FunctionInfo", "ClassInfo", "SymbolTable"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    name: str
+    rel_path: str
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    class_name: Optional[str]
+    #: positional-or-keyword parameter names (incl. ``self``)
+    params: tuple[str, ...]
+    is_test_file: bool
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def call_params(self) -> tuple[str, ...]:
+        """Parameter names as seen by an ``obj.method(...)`` call site
+        (``self``/``cls`` dropped for methods)."""
+        if self.is_method and self.params and self.params[0] in ("self", "cls"):
+            return self.params[1:]
+        return self.params
+
+
+@dataclass
+class ClassInfo:
+    """One class definition and its directly defined methods."""
+
+    name: str
+    rel_path: str
+    bases: tuple[str, ...]
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+class SymbolTable:
+    """Name-indexed view of every definition in the scanned file set."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        #: short name -> every def with that name (functions + methods)
+        self.by_name: dict[str, list[FunctionInfo]] = {}
+        #: class name -> every class with that name
+        self.classes: dict[str, list[ClassInfo]] = {}
+        #: module-level Name constants per file: rel_path -> {name: node}
+        self.module_constants: dict[str, dict[str, ast.expr]] = {}
+
+    @classmethod
+    def build(cls, files: Sequence["FileContext"]) -> "SymbolTable":
+        table = cls()
+        for ctx in files:
+            table._index_file(ctx)
+        return table
+
+    def _index_file(self, ctx: "FileContext") -> None:
+        consts: dict[str, ast.expr] = {}
+        self.module_constants[ctx.rel_path] = consts
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        consts[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                    consts[stmt.target.id] = stmt.value
+        self._index_scope(ctx, ctx.tree.body, class_info=None)
+
+    def _index_scope(
+        self,
+        ctx: "FileContext",
+        body: Sequence[ast.stmt],
+        class_info: Optional[ClassInfo],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(ctx, stmt, class_info)
+                # nested defs are indexed too (flow rules analyze them
+                # separately); their class context is the enclosing one
+                self._index_scope(ctx, stmt.body, class_info)
+            elif isinstance(stmt, ast.ClassDef):
+                info = ClassInfo(
+                    name=stmt.name,
+                    rel_path=ctx.rel_path,
+                    bases=tuple(
+                        base.id
+                        for base in stmt.bases
+                        if isinstance(base, ast.Name)
+                    ),
+                )
+                self.classes.setdefault(stmt.name, []).append(info)
+                self._index_scope(ctx, stmt.body, info)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                # defs behind TYPE_CHECKING / version guards
+                self._index_scope(ctx, stmt.body, class_info)
+                self._index_scope(ctx, stmt.orelse, class_info)
+
+    def _add_function(
+        self,
+        ctx: "FileContext",
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        class_info: Optional[ClassInfo],
+    ) -> None:
+        scope = f"{class_info.name}." if class_info is not None else ""
+        qualname = f"{ctx.rel_path}::{scope}{node.name}"
+        if qualname in self.functions:
+            return  # overload/redefinition: first one wins
+        params = tuple(
+            arg.arg
+            for arg in (
+                list(node.args.posonlyargs)
+                + list(node.args.args)
+                + list(node.args.kwonlyargs)
+            )
+        )
+        info = FunctionInfo(
+            qualname=qualname,
+            name=node.name,
+            rel_path=ctx.rel_path,
+            node=node,
+            class_name=class_info.name if class_info is not None else None,
+            params=params,
+            is_test_file=ctx.is_test,
+        )
+        self.functions[qualname] = info
+        self.by_name.setdefault(node.name, []).append(info)
+        if class_info is not None and node.name not in class_info.methods:
+            class_info.methods[node.name] = info
+
+    # -- resolution helpers ----------------------------------------------
+    def methods_named(self, name: str) -> list[FunctionInfo]:
+        return [f for f in self.by_name.get(name, ()) if f.is_method]
+
+    def functions_named(self, name: str) -> list[FunctionInfo]:
+        return [f for f in self.by_name.get(name, ()) if not f.is_method]
+
+    def class_method(
+        self, class_name: str, method: str
+    ) -> list[FunctionInfo]:
+        """*method* resolved on *class_name*, walking name-known bases."""
+        out: list[FunctionInfo] = []
+        seen: set[str] = set()
+        queue = [class_name]
+        while queue:
+            cname = queue.pop()
+            if cname in seen:
+                continue
+            seen.add(cname)
+            for info in self.classes.get(cname, ()):
+                hit = info.methods.get(method)
+                if hit is not None:
+                    out.append(hit)
+                queue.extend(info.bases)
+        return out
