@@ -64,8 +64,9 @@ from repro.config import (
     NetworkConfig,
     RMCConfig,
 )
+from repro.cluster.reservation import LeaseState
 from repro.errors import RemoteAccessError
-from repro.sim.faults import random_plan
+from repro.sim.faults import FaultPlan, random_plan
 from repro.sim.rng import stream
 
 BORROWER = 1
@@ -86,6 +87,22 @@ HEALTH = HealthConfig(
     renew_margin_ns=50_000.0,
     lease_grace_ns=120_000.0,
 )
+
+#: The partition tier: pure split/heal/flap schedules (no kills) with
+#: corroborated detection, isolation, epoch fencing, and rejoin healing
+#: armed. Cuts are long enough that minority-side leases expire and
+#: donors reclaim mid-cut — the worst case for stale borrowers.
+P_HEALTH = HealthConfig(
+    lease_ttl_ns=150_000.0,
+    renew_margin_ns=50_000.0,
+    lease_grace_ns=120_000.0,
+    indirect_probes=2,
+    quorum_fraction=0.5,
+    epoch_fencing=True,
+)
+P_PLAN_NS = 600_000.0       # window the random splits are drawn from
+P_HORIZON_NS = 1_200_000.0  # run long past the last heal so rejoin settles
+P_SEEDS = 10
 
 #: A chaotic fabric is a lossy fabric: without the request watchdog a
 #: single dropped or corrupted packet parks its issuing process (and
@@ -140,7 +157,9 @@ class RunState:
     plan: object
 
 
-def _build_and_run(seed: int, chaos: bool) -> RunState:
+def _build_and_run(
+    seed: int, chaos: bool, partitions: bool = False
+) -> RunState:
     cfg = ClusterConfig(
         network=NetworkConfig(topology="ring", dims=(NUM_NODES, 1)),
         rmc=RMC,
@@ -174,14 +193,27 @@ def _build_and_run(seed: int, chaos: bool) -> RunState:
     s6.bulk_write(s6_remote, _fill(seed, "s6r", page))
     s6.bulk_write(s6_local, _fill(seed, "s6l", page))
 
-    if chaos:
+    edges = sorted(
+        {(min(a, b), max(a, b)) for a, b in cluster.network.links}
+    )
+    if chaos and partitions:
+        cluster.arm_health(P_HEALTH)
+        plan = random_plan(
+            seed,
+            nodes=list(cluster.nodes),
+            edges=edges,
+            duration_ns=P_PLAN_NS,
+            kills=0, flaps=0, drops=0, corrupts=0,
+            partitions=2,
+            protect=(),
+        )
+        cluster.arm_faults(plan)
+    elif chaos:
         cluster.arm_health(HEALTH)
         plan = random_plan(
             seed,
             nodes=list(cluster.nodes),
-            edges=sorted(
-                {(min(a, b), max(a, b)) for a, b in cluster.network.links}
-            ),
+            edges=edges,
             duration_ns=HORIZON_NS,
             protect=(BORROWER, STABLE_DONOR),
         )
@@ -241,7 +273,7 @@ def _build_and_run(seed: int, chaos: bool) -> RunState:
         ),
     ]
 
-    sim.run(until=HORIZON_NS)
+    sim.run(until=P_HORIZON_NS if partitions else HORIZON_NS)
     if cluster.health is not None:
         cluster.health.stop()
     sim.run()
@@ -554,6 +586,261 @@ def _check_recovered_alloc(
     return failures
 
 
+def _check_partition(state: RunState) -> list[str]:
+    """Partition-tier invariants: every split heals with nothing left.
+
+    No kill is planned, so at the end of the run *every* declaration
+    must have been retracted, every isolation exited, every link back
+    up — and the lease/grant tables must agree across epochs: an
+    ACTIVE lease matches the donor's current grant (same epoch, same
+    borrower) and no range has two tenants (the SWMR invariant).
+    """
+    failures: list[str] = []
+    cluster = state.cluster
+    health = cluster.health
+
+    for proc in state.procs:
+        if not proc.ok:
+            failures.append(f"workload process {proc.name!r} died")
+    try:
+        cluster.regions.check_invariants()
+    except Exception as exc:
+        failures.append(f"region invariants: {exc}")
+    for n, node in sorted(cluster.nodes.items()):
+        if node.os._pending_acks:
+            failures.append(
+                f"node {n}: {len(node.os._pending_acks)} leaked acks"
+            )
+        if node.rmc.outstanding:
+            failures.append(
+                f"node {n}: {len(node.rmc.outstanding)} stuck requests"
+            )
+    if cluster.faults.dead_nodes:
+        failures.append(
+            f"no kill planned, yet dead: {sorted(cluster.faults.dead_nodes)}"
+        )
+    if cluster.faults.down_links:
+        failures.append(
+            f"links still down after all heals: "
+            f"{sorted(cluster.faults.down_links)}"
+        )
+    if health.confirmed_dead:
+        failures.append(
+            "false declarations never retracted: "
+            f"{sorted(health.confirmed_dead)}"
+        )
+    if health.isolated:
+        failures.append(
+            f"observers still isolated: {sorted(health.isolated)}"
+        )
+
+    tenants: dict[tuple[int, int], int] = {}
+    for b, node in sorted(cluster.nodes.items()):
+        client = node.reservations
+        for res in client.held.values():
+            if client.state_of(res) is not LeaseState.ACTIVE:
+                continue
+            donor = res.donor_node
+            local = cluster.amap.strip_node(res.prefixed_start)
+            grant = cluster.node(donor).os.grants.get(local)
+            if grant is None:
+                failures.append(
+                    f"node {b}: ACTIVE lease {res.prefixed_start:#x} "
+                    f"has no grant on donor {donor}"
+                )
+            elif grant.epoch != res.epoch:
+                failures.append(
+                    f"node {b}: lease epoch {res.epoch} != grant epoch "
+                    f"{grant.epoch} on donor {donor} (SWMR violation)"
+                )
+            elif grant.borrower_node != b:
+                failures.append(
+                    f"donor {donor} range {local:#x} granted to "
+                    f"{grant.borrower_node} but held by {b}"
+                )
+            prev = tenants.setdefault((donor, local), b)
+            if prev != b:
+                failures.append(
+                    f"double tenancy on donor {donor} range {local:#x}: "
+                    f"nodes {prev} and {b}"
+                )
+    return failures
+
+
+def _fenced_demo() -> list[str]:
+    """Post-heal stale-epoch write, observably fenced.
+
+    A 3-node line: borrower 1 holds an (infinite) lease on donor 2. A
+    partition strands the borrower; mid-cut the donor reclaims the
+    range and re-grants it to node 3. After the heal, the stale
+    borrower's access is NACKed with ``reason="fenced"`` and the new
+    tenant's bytes stay untouched.
+    """
+    failures: list[str] = []
+    cluster = Cluster(
+        ClusterConfig(
+            network=NetworkConfig(topology="line", dims=(3, 1)), rmc=RMC
+        )
+    )
+    sim = cluster.sim
+    page = 4096
+    s1 = cluster.session(BORROWER)
+    s1.borrow_remote(2, page)
+    v = s1.malloc(page, Placement.REMOTE)
+    s1.bulk_write(v, b"\x11" * page)
+    res = next(iter(cluster.node(1).reservations.held.values()))
+    cluster.arm_health(
+        HealthConfig(watch_on_borrow=False, epoch_fencing=True)
+    )
+    t0 = sim.now
+    cluster.arm_faults(
+        FaultPlan().partition(
+            ({1}, {2, 3}), at_ns=t0 + 10_000, until_ns=t0 + 200_000
+        )
+    )
+    regrant: dict = {}
+
+    def driver():
+        yield sim.timeout(100_000)  # mid-cut
+        local = cluster.amap.strip_node(res.prefixed_start)
+        cluster.node(2).os.release_reservation(local)
+        seg = next(
+            s
+            for s in cluster.regions.region_of(1).segments
+            if s.start == res.prefixed_start
+        )
+        cluster.regions.remove_segment(1, seg)
+        regrant["res"] = yield from cluster.borrow_process(3, 2, page)
+
+    sim.process(driver(), name="demo.regrant")
+    sim.run(until=t0 + 300_000)
+
+    res3 = regrant.get("res")
+    if res3 is None:
+        return ["fenced demo: the mid-cut re-grant never completed"]
+    if res3.epoch != res.epoch + 1:
+        failures.append(
+            f"fenced demo: re-grant epoch {res3.epoch}, "
+            f"want {res.epoch + 1}"
+        )
+    try:
+        s1.write(v, b"\xee" * 64, cached=False)
+        failures.append("fenced demo: stale post-heal write was admitted")
+    except RemoteAccessError as exc:
+        if exc.reason != "fenced":
+            failures.append(
+                f"fenced demo: stale write raised reason={exc.reason!r}, "
+                "want 'fenced'"
+            )
+    if cluster.node(2).rmc.fenced.value < 1:
+        failures.append("fenced demo: donor fence counter never moved")
+    if cluster.fn_read(res3.prefixed_start, 64) != b"\x11" * 64:
+        failures.append("fenced demo: write leaked into the re-granted range")
+    return failures
+
+
+def _symmetric_split_demo() -> list[str]:
+    """A 50/50 split must isolate both sides, not start mutual
+    degrade-donor storms; the heal lets both rejoin with nobody ever
+    declared dead and every lease intact."""
+    failures: list[str] = []
+    cluster = Cluster(
+        ClusterConfig(
+            network=NetworkConfig(topology="ring", dims=(6, 1)), rmc=RMC
+        )
+    )
+    page = 4096
+    for borrower, donors in ((1, (4, 5)), (4, (1, 2))):
+        for donor in donors:
+            cluster.borrow(borrower, donor, page)
+    health = cluster.arm_health(
+        HealthConfig(auto_recover=False, indirect_probes=2)
+    )
+    t0 = cluster.sim.now
+    cluster.arm_faults(
+        FaultPlan().partition(
+            ({1, 2, 3}, {4, 5, 6}), at_ns=t0 + 10_000, until_ns=t0 + 300_000
+        )
+    )
+    cluster.sim.run(until=t0 + 250_000)
+    if health.isolated != {1, 4}:
+        failures.append(
+            f"split demo: isolated={sorted(health.isolated)}, want [1, 4]"
+        )
+    cluster.sim.run(until=t0 + 500_000)
+    health.stop()
+    cluster.sim.run()
+    kinds = [k for _, k, _ in health.events]
+    if "dead" in kinds:
+        failures.append("split demo: a 50/50 split produced a declaration")
+    if health.isolated:
+        failures.append(
+            f"split demo: still isolated {sorted(health.isolated)} post-heal"
+        )
+    if kinds.count("rejoined") != 2:
+        failures.append(
+            f"split demo: {kinds.count('rejoined')} rejoins, want 2"
+        )
+    for b in (1, 4):
+        if len(cluster.node(b).reservations.held) != 2:
+            failures.append(f"split demo: node {b} lost a lease to the split")
+    return failures
+
+
+def partition_soak(seeds: list[int], verbose: bool = False) -> int:
+    """The partition tier: deterministic demos + seeded split schedules."""
+    demo_failures = _fenced_demo() + _symmetric_split_demo()
+    print(
+        f"deterministic demos: {'ok' if not demo_failures else 'FAIL'}"
+    )
+    for f in demo_failures:
+        print(f"  FAIL: {f}", file=sys.stderr)
+
+    failed_seeds = []
+    for seed in seeds:
+        first = _build_and_run(seed, chaos=True, partitions=True)
+        again = _build_and_run(seed, chaos=True, partitions=True)
+        failures = _check_partition(first)
+        d1, d2 = _digest(first), _digest(again)
+        if d1 != d2:
+            failures.append(f"replay diverged: {d1[:12]} != {d2[:12]}")
+
+        health = first.cluster.health
+        kinds = [k for _, k, _ in health.events]
+        splits = sum(
+            1 for _t, k, _d in first.cluster.faults.log if k == "partition"
+        )
+        fenced = sum(
+            node.rmc.fenced.value for node in first.cluster.nodes.values()
+        )
+        status = "ok" if not failures else "FAIL"
+        print(
+            f"seed {seed:>3}: {status}  splits={splits}"
+            f" declared={kinds.count('dead')}"
+            f" readmitted={kinds.count('readmitted')}"
+            f" refuted={kinds.count('refuted')}"
+            f" isolated={kinds.count('isolated')}"
+            f" fenced={fenced}"
+        )
+        if failures:
+            failed_seeds.append(seed)
+            for f in failures:
+                print(f"  FAIL: {f}", file=sys.stderr)
+        elif verbose:
+            for ev in health.events:
+                print(f"    {ev[0]:>10.0f} {ev[1]:<18} {ev[2]}")
+
+    if demo_failures or failed_seeds:
+        print(
+            f"partition soak: FAILED (demos={len(demo_failures)} "
+            f"seeds={failed_seeds})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"partition soak: {len(seeds)} seeds, all invariants held")
+    return 0
+
+
 def soak(seeds: list[int], verbose: bool = False) -> int:
     all_mttr: list[float] = []
     failed_seeds = []
@@ -612,8 +899,16 @@ def main() -> int:
         "--seeds", type=int, default=None,
         help="override the number of seeds",
     )
+    parser.add_argument(
+        "--partitions", action="store_true",
+        help=f"run the partition tier ({P_SEEDS} split/heal/flap seeds) "
+             "instead of the kill tier",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args()
+    if args.partitions:
+        n = args.seeds or P_SEEDS
+        return partition_soak(list(range(1, n + 1)), verbose=args.verbose)
     n = args.seeds or (QUICK_SEEDS if args.quick else SOAK_SEEDS)
     return soak(list(range(1, n + 1)), verbose=args.verbose)
 

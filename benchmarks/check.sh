@@ -61,6 +61,11 @@ step "fault smoke (donor kill)" python benchmarks/fault_smoke.py
 # packet invariant must fail the gate, not silently mis-simulate
 step "chaos soak (quick)" env REPRO_SANITIZE=1 python benchmarks/chaos_soak.py --quick
 
+# partition tier: seeded split/heal/flap schedules plus the fenced
+# stale-write and symmetric-split demos — every cut must heal with no
+# leftover declarations, isolations, or cross-epoch lease mismatches
+step "partition soak" env REPRO_SANITIZE=1 python benchmarks/chaos_soak.py --partitions
+
 if command -v ruff >/dev/null 2>&1; then
     step "ruff lint" ruff check src tools tests
 else

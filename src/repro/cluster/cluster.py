@@ -27,7 +27,12 @@ from repro.cluster.node import Node
 from repro.cluster.regions import RegionManager
 from repro.cluster.reservation import Reservation
 from repro.config import ClusterConfig, HealthConfig
-from repro.errors import AddressError, ConfigError, RemoteAccessError
+from repro.errors import (
+    AddressError,
+    ConfigError,
+    RemoteAccessError,
+    ReservationError,
+)
 from repro.ht.packet import TagAllocator
 from repro.mem.addressmap import DEFAULT_NODE_SHIFT, AddressMap
 from repro.noc.network import Network
@@ -172,6 +177,11 @@ class Cluster:
             raise RemoteAccessError(
                 f"node {donor} is dead; cannot borrow from it"
             )
+        if self.health is not None and self.health.is_isolated(borrower):
+            raise ReservationError(
+                f"node {borrower} is isolated (below partition quorum); "
+                "new borrows are self-fenced until it rejoins"
+            )
         reservation = yield from node.reservations.reserve(donor, size)
         self.regions.add_remote_segment(
             borrower, donor, reservation.prefixed_start, reservation.size
@@ -220,6 +230,7 @@ class Cluster:
         for node in self.nodes.values():
             injector.attach_node(node)
         injector.on_node_death(self._on_node_death)
+        injector.on_link_restore(self._on_link_restore)
         self.faults = injector
         return injector
 
@@ -256,6 +267,15 @@ class Cluster:
                     monitor.on_new_lease(
                         node.node_id, node.reservations.held[start]
                     )
+        if cfg.epoch_fencing:
+            # borrower RMCs stamp outgoing requests with the lease's
+            # grant epoch; donor RMCs NACK any request whose epoch no
+            # longer matches the current grant (stale borrower after a
+            # reclaim/re-grant). Hooks stay None until armed, so the
+            # fenceless hot path is untouched.
+            for node in self.nodes.values():
+                node.rmc._lease_epochs = node.reservations
+                node.rmc._fence = node.os
         return monitor
 
     def kill_node(self, node_id: int) -> None:
@@ -282,6 +302,15 @@ class Cluster:
         one idempotent path.
         """
         _health.degrade_donor(self, dead)
+
+    def _on_link_restore(self, a: int, b: int) -> None:
+        """Fault-injector restore callback: let the health layer heal.
+
+        Disarmed health means nothing to do — quarantines and death
+        declarations only exist once :meth:`arm_health` ran.
+        """
+        if self.health is not None:
+            self.health.on_link_restored(a, b)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -464,6 +464,7 @@ class Core:
                         region=self.node_id,
                         tag=response.meta.get("fault_tag", response.tag),
                         retries=response.meta.get("retries"),
+                        reason=response.meta.get("reason"),
                     )
                 if response.ptype is not PacketType.NACK:
                     break

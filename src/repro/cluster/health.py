@@ -21,6 +21,23 @@ module is the cluster's way of *noticing* when they do not. Design:
   ``auto_recover`` is set, spawns
   :func:`repro.cluster.rebalance.heal_sessions` as a competing
   simulation process.
+* **Corroboration before declaration** (``indirect_probes > 0``). A
+  single observer cannot tell a dead peer from a broken path, so at
+  ``miss_threshold`` it first solicits SWIM-style indirect probes
+  (``ping_req`` CTRL messages) from other watched peers; any helper
+  that reaches the suspect refutes the verdict. An observer that
+  cannot itself reach a ``quorum_fraction`` of its watch set assumes
+  *it* is the partitioned minority: it enters **isolated** mode and
+  self-fences — no declarations, no new borrows — instead of
+  degrading the majority. A symmetric 50/50 split therefore isolates
+  both sides rather than triggering mutual ``degrade_donor`` storms.
+* **Rejoin healing.** When the fault layer restores a link
+  (:meth:`on_link_restored`), quarantined edges are cleared back to
+  native routes, and peers declared dead while unreachable are
+  re-probed; a peer that answers is re-admitted — ``confirmed_dead``
+  retracted, the degraded-donor mark lifted, leases still held from
+  it re-watched. Isolated observers exit isolation on their own as
+  soon as probes reach quorum again.
 
 **Zero-cost when disarmed.** A cluster carries ``health = None`` until
 :meth:`repro.cluster.cluster.Cluster.arm_health` runs; the only hot
@@ -40,9 +57,11 @@ can drain. The idiom::
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.cluster import rebalance
+from repro.cluster.reservation import LeaseState
 from repro.config import HealthConfig
 from repro.errors import TopologyError
 
@@ -118,8 +137,13 @@ class HealthMonitor:
         #: (observer, peer) -> consecutive missed probes
         self.suspicion: dict[tuple[int, int], int] = {}
         self._watches: set[tuple[int, int]] = set()
+        #: every peer each observer ever watched — survives probe-loop
+        #: exits, so it is the stable quorum denominator
+        self.watch_set: dict[int, set[int]] = {}
         #: peers some observer declared dead
         self.confirmed_dead: set[int] = set()
+        #: observers currently self-fenced (below partition quorum)
+        self.isolated: set[int] = set()
         #: undirected edges this monitor quarantined
         self.quarantined: set[tuple[int, int]] = set()
         #: (sim_ns, kind, detail) — the replay-comparable health record
@@ -128,6 +152,10 @@ class HealthMonitor:
         self.recoveries: list = []
         self.probes_sent = 0
         self._stopped = False
+        #: (observer, peer) corroboration rounds in flight
+        self._corroborating: set[tuple[int, int]] = set()
+        #: a dead-peer revalidation pass is queued or running
+        self._revalidating = False
 
     # -- lifecycle --------------------------------------------------------
     def stop(self) -> None:
@@ -143,10 +171,15 @@ class HealthMonitor:
         if key in self._watches or observer == peer:
             return
         self._watches.add(key)
+        self.watch_set.setdefault(observer, set()).add(peer)
         self.sim.process(
             self._probe_loop(observer, peer),
             name=f"health.{observer}->{peer}",
         )
+
+    def is_isolated(self, node_id: int) -> bool:
+        """True while *node_id* is self-fenced below partition quorum."""
+        return node_id in self.isolated
 
     def on_new_lease(self, borrower: int, reservation: "Reservation") -> None:
         """Hook run by the borrow path: watch the donor, start renewal."""
@@ -173,6 +206,16 @@ class HealthMonitor:
 
     # -- the probe loop ----------------------------------------------------
     def _probe_loop(self, observer: int, peer: int) -> Generator:
+        # every exit path must surrender the (observer, peer) watch key:
+        # a loop that returned (observer died, peer declared, monitor
+        # stopped) but kept the key would make watch() a silent no-op
+        # forever, so a readmitted peer could never be re-watched
+        try:
+            yield from self._probe_loop_body(observer, peer)
+        finally:
+            self._watches.discard((observer, peer))
+
+    def _probe_loop_body(self, observer: int, peer: int) -> Generator:
         cfg = self.cfg
         node = self.cluster.node(observer)
         seq = 0
@@ -204,6 +247,12 @@ class HealthMonitor:
             self.events.append(
                 (self.sim.now, "cleared", f"{observer} trusts {peer} again")
             )
+        if observer in self.isolated and self._has_quorum(observer):
+            self.isolated.discard(observer)
+            self.events.append(
+                (self.sim.now, "rejoined",
+                 f"observer {observer} regained quorum; fence lifted")
+            )
 
     def _probe_miss(self, observer: int, peer: int) -> None:
         cfg = self.cfg
@@ -217,7 +266,147 @@ class HealthMonitor:
             # route explains missed probes just as well as a death
             self._quarantine_suspect_hop(observer, peer)
         if misses >= cfg.miss_threshold:
+            if cfg.indirect_probes > 0:
+                self._maybe_corroborate(observer, peer)
+            else:
+                self._declare_dead(observer, peer)
+
+    # -- corroboration and isolation ---------------------------------------
+    def _reachable(self, observer: int, peer: int) -> bool:
+        """Is *peer* currently reachable evidence-wise for *observer*?
+
+        A peer counts unreachable once its suspicion reached the
+        quarantine threshold (probes are demonstrably not landing) or
+        it is already declared dead.
+        """
+        return (
+            peer not in self.confirmed_dead
+            and self.suspicion.get((observer, peer), 0)
+            < self.cfg.quarantine_after
+        )
+
+    def _has_quorum(self, observer: int) -> bool:
+        """Can *observer* reach enough of its watch set to pass verdicts?"""
+        watched = self.watch_set.get(observer, set())
+        if not watched:
+            return True
+        reachable = sum(1 for p in watched if self._reachable(observer, p))
+        needed = max(
+            1, math.ceil(self.cfg.quorum_fraction * len(watched))
+        )
+        return reachable >= needed
+
+    def _enter_isolated(self, observer: int) -> None:
+        if observer in self.isolated:
+            return
+        self.isolated.add(observer)
+        self.events.append(
+            (self.sim.now, "isolated",
+             f"observer {observer} below quorum; self-fencing "
+             "(no declarations, no new borrows)")
+        )
+
+    def _maybe_corroborate(self, observer: int, peer: int) -> None:
+        key = (observer, peer)
+        if key in self._corroborating or peer in self.confirmed_dead:
+            return
+        if not self._has_quorum(observer):
+            # the observer itself is the cut-off side: self-fence
+            # instead of declaring the (majority) suspect dead
+            self._enter_isolated(observer)
+            return
+        self._corroborating.add(key)
+        self.sim.process(
+            self._corroborate(observer, peer),
+            name=f"health.corr{observer}->{peer}",
+        )
+
+    def _corroborate(self, observer: int, peer: int) -> Generator:
+        """SWIM-style indirect probing before a death declaration.
+
+        The observer asks up to ``indirect_probes`` other *reachable*
+        watched peers to probe the suspect on its behalf. Any helper
+        that reaches the suspect refutes the verdict (the suspect is
+        alive, the observer's path is broken); only when nobody can
+        vouch — and the observer still holds quorum — does the
+        declaration proceed on corroborated evidence.
+        """
+        cfg = self.cfg
+        node = self.cluster.node(observer)
+        try:
+            helpers = [
+                p
+                for p in sorted(self.watch_set.get(observer, ()))
+                if p != peer and self._reachable(observer, p)
+            ][: cfg.indirect_probes]
+            waits: list[tuple[int, object]] = []
+            for helper in helpers:
+                tag = node.rmc.tags.next()
+                evt = node.os.expect_ack(tag)
+                yield node.rmc.send_ctrl(
+                    helper,
+                    tag=tag,
+                    kind="ping_req",
+                    target=peer,
+                    timeout_ns=cfg.ping_req_timeout_ns,
+                )
+                waits.append((tag, evt))
+            if waits:
+                # helpers answer within their own probe timeout; one
+                # extra probe_timeout covers the ack's return trip
+                deadline = self.sim.timeout(
+                    cfg.ping_req_timeout_ns + cfg.probe_timeout_ns
+                )
+                yield self.sim.any_of(
+                    [self.sim.all_of([evt for _, evt in waits]), deadline]
+                )
+            vouched = False
+            for tag, evt in waits:
+                if evt.triggered:
+                    if evt.value.meta.get("reachable"):
+                        vouched = True
+                else:
+                    node.os.abandon_ack(tag)
+            if vouched:
+                self.suspicion.pop((observer, peer), None)
+                self.events.append(
+                    (self.sim.now, "refuted",
+                     f"indirect probe reached {peer}; observer "
+                     f"{observer} stands down")
+                )
+                return
+            if self._stopped or peer in self.confirmed_dead:
+                return
+            faults = self.cluster.faults
+            if faults is not None and observer in faults.dead_nodes:
+                return  # dead observers declare nobody
+            # last look before the verdict: the helpers' evidence aged
+            # across the whole wait window, and a partition that healed
+            # meanwhile would make a declaration now both false and
+            # unretractable (no further link restore will re-probe)
+            tag = node.rmc.tags.next()
+            direct = node.os.expect_ack(tag)
+            self.probes_sent += 1
+            yield node.rmc.send_probe(peer, tag)
+            yield self.sim.any_of(
+                [direct, self.sim.timeout(cfg.probe_timeout_ns)]
+            )
+            if direct.triggered:
+                self.suspicion.pop((observer, peer), None)
+                self.events.append(
+                    (self.sim.now, "refuted",
+                     f"suspect {peer} answered the final direct probe")
+                )
+                return
+            node.os.abandon_ack(tag)
+            if self._stopped or peer in self.confirmed_dead:
+                return
+            if not self._has_quorum(observer):
+                self._enter_isolated(observer)
+                return
             self._declare_dead(observer, peer)
+        finally:
+            self._corroborating.discard((observer, peer))
 
     def _quarantine_suspect_hop(self, observer: int, peer: int) -> None:
         """Route around the first *suspect* edge on the path to *peer*.
@@ -258,6 +447,13 @@ class HealthMonitor:
     def _declare_dead(self, observer: int, peer: int) -> None:
         if peer in self.confirmed_dead:
             return
+        if observer in self.isolated:
+            # self-fenced: an isolated observer's evidence is void
+            self.events.append(
+                (self.sim.now, "suppressed",
+                 f"isolated observer {observer} may not declare {peer}")
+            )
+            return
         self.confirmed_dead.add(peer)
         self.events.append(
             (self.sim.now, "dead",
@@ -274,11 +470,115 @@ class HealthMonitor:
                 name=f"health.recover{peer}",
             )
 
+    # -- rejoin healing -----------------------------------------------------
+    def on_link_restored(self, a: int, b: int) -> None:
+        """Fault-layer restore callback: heal what the outage broke.
+
+        Clears the quarantine on the restored edge (traffic goes back
+        to the native route instead of detouring around a healthy link
+        forever) and, when any peers stand declared dead, schedules a
+        revalidation pass that re-probes and re-admits the falsely
+        declared.
+        """
+        if self._stopped:
+            return
+        edge = (min(a, b), max(a, b))
+        if edge in self.quarantined:
+            self.cluster.network.routing.clear_edge(a, b)
+            self.quarantined.discard(edge)
+            self.events.append(
+                (self.sim.now, "unquarantined",
+                 f"edge {a}-{b} restored; native route back")
+            )
+        if self.confirmed_dead and not self._revalidating:
+            self._revalidating = True
+            self.sim.process(
+                self._revalidate_dead(), name="health.revalidate"
+            )
+
+    def _revalidate_dead(self) -> Generator:
+        """Re-probe declared-dead peers after a link heal.
+
+        A peer that answers was never dead — only unreachable — so its
+        declaration is retracted. Actually-killed nodes (per the fault
+        injector) are skipped: no probe can resurrect those.
+        """
+        cfg = self.cfg
+        try:
+            # let every restore of the same heal event land first
+            yield self.sim.timeout(0)
+            self._revalidating = False
+            faults = self.cluster.faults
+            for peer in sorted(self.confirmed_dead):
+                if self._stopped:
+                    return
+                if faults is not None and peer in faults.dead_nodes:
+                    continue
+                observer = next(
+                    (
+                        n
+                        for n in sorted(self.cluster.nodes)
+                        if n != peer
+                        and n not in self.confirmed_dead
+                        and (faults is None or n not in faults.dead_nodes)
+                    ),
+                    None,
+                )
+                if observer is None:
+                    continue
+                node = self.cluster.node(observer)
+                tag = node.rmc.tags.next()
+                evt = node.os.expect_ack(tag)
+                self.probes_sent += 1
+                yield node.rmc.send_probe(peer, tag)
+                yield self.sim.any_of(
+                    [evt, self.sim.timeout(cfg.probe_timeout_ns)]
+                )
+                if not evt.triggered:
+                    node.os.abandon_ack(tag)
+                    continue
+                self._readmit(peer)
+        finally:
+            self._revalidating = False
+
+    def _readmit(self, peer: int) -> None:
+        """Retract a false death declaration for *peer* (idempotent).
+
+        The degraded-donor mark is lifted so the node can donate (and,
+        if it truly fails later, be degraded) again, and borrowers
+        still holding live leases from it resume watching — possible
+        because every probe-loop exit surrenders its watch key.
+        """
+        if peer not in self.confirmed_dead:
+            return
+        self.confirmed_dead.discard(peer)
+        self.cluster._degraded.discard(peer)
+        # the retraction voids the evidence: drop every observer's
+        # stale suspicion of the peer, else a watcher whose probe loop
+        # exited on the declaration could never regain quorum
+        for key in [k for k in self.suspicion if k[1] == peer]:
+            del self.suspicion[key]
+        self.events.append(
+            (self.sim.now, "readmitted",
+             f"node {peer} answered a revalidation probe; "
+             "declaration retracted")
+        )
+        for node in self.cluster.nodes.values():
+            for res in node.reservations.held.values():
+                if res.donor_node == peer:
+                    self.watch(node.node_id, peer)
+
     def _on_lease_expired(
         self, borrower: int, reservation: "Reservation"
     ) -> None:
+        state = self.cluster.node(borrower).reservations.lease_states.get(
+            reservation.prefixed_start
+        )
+        kind = (
+            "lease_fenced" if state is LeaseState.FENCED else "lease_expired"
+        )
         self.events.append(
-            (self.sim.now, "lease_expired",
+            (self.sim.now, kind,
              f"borrower {borrower} lost lease "
              f"{reservation.prefixed_start:#x} on donor "
              f"{reservation.donor_node}")

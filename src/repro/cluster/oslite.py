@@ -55,6 +55,9 @@ _SERVICE_NS: dict[str, float] = {
     "probe_ack": PROBE_SERVICE_NS,
     "renew": LEASE_SERVICE_NS,
     "renew_ack": LEASE_SERVICE_NS,
+    # SWIM-style indirect probes are firmware-level like direct ones
+    "ping_req": PROBE_SERVICE_NS,
+    "ping_req_ack": PROBE_SERVICE_NS,
 }
 
 
@@ -142,6 +145,10 @@ class Grant:
     size: int
     #: the same start address with the donor's prefix stamped on
     prefixed_start: int
+    #: per-donor monotonically increasing grant generation; a borrower
+    #: whose lease was reclaimed holds a stale epoch and (with epoch
+    #: fencing armed) is refused by the donor RMC
+    epoch: int = 0
 
 
 class OSLite:
@@ -168,6 +175,9 @@ class OSLite:
         self.donation_pool = FreeList(private, total - private)
         #: active grants keyed by local start address
         self.grants: dict[int, Grant] = {}
+        #: next grant epoch (monotonic per donor, never reused, so any
+        #: reclaim/re-grant of a range is visible as an epoch change)
+        self._next_epoch = 1
         #: hot-removed donation ranges now serving local allocations
         self._reclaimed: dict[int, FreeList] = {}
         #: req_tag -> event; completed when the matching ack arrives
@@ -292,13 +302,38 @@ class OSLite:
             local_start=start,
             size=size,
             prefixed_start=self.amap.encode(self.node_id, start),
+            epoch=self._next_epoch,
         )
+        self._next_epoch += 1
         self.grants[start] = grant
         if self._lease_deadlines is not None:
             self._lease_deadlines[start] = (
                 self.sim.now + self._lease_ttl + self._lease_grace
             )
         return grant
+
+    def fence_admit(
+        self, local_start: int, size: int, epoch: Optional[int]
+    ) -> bool:
+        """Donor-side epoch fence: may this remote access proceed?
+
+        Called by the RMC server path (when armed via
+        ``HealthConfig.epoch_fencing``) before admitting a request.
+        Accesses to private memory are not lease-governed and always
+        pass; an access into the donation pool passes only when a
+        current grant covers the whole range *and* the request's epoch
+        matches that grant — a stale epoch means the range was
+        reclaimed (and possibly re-granted) since the requester's lease
+        was issued, so the access must be refused, not retried.
+        """
+        if local_start + size <= self.donation_pool.base:
+            return True
+        for start, grant in self.grants.items():
+            if start <= local_start and (
+                local_start + size <= start + grant.size
+            ):
+                return epoch == grant.epoch
+        return False
 
     def release_reservation(self, local_start: int) -> None:
         try:
@@ -413,8 +448,16 @@ class OSLite:
                 )
             elif kind == "renew":
                 yield from self._handle_renew(msg)
+            elif kind == "ping_req":
+                # the indirect probe takes a probe timeout to resolve;
+                # run it beside the daemon so one slow suspect cannot
+                # stall this node's whole control plane
+                self.sim.process(
+                    self._handle_ping_req(msg),
+                    name=f"os{self.node_id}.pingreq",
+                )
             elif kind in ("reserve_ack", "release_ack",
-                          "probe_ack", "renew_ack"):
+                          "probe_ack", "renew_ack", "ping_req_ack"):
                 req_tag = msg.meta["req_tag"]
                 evt = self._pending_acks.pop(req_tag, None)
                 if evt is not None:
@@ -450,6 +493,7 @@ class OSLite:
                 ok=True,
                 prefixed_start=grant.prefixed_start,
                 size=grant.size,
+                epoch=grant.epoch,
             )
         except ReservationError as exc:
             yield self.rmc.send_ctrl(
@@ -466,18 +510,34 @@ class OSLite:
         A nack tells the borrower its lease already expired (the grant
         was reclaimed or released) — the borrower-side state machine
         moves the lease to EXPIRED and triggers recovery, exactly as if
-        the donor had died.
+        the donor had died. A renewal carrying a *stale epoch* — the
+        range was reclaimed and re-granted while the borrower was cut
+        off — is nacked with ``reason="fenced"`` so the old tenant's
+        renewal can never extend the new tenant's lease.
         """
         prefixed = msg.meta["prefixed_start"]
         local = self.amap.strip_node(prefixed)
-        ok = local in self.grants
+        grant = self.grants.get(local)
+        epoch = msg.meta.get("epoch")
+        fenced = (
+            grant is not None
+            and epoch is not None
+            and epoch != grant.epoch
+        )
+        ok = grant is not None and not fenced
         if ok and self._lease_deadlines is not None:
             self._lease_deadlines[local] = (
                 self.sim.now + self._lease_ttl + self._lease_grace
             )
-        yield self.rmc.send_ctrl(
-            msg.src, kind="renew_ack", req_tag=msg.tag, ok=ok
-        )
+        if fenced:
+            yield self.rmc.send_ctrl(
+                msg.src, kind="renew_ack", req_tag=msg.tag, ok=False,
+                reason="fenced",
+            )
+        else:
+            yield self.rmc.send_ctrl(
+                msg.src, kind="renew_ack", req_tag=msg.tag, ok=ok
+            )
 
     def _handle_release(self, msg: Packet) -> Generator:
         prefixed = msg.meta["prefixed_start"]
@@ -490,6 +550,35 @@ class OSLite:
             self.release_reservation(local)
         yield self.rmc.send_ctrl(
             msg.src, kind="release_ack", req_tag=msg.tag, ok=True
+        )
+
+    def _handle_ping_req(self, msg: Packet) -> Generator:
+        """Probe *target* on the requester's behalf (SWIM ping-req).
+
+        An observer that keeps missing a suspect cannot tell a dead
+        peer from a broken path; a helper on a different route can.
+        The helper sends its own direct probe, waits up to the
+        requester-supplied timeout, and reports ``reachable`` in the
+        ``ping_req_ack`` either way.
+        """
+        target = msg.meta["target"]
+        timeout_ns = msg.meta["timeout_ns"]
+        reachable = target == self.node_id
+        if not reachable:
+            tag = self.rmc.tags.next()
+            evt = self.expect_ack(tag)
+            yield self.rmc.send_probe(target, tag)
+            yield self.sim.any_of([evt, self.sim.timeout(timeout_ns)])
+            reachable = evt.triggered
+            if not reachable:
+                self.abandon_ack(tag)
+        yield self.rmc.send_ctrl(
+            msg.src,
+            kind="ping_req_ack",
+            req_tag=msg.tag,
+            ok=True,
+            target=target,
+            reachable=reachable,
         )
 
     def _release_stray(self, ack: Packet) -> Generator:

@@ -22,12 +22,22 @@ a *finite lease* moving through one state machine::
     GRACE  --grace spent->  EXPIRED
     any live state --release--> RELEASED
     any live state --donor crash--> REVOKED
+    any live state --stale epoch--> FENCED
 
-EXPIRED / REVOKED / RELEASED are terminal. Revocation (PR 4's donor
-death) is now one path through the same machine instead of a special
-case. The GRACE window is what distinguishes a *slow* donor (renewals
-time out but eventually land) from a *dead* one (the grace budget runs
-out and the lease expires).
+EXPIRED / REVOKED / RELEASED / FENCED are terminal. Revocation (PR 4's
+donor death) is now one path through the same machine instead of a
+special case. The GRACE window is what distinguishes a *slow* donor
+(renewals time out but eventually land) from a *dead* one (the grace
+budget runs out and the lease expires).
+
+**Epochs.** Every grant the donor hands out carries a monotonically
+increasing *epoch*; the borrower's reservation records it and (with
+``HealthConfig.epoch_fencing``) every remote request is stamped with
+it. After the donor reclaims and possibly re-grants the range, the old
+epoch no longer matches — the donor *fences* the access (NACK with
+``reason="fenced"``) and the borrower's lease lands in FENCED, torn
+down through the same expiry path as EXPIRED. This is what stops a
+healed minority borrower from silently corrupting re-granted memory.
 """
 
 from __future__ import annotations
@@ -51,11 +61,15 @@ class LeaseState(enum.Enum):
     EXPIRED = "expired"
     REVOKED = "revoked"
     RELEASED = "released"
+    #: the donor fenced a stale-epoch access/renewal after reclaiming
+    #: (and possibly re-granting) the range
+    FENCED = "fenced"
 
     @property
     def terminal(self) -> bool:
         return self in (
-            LeaseState.EXPIRED, LeaseState.REVOKED, LeaseState.RELEASED
+            LeaseState.EXPIRED, LeaseState.REVOKED, LeaseState.RELEASED,
+            LeaseState.FENCED,
         )
 
 
@@ -63,18 +77,20 @@ class LeaseState(enum.Enum):
 _TRANSITIONS: dict[LeaseState, tuple[LeaseState, ...]] = {
     LeaseState.ACTIVE: (
         LeaseState.RENEWING, LeaseState.REVOKED, LeaseState.RELEASED,
+        LeaseState.FENCED,
     ),
     LeaseState.RENEWING: (
         LeaseState.ACTIVE, LeaseState.GRACE, LeaseState.EXPIRED,
-        LeaseState.REVOKED, LeaseState.RELEASED,
+        LeaseState.REVOKED, LeaseState.RELEASED, LeaseState.FENCED,
     ),
     LeaseState.GRACE: (
         LeaseState.RENEWING, LeaseState.EXPIRED,
-        LeaseState.REVOKED, LeaseState.RELEASED,
+        LeaseState.REVOKED, LeaseState.RELEASED, LeaseState.FENCED,
     ),
     LeaseState.EXPIRED: (),
     LeaseState.REVOKED: (),
     LeaseState.RELEASED: (),
+    LeaseState.FENCED: (),
 }
 
 
@@ -86,6 +102,9 @@ class Reservation:
     #: prefixed physical start address (usable directly in page tables)
     prefixed_start: int
     size: int
+    #: the donor-side grant generation this lease was issued under;
+    #: stamped on remote requests when epoch fencing is armed
+    epoch: int = 0
 
     def contains(self, prefixed_addr: int) -> bool:
         return (
@@ -110,6 +129,19 @@ class ReservationClient:
         self._released: set[int] = set()
         #: lifecycle state per lease ever held, keyed by prefixed start
         self.lease_states: dict[int, LeaseState] = {}
+
+    def epoch_of(self, prefixed_addr: int) -> Optional[int]:
+        """Epoch of the live lease covering *prefixed_addr*, if any.
+
+        The borrower-side half of the epoch fence: the RMC stamps this
+        onto outgoing remote requests, so an access through a lease
+        that expired (and whose range the donor may have re-granted)
+        carries no epoch — or a stale one — and is fenced at the donor.
+        """
+        for reservation in self.held.values():
+            if reservation.contains(prefixed_addr):
+                return reservation.epoch
+        return None
 
     def state_of(self, reservation: Reservation) -> LeaseState:
         try:
@@ -165,6 +197,7 @@ class ReservationClient:
             donor_node=donor_node,
             prefixed_start=ack.meta["prefixed_start"],
             size=ack.meta["size"],
+            epoch=ack.meta.get("epoch", 0),
         )
         self.held[reservation.prefixed_start] = reservation
         self.lease_states[reservation.prefixed_start] = (  # simcheck: disable=SIM012 -- initial install: a fresh lease has no prior state to transition from
@@ -241,6 +274,23 @@ class ReservationClient:
         self.revoked[start] = reservation
         self._transition(start, LeaseState.EXPIRED)
 
+    def fence(self, reservation: Reservation) -> None:
+        """Mark a lease FENCED: the donor rejected its epoch.
+
+        The donor has already reclaimed (and possibly re-granted) the
+        range, so like :meth:`expire` the memory must be treated as
+        gone and the lease joins :attr:`revoked`. Idempotent; a no-op
+        for leases that already reached a terminal state.
+        """
+        start = reservation.prefixed_start
+        if start not in self.held:
+            return
+        if self.lease_states[start].terminal:
+            return
+        del self.held[start]
+        self.revoked[start] = reservation
+        self._transition(start, LeaseState.FENCED)
+
     def renew(self, reservation: Reservation, timeout_ns: float) -> Generator:
         """One renewal exchange; returns ``"ok"``/``"timeout"``/``"expired"``.
 
@@ -266,6 +316,7 @@ class ReservationClient:
                 tag=tag,
                 kind="renew",
                 prefixed_start=start,
+                epoch=reservation.epoch,
             )
             yield sim.any_of([ack_evt, sim.timeout(timeout_ns)])
         except BaseException:
@@ -283,7 +334,13 @@ class ReservationClient:
             return "timeout"
         ack: Packet = ack_evt.value
         if not ack.meta["ok"]:
-            self.expire(reservation)
+            if ack.meta.get("reason") == "fenced":
+                # the donor's grant moved to a newer epoch under us —
+                # distinct from EXPIRED so tests and recovery can tell
+                # "we outlived the grace budget" from "we were fenced"
+                self.fence(reservation)
+            else:
+                self.expire(reservation)
             return "expired"
         self._transition(start, LeaseState.ACTIVE)
         return "ok"
@@ -332,7 +389,11 @@ class ReservationClient:
             if outcome == "timeout":
                 # grace budget spent with the donor still silent
                 self.expire(reservation)
-            if self.lease_states[start] is LeaseState.EXPIRED:
+            if self.lease_states[start] in (
+                LeaseState.EXPIRED, LeaseState.FENCED
+            ):
+                # a fenced lease is torn down through the same path:
+                # the memory is gone either way
                 if on_expired is not None:
                     on_expired(reservation)
             return

@@ -426,6 +426,27 @@ class HealthConfig:
     #: False arms the monitor without attaching anything — the empty
     #: plan of the bit-identical equivalence test.
     watch_on_borrow: bool = True
+    #: SWIM-style corroboration: before declaring a peer dead at
+    #: ``miss_threshold``, ask up to this many other watched peers to
+    #: probe it indirectly; any success refutes the verdict. 0 keeps
+    #: single-observer declarations (and schedules no extra traffic).
+    indirect_probes: int = 0
+    #: Minimum fraction of its watch set an observer must itself reach
+    #: to declare deaths or issue new borrows. Below quorum the
+    #: observer assumes *it* is the partitioned minority: it enters
+    #: isolated mode and self-fences instead of degrading the
+    #: majority. Only consulted when ``indirect_probes > 0``.
+    quorum_fraction: float = 0.5
+    #: How long a solicited helper waits for its indirect probe before
+    #: reporting the suspect unreachable; the observer's corroboration
+    #: round waits this plus one ``probe_timeout_ns``.
+    ping_req_timeout_ns: float = 60_000.0
+    #: Stamp lease epochs on remote requests and fence stale epochs at
+    #: the donor RMC (armed by ``arm_health``): after a reclaim or
+    #: re-grant, a healed minority borrower's write is NACKed with
+    #: ``RemoteAccessError(reason="fenced")`` instead of corrupting
+    #: the new tenant's memory.
+    epoch_fencing: bool = False
 
     def __post_init__(self) -> None:
         _require(self.heartbeat_period_ns > 0, "heartbeat period must be positive")
@@ -440,6 +461,16 @@ class HealthConfig:
         _require(self.lease_grace_ns >= 0, "lease grace cannot be negative")
         _require(
             self.reserve_timeout_ns > 0, "reserve timeout must be positive"
+        )
+        _require(
+            self.indirect_probes >= 0, "indirect_probes cannot be negative"
+        )
+        _require(
+            0 < self.quorum_fraction <= 1,
+            "quorum_fraction must be in (0, 1]",
+        )
+        _require(
+            self.ping_req_timeout_ns > 0, "ping-req timeout must be positive"
         )
         if self.lease_ttl_ns:
             _require(

@@ -96,7 +96,10 @@ class RemoteAccessError(MemoryError_):
     * ``region`` — the home node id of the memory region the access
       belonged to (regions are keyed by their home node),
     * ``tag`` — the transaction tag of the failed request, if any,
-    * ``retries`` — retransmission attempts burned before giving up.
+    * ``retries`` — retransmission attempts burned before giving up,
+    * ``reason`` — structured failure class when the remote side said
+      *why* it refused (``"fenced"``: the access carried a stale lease
+      epoch and the donor's fence rejected it outright).
 
     All fields default to ``None``: raise sites fill in what they know.
     """
@@ -109,12 +112,14 @@ class RemoteAccessError(MemoryError_):
         region: "int | None" = None,
         tag: "int | None" = None,
         retries: "int | None" = None,
+        reason: "str | None" = None,
     ) -> None:
         super().__init__(message)
         self.node = node
         self.region = region
         self.tag = tag
         self.retries = retries
+        self.reason = reason
 
 
 class RecoveryError(RemoteAccessError):

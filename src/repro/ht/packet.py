@@ -54,6 +54,7 @@ __all__ = [
     "make_fault",
     "clone_packet",
     "CORRUPT_KEY",
+    "EPOCH_KEY",
 ]
 
 #: meta key marking a packet whose payload was damaged in flight. Only
@@ -62,6 +63,14 @@ __all__ = [
 #: lives here, with the packet format, so the fault layer and the
 #: bridge need not import each other.
 CORRUPT_KEY = "corrupt"
+
+#: meta key carrying the lease epoch of the reservation a remote
+#: request is issued under. Stamped by the borrower RMC when epoch
+#: fencing is armed (``HealthConfig.epoch_fencing``); the donor RMC
+#: compares it against the current grant's epoch and NACKs a mismatch
+#: with ``reason="fenced"``. Lives here, with the packet format, so
+#: the client and server sides of the fence need not import each other.
+EPOCH_KEY = "epoch"
 
 
 class PacketType(enum.Enum):
@@ -264,15 +273,22 @@ def clone_packet(packet: Packet, **overrides: Any) -> Packet:
     return _dc_replace(packet, **overrides)
 
 
-def make_nack(req: Packet, at_node: int) -> Packet:
+def make_nack(
+    req: Packet, at_node: int, reason: Optional[str] = None
+) -> Packet:
     """Flow-control reject for *req* emitted by a full buffer at *at_node*.
 
     A burst request is rejected whole: the NACK mirrors the request's
     ``line_count`` so every hop (and the decode at the requester)
     charges the same per-line costs as the scalar NACKs it replaces.
+    *reason* distinguishes refusals a retransmission can never cure
+    (``"fenced"``: stale lease epoch) from plain back-pressure.
     """
     if not req.ptype.is_request:
         raise ProtocolError("only requests can be NACKed")
+    meta: dict[str, Any] = {"nacked": req.ptype}
+    if reason is not None:
+        meta["reason"] = reason
     return Packet(
         PacketType.NACK,
         src=at_node,
@@ -280,7 +296,7 @@ def make_nack(req: Packet, at_node: int) -> Packet:
         addr=req.addr,
         size=0,
         tag=req.tag,
-        meta={"nacked": req.ptype},
+        meta=meta,
         line_count=req.line_count,
     )
 
@@ -313,7 +329,11 @@ def make_probe(src: int, dst: int, tag: int, seq: int = 0) -> Packet:
 
 
 def make_fault(
-    req: Packet, at_node: int, error: str, retries: Optional[int] = None
+    req: Packet,
+    at_node: int,
+    error: str,
+    retries: Optional[int] = None,
+    reason: Optional[str] = None,
 ) -> Packet:
     """Machine-check completion for *req* emitted by the RMC at *at_node*.
 
@@ -335,6 +355,8 @@ def make_fault(
     }
     if retries is not None:
         meta["retries"] = retries
+    if reason is not None:
+        meta["reason"] = reason
     return Packet(
         PacketType.FAULT,
         src=at_node,

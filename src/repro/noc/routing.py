@@ -96,6 +96,30 @@ class RoutingTable:
         self._next = {}
         self._build()
 
+    def clear_edge(self, a: int, b: int) -> bool:
+        """Forget the quarantine on the *a*–*b* edge (both directions).
+
+        Returns ``True`` (with a rebuilt table that again avoids only
+        the remaining quarantined edges) when the edge was quarantined;
+        ``False``, table untouched, otherwise.
+        """
+        pair = {(a, b), (b, a)}
+        if not (pair & self._quarantined):
+            return False
+        remaining = self._quarantined - pair
+        if not remaining:
+            self.clear_quarantine()
+            return True
+        rebuilt = self._rebuild_avoiding(remaining)
+        if rebuilt is None:  # pragma: no cover - shrinking the avoid
+            # set can only add routes; an avoidable set stays avoidable
+            raise TopologyError(
+                f"routing table unroutable after clearing edge {a}-{b}"
+            )
+        self._quarantined = remaining
+        self._next = rebuilt
+        return True
+
     def _rebuild_avoiding(
         self, avoided: set[tuple[int, int]]
     ) -> "dict[tuple[int, int], int] | None":

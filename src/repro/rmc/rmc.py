@@ -37,6 +37,7 @@ from repro.errors import ProtocolError
 from repro.ht.crossbar import Crossbar
 from repro.ht.hnc import HNCBridge
 from repro.ht.packet import (
+    EPOCH_KEY,
     Packet,
     PacketType,
     TagAllocator,
@@ -130,11 +131,21 @@ class RMC:
         self.timeouts = Counter(f"{self.name}.timeouts")
         self.retries_exhausted = Counter(f"{self.name}.rexhausted")
         self.stale_responses = Counter(f"{self.name}.stale")
+        #: server-side stale-epoch refusals (epoch fencing armed only)
+        self.fenced = Counter(f"{self.name}.fenced")
         self.remote_latency_ns = Tally(f"{self.name}.remote_latency")
         self.inflight = TimeWeighted(f"{self.name}.inflight")
 
         #: fault-injection hook; armed only by sim/faults.py (SIM007)
         self._faults = None
+        #: epoch-fencing hooks; armed only by Cluster.arm_health when
+        #: HealthConfig.epoch_fencing is set. Client side stamps the
+        #: issuing lease's epoch onto outgoing requests; server side
+        #: validates epochs before admitting fabric requests. Disarmed
+        #: (None) they cost one `is not None` check — the same
+        #: zero-cost discipline as the fault hook (SIM010).
+        self._lease_epochs = None
+        self._fence = None
         self._watchdog = RequestWatchdog(
             sim,
             self.outstanding,
@@ -275,6 +286,10 @@ class RMC:
             )
             fabric_meta = dict(packet.meta)
             fabric_meta.pop("reply_to", None)  # stores never cross nodes
+            if self._lease_epochs is not None:
+                epoch = self._lease_epochs.epoch_of(packet.addr)
+                if epoch is not None:
+                    fabric_meta[EPOCH_KEY] = epoch
             to_send = clone_packet(
                 packet, issue_ns=self.sim.now, meta=fabric_meta, hops=0
             )
@@ -361,6 +376,24 @@ class RMC:
 
     def _admit_server_request(self, packet: Packet) -> Generator:
         cfg = self.config
+        if self._fence is not None and not self._fence.fence_admit(
+            self.amap.strip_node(packet.addr),
+            packet.size,
+            packet.meta.get(EPOCH_KEY),
+        ):
+            # stale-epoch access: the grant behind this range was
+            # reclaimed (and possibly re-granted) since the requester's
+            # lease was issued. Refuse it before it can touch memory;
+            # the structured reason tells the client not to retry.
+            self.fenced.add(packet.line_count)
+            self.server_nacks.add(packet.line_count)
+            yield from self._pipe_service(
+                self._server_pipe, cfg.nack_ns * packet.line_count
+            )
+            yield self.network.inject(
+                self.node_id, make_nack(packet, self.node_id, reason="fenced")
+            )
+            return
         if self._server_slots.count >= self._server_slots.capacity:
             # whole-burst rejection: one decode event, per-line charge
             self.server_nacks.add(packet.line_count)
@@ -514,6 +547,10 @@ class RMC:
         """Register *pf_request* as an outstanding prefetch and send it."""
         pf_request.issue_ns = self.sim.now
         pf_request.meta["prefetch"] = True
+        if self._lease_epochs is not None:
+            epoch = self._lease_epochs.epoch_of(pf_request.addr)
+            if epoch is not None:
+                pf_request.meta[EPOCH_KEY] = epoch
         self.prefetch_issued.add(count)
         pf_op = PendingOp(
             request=pf_request,
@@ -562,6 +599,18 @@ class RMC:
             raise ProtocolError(
                 f"{self.name}: NACK for unknown tag {nack.tag}"
             )
+        if nack.meta.get("reason") == "fenced":
+            # epoch fence: the lease behind this address was reclaimed
+            # or re-granted — no number of retries can ever succeed, so
+            # fail the transaction immediately with the structured
+            # reason instead of burning the back-off budget
+            self._fail_op(
+                self.outstanding.get(nack.tag),
+                f"node {nack.src} fenced stale-epoch access to "
+                f"{nack.addr:#x}",
+                reason="fenced",
+            )
+            return
         retries = self.outstanding.note_retry(nack.tag)
         if cfg.max_retries and retries > cfg.max_retries:
             self.retries_exhausted.add()
@@ -590,11 +639,14 @@ class RMC:
         )
         yield self.network.inject(self.node_id, op.request)
 
-    def _fail_op(self, op: PendingOp, message: str) -> None:
+    def _fail_op(
+        self, op: PendingOp, message: str, reason: "str | None" = None
+    ) -> None:
         """Abandon *op*: free its resources, deliver a FAULT completion.
 
         The issuing core receives a machine-check style FAULT packet
-        and raises :class:`~repro.errors.RemoteAccessError`; abandoned
+        and raises :class:`~repro.errors.RemoteAccessError` (carrying
+        *reason* when the remote side gave a structured one); abandoned
         prefetches die silently (they were speculative).
         """
         tag = op.request.tag
@@ -610,5 +662,8 @@ class RMC:
         self._slots.release(op.slot)
         self.inflight.adjust(-1, self.sim.now)
         op.reply_to.put(
-            make_fault(op.request, self.node_id, message, retries=op.retries)
+            make_fault(
+                op.request, self.node_id, message,
+                retries=op.retries, reason=reason,
+            )
         )

@@ -154,6 +154,47 @@ class FaultPlan:
             self._at(until_ns, "restore_link", (a, b))
         return self
 
+    def partition(
+        self, groups, at_ns: float, until_ns: Optional[float] = None
+    ) -> "FaultPlan":
+        """Split the fabric into *groups* at *at_ns*: every link whose
+        endpoints fall in different groups goes down; with *until_ns*
+        exactly those cuts heal (links that failed independently stay
+        down). *groups* is an iterable of node-id collections that must
+        be disjoint and, at execution time, cover every fabric node.
+        """
+        canon = _canon_groups(groups)
+        if until_ns is not None and until_ns <= at_ns:
+            raise ConfigError("until_ns must be after at_ns")
+        self._at(at_ns, "partition", (canon,))
+        if until_ns is not None:
+            self._at(until_ns, "heal_partition", (canon,))
+        return self
+
+    def flap_partition(
+        self,
+        groups,
+        at_ns: float,
+        span_ns: float,
+        cycles: int = 2,
+        gap_ns: Optional[float] = None,
+    ) -> "FaultPlan":
+        """A flapping partition: *cycles* cut/heal rounds starting at
+        *at_ns*, each cut lasting *span_ns* with *gap_ns* of healed
+        fabric between rounds (defaults to *span_ns*)."""
+        if cycles < 1:
+            raise ConfigError("flap_partition needs at least one cycle")
+        if span_ns <= 0:
+            raise ConfigError("span_ns must be positive")
+        gap = span_ns if gap_ns is None else gap_ns
+        if gap <= 0:
+            raise ConfigError("gap_ns must be positive")
+        t = at_ns
+        for _ in range(cycles):
+            self.partition(groups, t, until_ns=t + span_ns)
+            t += span_ns + gap
+        return self
+
     def drop_packets(self, **matchers) -> "FaultPlan":
         """Add a drop rule (see :class:`PacketRule` for matchers)."""
         self.rules.append(PacketRule(action="drop", **matchers))
@@ -166,6 +207,29 @@ class FaultPlan:
         return self
 
 
+def _canon_groups(groups) -> tuple[tuple[int, ...], ...]:
+    """Validated canonical form of a partition's group list: a tuple of
+    sorted node tuples, so plans and logs compare structurally."""
+    canon = tuple(tuple(sorted(set(g))) for g in groups)
+    if len(canon) < 2:
+        raise ConfigError("a partition needs at least two groups")
+    seen: set[int] = set()
+    for g in canon:
+        if not g:
+            raise ConfigError("partition groups cannot be empty")
+        overlap = seen & set(g)
+        if overlap:
+            raise ConfigError(
+                f"partition groups overlap on nodes {sorted(overlap)}"
+            )
+        seen |= set(g)
+    return canon
+
+
+def _fmt_groups(groups: tuple[tuple[int, ...], ...]) -> str:
+    return "|".join(",".join(str(n) for n in g) for g in groups)
+
+
 def random_plan(
     seed: int,
     *,
@@ -176,6 +240,7 @@ def random_plan(
     flaps: int = 1,
     drops: int = 1,
     corrupts: int = 1,
+    partitions: int = 0,
     protect=(),
 ) -> FaultPlan:
     """A seeded random chaos schedule over *duration_ns* of sim time.
@@ -229,6 +294,30 @@ def random_plan(
             count=int(rng.integers(1, 3)),
             probability=float(rng.uniform(0.002, 0.02)),
         )
+    # partitions draw last so plans generated before this feature keep
+    # byte-identical timelines for the same seed
+    pool = sorted(nodes)
+    splittable = sorted(n for n in pool if n not in shielded)
+    for _ in range(partitions):
+        if len(pool) < 2 or not splittable:
+            break
+        hi = max(2, len(pool) // 2 + 1)
+        k = min(int(rng.integers(1, hi)), len(splittable))
+        picks = rng.choice(len(splittable), size=k, replace=False)
+        minority = tuple(
+            splittable[i] for i in sorted(int(p) for p in picks)
+        )
+        majority = tuple(n for n in pool if n not in set(minority))
+        if not majority:
+            continue
+        at = float(rng.uniform(0.15, 0.4)) * duration_ns
+        span = float(rng.uniform(0.2, 0.45)) * duration_ns
+        if float(rng.random()) < 0.34:
+            plan.flap_partition(
+                (minority, majority), at, span * 0.5, cycles=2
+            )
+        else:
+            plan.partition((minority, majority), at, until_ns=at + span)
     return plan
 
 
@@ -252,6 +341,12 @@ class FaultInjector:
         #: borrower node id -> leases revoked by donor deaths
         self.revoked_leases: dict[int, int] = {}
         self._death_callbacks: list[Callable[[int], None]] = []
+        self._restore_callbacks: list[Callable[[int, int], None]] = []
+        #: canonical group tuple -> the undirected edges this partition
+        #: cut (only links that were up at cut time, so healing never
+        #: resurrects an independently failed link)
+        self._partition_cuts: dict[tuple, set[tuple[int, int]]] = {}
+        self._networks: list["Network"] = []
         self._rule_applied = [0] * len(plan.rules)
         self._rule_rng: list[Optional[np.random.Generator]] = (
             [None] * len(plan.rules)
@@ -264,6 +359,7 @@ class FaultInjector:
     # -- arming ----------------------------------------------------------
     def attach_network(self, network: "Network") -> None:
         """Arm every link and switch of *network* with this injector."""
+        self._networks.append(network)
         for link in network.links.values():
             link._faults = self
         for switch in network.switches.values():
@@ -278,6 +374,12 @@ class FaultInjector:
         """Register *callback(node_id)* to run when a node is killed."""
         self._death_callbacks.append(callback)
 
+    def on_link_restore(self, callback: Callable[[int, int], None]) -> None:
+        """Register *callback(a, b)* to run when a down link comes back
+        up (flap heals, partition heals). Fires only on actual state
+        changes, never for no-op restores."""
+        self._restore_callbacks.append(callback)
+
     # -- the scheduled timeline ------------------------------------------
     def _scheduler(self) -> Generator:
         for at_ns, _seq, kind, args in sorted(self.plan.timeline):
@@ -289,6 +391,10 @@ class FaultInjector:
                 self.fail_link(args[0], args[1])
             elif kind == "restore_link":
                 self.restore_link(args[0], args[1])
+            elif kind == "partition":
+                self.partition(args[0])
+            elif kind == "heal_partition":
+                self.heal_partition(args[0])
             else:
                 raise ConfigError(f"unknown timeline entry {kind!r}")
 
@@ -323,6 +429,61 @@ class FaultInjector:
         self.down_links.discard((a, b))
         self.down_links.discard((b, a))
         self.log.append((self.sim.now, "restore_link", f"{a}<->{b}"))
+        for cb in list(self._restore_callbacks):
+            cb(a, b)
+
+    def partition(self, groups) -> None:
+        """Cut every up cross-group link now; idempotent per group set.
+
+        *groups* must cover every node of every attached network —
+        a node left out of all groups would make the cut ill-defined.
+        The set of links actually cut (excluding those already down) is
+        recorded so :meth:`heal_partition` restores exactly the damage
+        this partition did and nothing more.
+        """
+        key = _canon_groups(groups)
+        if key in self._partition_cuts:
+            return
+        if not self._networks:
+            raise ConfigError(
+                "partition needs an attached network — arm the plan via "
+                "Cluster.arm_faults()/FaultInjector.attach_network()"
+            )
+        membership: dict[int, int] = {}
+        for gi, g in enumerate(key):
+            for n in g:
+                membership[n] = gi
+        cut: set[tuple[int, int]] = set()
+        for network in self._networks:
+            for a, b in network.topology.edges():
+                ga = membership.get(a)
+                gb = membership.get(b)
+                if ga is None or gb is None:
+                    missing = a if ga is None else b
+                    raise ConfigError(
+                        "partition groups must cover every fabric node; "
+                        f"node {missing} is in no group"
+                    )
+                if ga == gb:
+                    continue
+                edge = (min(a, b), max(a, b))
+                if edge not in self.down_links:
+                    cut.add(edge)
+        self.log.append((self.sim.now, "partition", _fmt_groups(key)))
+        for a, b in sorted(cut):
+            self.fail_link(a, b)
+        self._partition_cuts[key] = cut
+
+    def heal_partition(self, groups) -> None:
+        """Restore the links cut by the matching :meth:`partition`;
+        no-op when that partition is not active."""
+        key = _canon_groups(groups)
+        cut = self._partition_cuts.pop(key, None)
+        if cut is None:
+            return
+        self.log.append((self.sim.now, "heal_partition", _fmt_groups(key)))
+        for a, b in sorted(cut):
+            self.restore_link(a, b)
 
     def note_revoked(self, borrower: int, leases: int) -> None:
         """Account *leases* revoked from *borrower* by a donor death."""

@@ -14,7 +14,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.malloc import Placement
 from repro.cluster.reservation import LeaseState
 from repro.config import ClusterConfig, HealthConfig, NetworkConfig, RMCConfig
-from repro.errors import RemoteAccessError
+from repro.errors import RemoteAccessError, ReservationError
 from repro.sim.faults import FaultPlan
 from repro.units import mib
 
@@ -125,14 +125,24 @@ def test_quarantine_refused_on_cut_edge():
 def test_armed_idle_health_is_bit_identical():
     """An armed monitor with no watches and no lease TTL schedules
     nothing: same final clock, same counters as a disarmed run, through
-    a NACK storm."""
+    a NACK storm. Corroboration and epoch fencing are switched on for
+    the armed run: an idle detector solicits no indirect probes, and
+    the fencing hooks only stamp/verify epochs in already-travelling
+    packets — neither may perturb timing."""
 
     def run(armed):
         cluster = _line(
             3, rmc=RMCConfig(buffer_entries=2, retry_backoff_ns=200.0)
         )
         if armed:
-            cluster.arm_health(HealthConfig(watch_on_borrow=False))
+            cluster.arm_health(
+                HealthConfig(
+                    watch_on_borrow=False,
+                    indirect_probes=2,
+                    quorum_fraction=0.6,
+                    epoch_fencing=True,
+                )
+            )
         app = cluster.session(1)
         app.borrow_remote(2, mib(4))
         ptr = app.malloc(mib(1), Placement.REMOTE)
@@ -156,6 +166,213 @@ def test_armed_idle_health_is_bit_identical():
         )
 
     assert run(armed=False) == run(armed=True)
+
+
+# -- corroboration, isolation, rejoin --------------------------------------
+
+
+def test_probe_loop_exit_releases_watch_key():
+    """Every probe-loop exit surrenders its (observer, peer) watch key;
+    a leaked key would make ``watch()`` a silent no-op forever, so a
+    readmitted peer could never be re-watched."""
+    cluster = _line(3)
+    cluster.borrow(1, 2, mib(2))
+    health = cluster.arm_health(HealthConfig(auto_recover=False))
+    cluster.arm_faults(
+        FaultPlan().kill_node(2, at_ns=cluster.sim.now + 10_000)
+    )
+    _run_and_drain(cluster, 300_000)
+
+    assert health.confirmed_dead == {2}
+    # the declare exit and the stop exit both ran their finally
+    assert health._watches == set()
+    # the stable quorum denominator survives the loop exits
+    assert health.watch_set == {1: {2}}
+
+
+def test_restore_clears_quarantine_back_to_native_route():
+    """A link flap that got its edge quarantined must not detour
+    traffic forever: the fault layer's restore callback clears the
+    quarantine and the fabric returns to the native route."""
+    cluster = _ring(6)
+    assert cluster.network.routing.path(1, 5) == [1, 6, 5]
+    cluster.borrow(1, 6, mib(2))
+    cluster.borrow(1, 5, mib(2))
+    health = cluster.arm_health(HealthConfig(auto_recover=False))
+    t0 = cluster.sim.now
+    cluster.arm_faults(
+        FaultPlan().fail_link(5, 6, at_ns=t0 + 10_000, until_ns=t0 + 200_000)
+    )
+    _run_and_drain(cluster, 320_000)
+
+    kinds = _kinds(health)
+    assert "quarantine" in kinds      # the flap got the 5-6 hop rerouted
+    assert "cleared" in kinds         # probes succeeded on the detour
+    assert "unquarantined" in kinds   # the restore lifted the detour
+    assert "dead" not in kinds
+    assert health.quarantined == set()
+    assert cluster.network.routing.path(1, 5) == [1, 6, 5]
+
+
+def test_indirect_probe_refutes_false_declaration():
+    """A broken observer->suspect path is not a death: a solicited
+    helper that still reaches the suspect refutes the verdict."""
+    cluster = _ring(3)
+    cluster.borrow(1, 2, mib(2))
+    cluster.borrow(1, 3, mib(2))
+    health = cluster.arm_health(
+        HealthConfig(
+            auto_recover=False,
+            indirect_probes=2,
+            # 3 == miss_threshold keeps the quarantine reroute from
+            # silently repairing the path before corroboration fires
+            quarantine_after=3,
+        )
+    )
+    # only the direct 1->2 hop is broken; 1->3 and 3->2 still work
+    cluster.arm_faults(FaultPlan().drop_packets(site="link", edge=(1, 2)))
+    _run_and_drain(cluster, 400_000)
+
+    kinds = _kinds(health)
+    assert "refuted" in kinds
+    assert "dead" not in kinds
+    assert health.confirmed_dead == set()
+
+
+def test_corroborated_declaration_of_real_death():
+    """When no helper can vouch either, the declaration proceeds on
+    corroborated evidence — a real death is still detected."""
+    cluster = _ring(6)
+    cluster.borrow(1, 6, mib(2))
+    cluster.borrow(1, 5, mib(2))
+    health = cluster.arm_health(
+        HealthConfig(auto_recover=False, indirect_probes=2)
+    )
+    cluster.arm_faults(
+        FaultPlan().kill_node(5, at_ns=cluster.sim.now + 10_000)
+    )
+    _run_and_drain(cluster, 500_000)
+
+    kinds = _kinds(health)
+    assert health.confirmed_dead == {5}
+    assert "dead" in kinds
+    assert "refuted" not in kinds     # helper 6 could not reach 5 either
+    assert "isolated" not in kinds    # observer 1 still had quorum via 6
+    assert len(cluster.node(1).reservations.revoked) == 1
+
+
+def test_isolated_observer_self_fences_and_rejoins():
+    """An observer cut off from its whole watch set assumes *it* is the
+    minority: no declarations, no new borrows, until probes reach
+    quorum again after the heal."""
+    cluster = _line(2)
+    cluster.borrow(1, 2, mib(2))
+    health = cluster.arm_health(
+        HealthConfig(auto_recover=False, indirect_probes=2)
+    )
+    t0 = cluster.sim.now
+    cluster.arm_faults(
+        FaultPlan().fail_link(1, 2, at_ns=t0 + 10_000, until_ns=t0 + 220_000)
+    )
+    cluster.sim.run(until=t0 + 180_000)
+
+    assert health.is_isolated(1)
+    assert "isolated" in _kinds(health)
+    assert health.confirmed_dead == set()   # self-fenced, not declaring
+    with pytest.raises(ReservationError, match="isolated"):
+        cluster.borrow(1, 2, mib(1))
+
+    _run_and_drain(cluster, 150_000)
+    assert not health.is_isolated(1)
+    assert "rejoined" in _kinds(health)
+    assert health.confirmed_dead == set()
+    # back above quorum: borrowing works again
+    res = cluster.borrow(1, 2, mib(1))
+    assert res.size == mib(1)
+
+
+def test_false_declaration_retracted_on_heal():
+    """A flap long enough to cross miss_threshold gets the peer
+    declared dead by its single observer; the link restore re-probes
+    the declared peer and readmits it — declaration retracted,
+    degraded-donor mark lifted, donation working again."""
+    cluster = _line(2)
+    cluster.borrow(1, 2, mib(2))
+    health = cluster.arm_health(HealthConfig(auto_recover=False))
+    t0 = cluster.sim.now
+    cluster.arm_faults(
+        FaultPlan().fail_link(1, 2, at_ns=t0 + 10_000, until_ns=t0 + 250_000)
+    )
+    _run_and_drain(cluster, 400_000)
+
+    kinds = _kinds(health)
+    assert "dead" in kinds           # the single observer declared
+    assert "readmitted" in kinds     # the heal retracted it
+    assert health.confirmed_dead == set()
+    assert health.suspicion == {}    # the retraction voided the evidence
+    assert 2 not in cluster._degraded
+    # the readmitted node donates again
+    res = cluster.borrow(1, 2, mib(1))
+    assert res.size == mib(1)
+
+
+def test_symmetric_split_isolates_both_sides():
+    """A 50/50 partition must not trigger mutual degrade_donor storms:
+    with corroboration armed, both sides lose quorum and self-fence;
+    the heal lets both rejoin with nobody ever declared dead."""
+    cluster = _ring(4)
+    cluster.borrow(1, 3, mib(2))
+    cluster.borrow(1, 4, mib(2))
+    cluster.borrow(3, 1, mib(2))
+    cluster.borrow(3, 2, mib(2))
+    health = cluster.arm_health(
+        HealthConfig(auto_recover=False, indirect_probes=2)
+    )
+    t0 = cluster.sim.now
+    cluster.arm_faults(
+        FaultPlan().partition(
+            ({1, 2}, {3, 4}), at_ns=t0 + 10_000, until_ns=t0 + 280_000
+        )
+    )
+    cluster.sim.run(until=t0 + 250_000)
+
+    assert health.isolated == {1, 3}
+    assert health.confirmed_dead == set()
+    assert "dead" not in _kinds(health)
+
+    _run_and_drain(cluster, 200_000)
+    assert health.isolated == set()
+    assert _kinds(health).count("rejoined") == 2
+    assert health.confirmed_dead == set()
+    # no lease was revoked on either side: the split cost nothing
+    assert cluster.node(1).reservations.revoked == {}
+    assert cluster.node(3).reservations.revoked == {}
+
+
+def test_symmetric_split_without_corroboration_is_a_storm():
+    """The contrast case the corroboration layer exists for: single-
+    observer verdicts turn a clean 50/50 split into four false death
+    declarations that no one can retract (every candidate revalidation
+    observer is itself declared dead)."""
+    cluster = _ring(4)
+    cluster.borrow(1, 3, mib(2))
+    cluster.borrow(1, 4, mib(2))
+    cluster.borrow(3, 1, mib(2))
+    cluster.borrow(3, 2, mib(2))
+    health = cluster.arm_health(
+        HealthConfig(auto_recover=False, indirect_probes=0)
+    )
+    t0 = cluster.sim.now
+    cluster.arm_faults(
+        FaultPlan().partition(
+            ({1, 2}, {3, 4}), at_ns=t0 + 10_000, until_ns=t0 + 280_000
+        )
+    )
+    _run_and_drain(cluster, 450_000)
+
+    assert health.confirmed_dead == {1, 2, 3, 4}
+    assert _kinds(health).count("dead") == 4
+    assert "readmitted" not in _kinds(health)
 
 
 # -- lease lifecycle -------------------------------------------------------

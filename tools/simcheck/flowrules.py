@@ -466,7 +466,9 @@ class SIM009UnitInference(Rule):
 
 #: hook attributes whose *use* (attribute access through them) must be
 #: dominated by an ``is not None`` guard in hot-path modules
-_HOOK_ATTRS = frozenset({"_faults", "audit", "health"})
+_HOOK_ATTRS = frozenset(
+    {"_faults", "audit", "health", "_fence", "_lease_epochs"}
+)
 _HOT_DIRS = frozenset({"ht", "noc", "rmc", "mem"})
 _HOT_FILES = ("sim/engine.py", "sim/equeue.py")
 
